@@ -1,0 +1,271 @@
+// Benchmarks regenerating the paper's evaluation: one benchmark per table
+// or figure (see DESIGN.md §4 for the experiment index).
+//
+//	BenchmarkTable1/<ckt>   — full Table 1 rows: place + gsg/GS/gsg+GS,
+//	                          with delay/area/coverage metrics reported.
+//	BenchmarkExtractScaling — §3's linear-time extraction claim.
+//	BenchmarkFig1Redundancy — redundancy identification during extraction.
+//	BenchmarkFig2Swap       — a single non-inverting rewiring move.
+//	BenchmarkFig3CrossSwap  — DeMorgan cross-supergate swap.
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/harness"
+	"repro/internal/library"
+	"repro/internal/logic"
+	"repro/internal/network"
+	"repro/internal/opt"
+	"repro/internal/place"
+	"repro/internal/rewire"
+	"repro/internal/sizing"
+	"repro/internal/supergate"
+)
+
+// table1Circuits is the subset exercised per bench invocation; pass
+// -bench 'BenchmarkTable1$' -benchtime 1x and use cmd/table1 for the full
+// 19-row table (all circuits run there; the subset here keeps
+// `go test -bench .` under a few minutes).
+var table1Circuits = []string{
+	"alu2", "alu4", "c432", "c499", "c1355", "c1908", "c2670",
+	"c3540", "k2", "i8", "x3",
+}
+
+func BenchmarkTable1(b *testing.B) {
+	for _, name := range table1Circuits {
+		b.Run(name, func(b *testing.B) {
+			var row harness.Row
+			for i := 0; i < b.N; i++ {
+				var err error
+				row, err = harness.RunBenchmark(name, harness.Config{
+					PlaceMoves: 30, MaxIters: 8, VerifyRounds: 8,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(row.GsgPct, "gsg%")
+			b.ReportMetric(row.GSPct, "GS%")
+			b.ReportMetric(row.GsgGSPct, "gsg+GS%")
+			b.ReportMetric(row.GsgGSAreaPct, "area%")
+			b.ReportMetric(row.CovPct, "cov%")
+			b.ReportMetric(float64(row.L), "L")
+			b.ReportMetric(float64(row.Red), "red")
+		})
+	}
+}
+
+// BenchmarkExtractScaling measures supergate extraction across one decade
+// of circuit sizes; ns/op should grow linearly with gate count (§3's
+// linear-time claim). The per-gate metric makes the comparison direct.
+func BenchmarkExtractScaling(b *testing.B) {
+	for _, gates := range []int{1000, 2000, 5000, 10000, 20000, 50000} {
+		p := gen.Profile{
+			Name: fmt.Sprintf("scale%d", gates), Seed: 42,
+			NumPI: 64, TargetGates: gates,
+			XorFrac: 0.1, NorFrac: 0.4, InvFrac: 0.12,
+			Locality: 0.6, MaxFanin: 3,
+		}
+		n := gen.FromProfile(p)
+		b.Run(fmt.Sprintf("gates=%d", gates), func(b *testing.B) {
+			b.ReportAllocs()
+			var ext *supergate.Extraction
+			for i := 0; i < b.N; i++ {
+				ext = supergate.Extract(n)
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(gates), "ns/gate")
+			_ = ext
+		})
+	}
+}
+
+// BenchmarkFig1Redundancy measures extraction on the redundancy-rich i8
+// stand-in (229 injected patterns) and reports how many it identifies.
+func BenchmarkFig1Redundancy(b *testing.B) {
+	n, err := gen.Generate("i8")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var found int
+	for i := 0; i < b.N; i++ {
+		found = len(supergate.Extract(n).Redundancies)
+	}
+	b.ReportMetric(float64(found), "redundancies")
+}
+
+// fig2Network recreates the Fig. 2 supergate for the swap micro-bench.
+func fig2Network() (*network.Network, *network.Gate) {
+	n := network.New("fig2")
+	h := n.AddInput("h")
+	x := n.AddInput("x")
+	k := n.AddInput("k")
+	inner := n.AddGate("inner", logic.Nor, h, x)
+	mid := n.AddGate("mid", logic.Inv, inner)
+	f := n.AddGate("f", logic.Nor, mid, k)
+	n.MarkOutput(f)
+	return n, f
+}
+
+// BenchmarkFig2Swap measures one non-inverting swap apply+undo — the unit
+// move of the rewiring optimizer.
+func BenchmarkFig2Swap(b *testing.B) {
+	n, f := fig2Network()
+	ext := supergate.Extract(n)
+	sg := ext.ByGate[f]
+	var hi, ki int
+	for i, l := range sg.Leaves {
+		switch l.Driver.Name() {
+		case "h":
+			hi = i
+		case "k":
+			ki = i
+		}
+	}
+	s := rewire.Swap{SG: sg, I: hi, J: ki}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		undo := rewire.Apply(n, s)
+		undo()
+	}
+}
+
+// BenchmarkFig3CrossSwap measures the Theorem 2 fanin-set exchange
+// (including the dualization of both supergates).
+func BenchmarkFig3CrossSwap(b *testing.B) {
+	n := network.New("fig3")
+	var in [6]*network.Gate
+	for i, name := range []string{"a", "b", "c", "d", "e", "g"} {
+		in[i] = n.AddInput(name)
+	}
+	s1 := n.AddGate("s1", logic.Nand, in[0], in[1], in[2])
+	s2 := n.AddGate("s2", logic.Nor, in[3], in[4], in[5])
+	f := n.AddGate("f", logic.Xor, s1, s2)
+	n.MarkOutput(f)
+	ext := supergate.Extract(n)
+	sg1, sg2 := ext.ByGate[s1], ext.ByGate[s2]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Each CrossSwap dualizes and exchanges; two in a row restore the
+		// original network, keeping the benchmark state stable.
+		if err := rewire.CrossSwap(n, sg1, sg2); err != nil {
+			b.Fatal(err)
+		}
+		if err := rewire.CrossSwap(n, sg1, sg2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHeadline reproduces the §6/§7 summary numbers over a small
+// circuit set and reports the three averages next to the paper's 3.1 /
+// 5.4 / 9.0.
+func BenchmarkHeadline(b *testing.B) {
+	circuits := []string{"alu2", "c432", "c1908", "k2"}
+	var avg harness.Row
+	for i := 0; i < b.N; i++ {
+		rows := make([]harness.Row, 0, len(circuits))
+		for _, name := range circuits {
+			row, err := harness.RunBenchmark(name, harness.Config{
+				PlaceMoves: 20, MaxIters: 6, VerifyRounds: 4,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rows = append(rows, row)
+		}
+		avg = harness.Average(rows)
+	}
+	b.ReportMetric(avg.GsgPct, "gsg%")
+	b.ReportMetric(avg.GSPct, "GS%")
+	b.ReportMetric(avg.GsgGSPct, "gsg+GS%")
+}
+
+// --- Ablation benchmarks: design choices DESIGN.md calls out ---
+
+// benchOptimized runs one strategy on a placed benchmark and returns the
+// delay improvement percentage.
+func benchOptimized(b *testing.B, name string, strat opt.Strategy, o opt.Options) float64 {
+	b.Helper()
+	lib := library.Default035()
+	n, err := gen.Generate(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	place.Place(n, lib, place.Options{Seed: 1, MovesPerCell: 20})
+	sizing.SeedForLoad(n, lib, 0)
+	res := opt.Optimize(n, lib, strat, o)
+	return res.ImprovementPct()
+}
+
+// BenchmarkAblationRelaxation isolates Coudert's sum-slack relaxation
+// phase (§5): gsg+GS with and without it.
+func BenchmarkAblationRelaxation(b *testing.B) {
+	for _, cfg := range []struct {
+		label   string
+		disable bool
+	}{{"with-relaxation", false}, {"min-slack-only", true}} {
+		b.Run(cfg.label, func(b *testing.B) {
+			var imp float64
+			for i := 0; i < b.N; i++ {
+				imp = benchOptimized(b, "alu2", opt.GsgGS,
+					opt.Options{MaxIters: 8, DisableRelaxation: cfg.disable})
+			}
+			b.ReportMetric(imp, "improve%")
+		})
+	}
+}
+
+// BenchmarkAblationSeedSizes isolates the load-aware initial sizing that
+// emulates the paper's timing-driven mapper: GS gains from a load-seeded
+// baseline (refinement) versus an all-minimum baseline (rescue).
+func BenchmarkAblationSeedSizes(b *testing.B) {
+	lib := library.Default035()
+	run := func(loadSeed bool) (initNS, improvePct float64) {
+		n, err := gen.Generate("c432")
+		if err != nil {
+			b.Fatal(err)
+		}
+		place.Place(n, lib, place.Options{Seed: 1, MovesPerCell: 20})
+		if loadSeed {
+			sizing.SeedForLoad(n, lib, 0)
+		} else {
+			n.Gates(func(g *network.Gate) {
+				if !g.IsInput() {
+					g.SizeIdx = 0
+				}
+			})
+		}
+		res := opt.Optimize(n, lib, opt.GS, opt.Options{MaxIters: 8})
+		return res.InitialDelay, res.ImprovementPct()
+	}
+	for _, cfg := range []struct {
+		label    string
+		loadSeed bool
+	}{{"load-seeded", true}, {"all-minimum", false}} {
+		b.Run(cfg.label, func(b *testing.B) {
+			var init, imp float64
+			for i := 0; i < b.N; i++ {
+				init, imp = run(cfg.loadSeed)
+			}
+			b.ReportMetric(init, "init-ns")
+			b.ReportMetric(imp, "GS-improve%")
+		})
+	}
+}
+
+// BenchmarkRedundancyRemoval measures the extension built on Fig. 1:
+// removing every detected case-2 redundancy from the i8 stand-in.
+func BenchmarkRedundancyRemoval(b *testing.B) {
+	var removed int
+	for i := 0; i < b.N; i++ {
+		n, err := gen.Generate("i8")
+		if err != nil {
+			b.Fatal(err)
+		}
+		removed = rewire.RemoveAllRedundancies(n)
+	}
+	b.ReportMetric(float64(removed), "removed")
+}

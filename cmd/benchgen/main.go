@@ -1,0 +1,77 @@
+// Command benchgen emits a generated Table 1 benchmark as a BLIF netlist,
+// so the stand-in circuits can be inspected, archived, or fed to other
+// tools (including back into rapids via -blif).
+//
+// Usage:
+//
+//	benchgen -name alu2 [-o alu2.blif]
+//	benchgen -all -dir bench/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/blif"
+	"repro/internal/gen"
+)
+
+func main() {
+	var (
+		name = flag.String("name", "", "benchmark to generate")
+		out  = flag.String("o", "", "output file (default stdout)")
+		all  = flag.Bool("all", false, "generate all 19 benchmarks")
+		dir  = flag.String("dir", ".", "output directory for -all")
+	)
+	flag.Parse()
+
+	if *all {
+		for _, bn := range gen.Benchmarks() {
+			path := filepath.Join(*dir, bn+".blif")
+			if err := writeOne(bn, path); err != nil {
+				fail("%v", err)
+			}
+			fmt.Println("wrote", path)
+		}
+		return
+	}
+	if *name == "" {
+		fail("need -name <benchmark> or -all; known: %v", gen.Benchmarks())
+	}
+	n, err := gen.Generate(*name)
+	if err != nil {
+		fail("%v", err)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail("%v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := blif.Write(w, n); err != nil {
+		fail("%v", err)
+	}
+}
+
+func writeOne(name, path string) error {
+	n, err := gen.Generate(name)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return blif.Write(f, n)
+}
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "benchgen: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,173 @@
+// Command rapids is the reproduction of the paper's prototype tool
+// (Rewiring After Placement usIng easily Detectable Symmetries): it takes
+// a mapped circuit — a generated Table 1 benchmark or a BLIF file — runs
+// the full post-placement flow (map if needed, place, optimize with the
+// chosen strategy), verifies functional equivalence, and reports timing,
+// area, and rewiring statistics.
+//
+// Usage:
+//
+//	rapids -bench alu2 [-strategy gsg|GS|gsg+GS] [-iters N] [-clock ns]
+//	rapids -blif circuit.blif [-strategy ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/blif"
+	"repro/internal/fanout"
+	"repro/internal/gen"
+	"repro/internal/library"
+	"repro/internal/network"
+	"repro/internal/opt"
+	"repro/internal/place"
+	"repro/internal/rewire"
+	"repro/internal/sim"
+	"repro/internal/sizing"
+	"repro/internal/sta"
+	"repro/internal/techmap"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "", "generated benchmark name (see -list)")
+		blifPath  = flag.String("blif", "", "netlist to optimize (.blif or ISCAS .bench, by extension)")
+		strategy  = flag.String("strategy", "gsg+GS", "optimizer: gsg, GS, or gsg+GS")
+		iters     = flag.Int("iters", 8, "optimizer iterations")
+		clock     = flag.Float64("clock", 0, "required time at outputs in ns (0 = critical delay)")
+		moves     = flag.Int("moves", 30, "placement annealing moves per cell")
+		seed      = flag.Int64("seed", 1, "placement seed")
+		list      = flag.Bool("list", false, "list generated benchmark names and exit")
+		removeRed = flag.Bool("remove-redundancies", false, "remove detected case-2 redundancies before optimizing")
+		buffer    = flag.Bool("buffer", false, "run fanout buffering after the optimizer (paper §7 future work)")
+		showPath  = flag.Bool("path", false, "print the post-optimization critical path")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range gen.Benchmarks() {
+			fmt.Println(name)
+		}
+		return
+	}
+
+	strat, ok := map[string]opt.Strategy{
+		"gsg": opt.Gsg, "GS": opt.GS, "gsg+GS": opt.GsgGS,
+	}[*strategy]
+	if !ok {
+		fail("unknown strategy %q (want gsg, GS, or gsg+GS)", *strategy)
+	}
+
+	lib := library.Default035()
+	n, err := load(*benchName, *blifPath, lib)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	fmt.Printf("circuit %s: %d gates, %d PIs, %d POs, depth %d\n",
+		n.Name(), n.NumLogicGates(), len(n.Inputs()), len(n.Outputs()), n.Depth())
+
+	pl := place.Place(n, lib, place.Options{Seed: *seed, MovesPerCell: *moves})
+	fmt.Printf("placement: %d rows, die %.0f x %.0f um, HPWL %.0f -> %.0f um\n",
+		pl.Rows, pl.DieWidth, pl.DieHeight, pl.InitialHPWL, pl.FinalHPWL)
+	sizing.SeedForLoad(n, lib, 0)
+
+	// The equivalence check at the end covers every transformation,
+	// including redundancy removal and buffering, so clone first.
+	orig, _ := n.Clone()
+
+	if *removeRed {
+		removed := rewire.RemoveAllRedundancies(n)
+		fmt.Printf("redundancy removal: %d untestable branches deleted\n", removed)
+	}
+
+	before := sta.Analyze(n, lib, *clock)
+	fmt.Printf("initial: critical delay %.3f ns, area %.0f um^2\n",
+		before.CriticalDelay, techmap.Area(n, lib))
+	res := opt.Optimize(n, lib, strat, opt.Options{Clock: *clock, MaxIters: *iters})
+
+	fmt.Printf("%s: delay %.3f -> %.3f ns (%.1f%% better), area %+.1f%%\n",
+		res.Strategy, res.InitialDelay, res.FinalDelay,
+		res.ImprovementPct(), res.AreaDeltaPct())
+	fmt.Printf("  %d swaps, %d resizes, %d iterations\n", res.Swaps, res.Resizes, res.Iterations)
+	fmt.Printf("  supergates: %.1f%% coverage, largest has %d inputs, %d redundancies found\n",
+		100*res.Coverage, res.MaxLeaves, res.Redundancies)
+
+	if *buffer {
+		bst := fanout.Optimize(n, lib, fanout.Options{Clock: *clock})
+		fmt.Printf("fanout buffering: %d buffers, delay %.3f -> %.3f ns\n",
+			bst.BuffersAdded, bst.InitialDelay, bst.FinalDelay)
+	}
+
+	if *showPath {
+		printCriticalPath(n, lib, *clock)
+	}
+
+	ce, err := sim.EquivalentRandom(orig, n, 32, 2024)
+	if err != nil {
+		fail("verification: %v", err)
+	}
+	if ce != nil {
+		fail("VERIFICATION FAILED: %v", ce)
+	}
+	fmt.Println("verification: optimized circuit is simulation-equivalent to the original")
+}
+
+// printCriticalPath reports the worst path stage by stage: per-gate cell
+// delay and the interconnect delay into each pin.
+func printCriticalPath(n *network.Network, lib *library.Library, clock float64) {
+	tm := sta.Analyze(n, lib, clock)
+	path := tm.CriticalPath()
+	fmt.Printf("critical path (%d stages, %.3f ns):\n", len(path), tm.CriticalDelay)
+	prevArr := 0.0
+	for i, g := range path {
+		arr := tm.Arrival(g).Max()
+		wire := 0.0
+		if i > 0 {
+			wire = tm.WireDelay(path[i-1], g)
+		}
+		fmt.Printf("  %-24s %-5s size %d  arr %8.3f ns  (+%6.3f, wire %6.3f)  load %.3f pF\n",
+			g.Name(), g.Type, g.SizeIdx, arr, arr-prevArr, wire, tm.Load(g))
+		prevArr = arr
+	}
+}
+
+func load(benchName, blifPath string, lib *library.Library) (*network.Network, error) {
+	switch {
+	case benchName != "" && blifPath != "":
+		return nil, fmt.Errorf("use -bench or -blif, not both")
+	case benchName != "":
+		return gen.Generate(benchName)
+	case blifPath != "":
+		f, err := os.Open(blifPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		var n *network.Network
+		if strings.HasSuffix(blifPath, ".bench") {
+			base := strings.TrimSuffix(filepath.Base(blifPath), ".bench")
+			n, err = bench.Parse(f, base)
+		} else {
+			n, err = blif.Parse(f)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := techmap.Map(n, lib); err != nil {
+			return nil, err
+		}
+		return n, nil
+	}
+	return nil, fmt.Errorf("need -bench <name> or -blif <file>; try -list")
+}
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "rapids: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,75 @@
+// Command table1 regenerates Table 1 of the paper: the three optimizers
+// (gsg, GS, gsg+GS) over the 19 MCNC-91/ISCAS-89 benchmark stand-ins, with
+// delay improvements, CPU times, area deltas, supergate coverage, largest
+// supergate size L, and redundancy counts.
+//
+// Usage:
+//
+//	table1 [-benchmarks alu2,c432,...] [-iters N] [-moves N] [-seed N]
+//	       [-quick] [-summary]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/gen"
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		benchmarks = flag.String("benchmarks", "", "comma-separated circuit names (default: all 19)")
+		iters      = flag.Int("iters", 8, "optimizer iterations")
+		moves      = flag.Int("moves", 30, "placement annealing moves per cell")
+		seed       = flag.Int64("seed", 1, "placement seed")
+		quick      = flag.Bool("quick", false, "small/fast subset with reduced effort")
+		summary    = flag.Bool("summary", false, "print only the averages against the paper's")
+		verbose    = flag.Bool("v", false, "progress output per optimizer run")
+	)
+	flag.Parse()
+
+	cfg := harness.Config{
+		PlaceSeed:  *seed,
+		PlaceMoves: *moves,
+		MaxIters:   *iters,
+	}
+	if *benchmarks != "" {
+		cfg.Benchmarks = strings.Split(*benchmarks, ",")
+	}
+	if *quick {
+		cfg.Benchmarks = []string{"alu2", "c432", "c499", "c1908", "k2"}
+		cfg.PlaceMoves = 10
+		cfg.MaxIters = 4
+	}
+	if *verbose {
+		cfg.Progress = os.Stderr
+	}
+	if cfg.Benchmarks == nil {
+		cfg.Benchmarks = gen.Benchmarks()
+	}
+
+	rows, err := harness.RunAll(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "table1:", err)
+		os.Exit(1)
+	}
+	if !*summary {
+		fmt.Print(harness.FormatTable(rows))
+		fmt.Println()
+	}
+	avg := harness.Average(rows)
+	paper := harness.PaperAverages()
+	fmt.Printf("averages            %8s %8s %8s %9s %9s %7s\n",
+		"gsg", "GS", "gsg+GS", "GS area", "g+G area", "cov")
+	fmt.Printf("  this reproduction %7.1f%% %7.1f%% %7.1f%% %+8.1f%% %+8.1f%% %6.1f%%\n",
+		avg.GsgPct, avg.GSPct, avg.GsgGSPct, avg.GSAreaPct, avg.GsgGSAreaPct, avg.CovPct)
+	fmt.Printf("  paper (Table 1)   %7.1f%% %7.1f%% %7.1f%% %+8.1f%% %+8.1f%% %6.1f%%\n",
+		paper.GsgPct, paper.GSPct, paper.GsgGSPct, paper.GSAreaPct, paper.GsgGSAreaPct, paper.CovPct)
+	if !avg.Verified {
+		fmt.Fprintln(os.Stderr, "table1: WARNING: some optimized circuits failed verification")
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,17 @@
+// Package repro is a from-scratch Go reproduction of "Fast Post-placement
+// Rewiring Using Easily Detectable Functional Symmetries" (Chang, Cheng,
+// Suaris, Marek-Sadowska; DAC 2000).
+//
+// The implementation lives under internal/: the generalized implication
+// supergate theory (internal/supergate), symmetry-based rewiring
+// (internal/rewire), the Coudert-style optimizers (internal/sizing,
+// internal/opt), and the full experimental substrate the paper's flow
+// needs — mapped Boolean networks, a cell library, technology mapping,
+// benchmark generators, placement, star-model RC interconnect, static
+// timing analysis, bit-parallel simulation, and ATPG-style verification
+// oracles. Command-line front ends are under cmd/ and runnable
+// walk-throughs under examples/.
+//
+// bench_test.go in this directory regenerates every table and figure of
+// the paper's evaluation; see DESIGN.md and EXPERIMENTS.md.
+package repro

@@ -1,0 +1,90 @@
+package atpg
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/logic"
+	"repro/internal/network"
+)
+
+func TestInputSymmetriesKnownFunctions(t *testing.T) {
+	// f = NAND(a, b, c): all three input pairs NES, none ES.
+	n := network.New("nand3")
+	a, b, c := n.AddInput("a"), n.AddInput("b"), n.AddInput("c")
+	f := n.AddGate("f", logic.Nand, a, b, c)
+	n.MarkOutput(f)
+	nes, es, err := InputSymmetries(n, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nes != 3 || es != 0 {
+		t.Fatalf("NAND3: nes=%d es=%d, want 3/0", nes, es)
+	}
+
+	// g = XOR(a, b): the pair is both NES and ES.
+	m := network.New("xor2")
+	x, y := m.AddInput("x"), m.AddInput("y")
+	g := m.AddGate("g", logic.Xor, x, y)
+	m.MarkOutput(g)
+	nes, es, err = InputSymmetries(m, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nes != 1 || es != 1 {
+		t.Fatalf("XOR2: nes=%d es=%d, want 1/1", nes, es)
+	}
+}
+
+func TestInputSymmetriesAsymmetric(t *testing.T) {
+	// f = AND(a, OR(b, c)): (b,c) symmetric, (a,b) and (a,c) not.
+	n := network.New("ao")
+	a, b, c := n.AddInput("a"), n.AddInput("b"), n.AddInput("c")
+	or := n.AddGate("or", logic.Nor, b, c)
+	orn := n.AddGate("orn", logic.Inv, or)
+	f := n.AddGate("f", logic.Nand, a, orn)
+	fn := n.AddGate("fn", logic.Inv, f)
+	n.MarkOutput(fn)
+	nes, _, err := InputSymmetries(n, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nes != 1 {
+		t.Fatalf("AND(a, OR(b,c)): nes=%d, want 1", nes)
+	}
+}
+
+func TestInputSymmetriesOracleLimit(t *testing.T) {
+	n := network.New("wide")
+	var ins []*network.Gate
+	for i := 0; i < MaxOracleInputs+1; i++ {
+		ins = append(ins, n.AddInput(finame(i)))
+	}
+	f := n.AddGate("f", logic.Nand, ins...)
+	n.MarkOutput(f)
+	if _, _, err := InputSymmetries(n, f); err == nil {
+		t.Fatal("expected oracle limit error")
+	}
+}
+
+func finame(i int) string { return "in" + string(rune('a'+i%26)) + string(rune('0'+i/26)) }
+
+// The §2 claim: internal-pin symmetries dramatically outnumber classical
+// primary-input symmetries on real-shaped circuits.
+func TestInternalSymmetriesDominateInputSymmetries(t *testing.T) {
+	n, err := gen.Generate("c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := CompareSymmetries(n)
+	if c.ConesChecked == 0 {
+		t.Skip("no oracle-sized cones in this generation")
+	}
+	if c.PinPairs <= c.InputPairs {
+		t.Fatalf("expected internal pin pairs (%d) to exceed PI pairs (%d over %d cones)",
+			c.PinPairs, c.InputPairs, c.ConesChecked)
+	}
+	if c.PinPairs < 5*c.InputPairs {
+		t.Logf("note: pin pairs %d vs input pairs %d — dominance weaker than 5x", c.PinPairs, c.InputPairs)
+	}
+}

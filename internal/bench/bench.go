@@ -1,0 +1,207 @@
+// Package bench reads and writes the ISCAS ".bench" netlist format — the
+// native distribution format of the c (ISCAS-85) and s (ISCAS-89)
+// circuits in Table 1:
+//
+//	# comment
+//	INPUT(G1)
+//	OUTPUT(G17)
+//	G10 = NAND(G1, G3)
+//	G11 = DFF(G10)
+//	G12 = NOT(G11)
+//
+// As with the blif package, sequential elements are removed per §6 of the
+// paper: each DFF output becomes a primary input and each DFF data input
+// becomes a primary output.
+package bench
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/logic"
+	"repro/internal/network"
+)
+
+var typeByName = map[string]logic.GateType{
+	"AND": logic.And, "OR": logic.Or, "NAND": logic.Nand, "NOR": logic.Nor,
+	"XOR": logic.Xor, "XNOR": logic.Xnor, "NOT": logic.Inv, "INV": logic.Inv,
+	"BUFF": logic.Buf, "BUF": logic.Buf,
+}
+
+var nameByType = map[logic.GateType]string{
+	logic.And: "AND", logic.Or: "OR", logic.Nand: "NAND", logic.Nor: "NOR",
+	logic.Xor: "XOR", logic.Xnor: "XNOR", logic.Inv: "NOT", logic.Buf: "BUFF",
+}
+
+type decl struct {
+	fn     string
+	inputs []string
+	line   int
+}
+
+// Parse reads a .bench netlist. The model name of the returned network is
+// taken from name.
+func Parse(r io.Reader, name string) (*network.Network, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+
+	var inputs, outputs, latchPIs, latchPOs []string
+	decls := map[string]decl{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if i := strings.Index(line, "#"); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		upper := strings.ToUpper(line)
+		switch {
+		case strings.HasPrefix(upper, "INPUT(") || strings.HasPrefix(upper, "INPUT ("):
+			sig, err := argOf(line)
+			if err != nil {
+				return nil, fmt.Errorf("bench line %d: %v", lineNo, err)
+			}
+			inputs = append(inputs, sig)
+		case strings.HasPrefix(upper, "OUTPUT(") || strings.HasPrefix(upper, "OUTPUT ("):
+			sig, err := argOf(line)
+			if err != nil {
+				return nil, fmt.Errorf("bench line %d: %v", lineNo, err)
+			}
+			outputs = append(outputs, sig)
+		default:
+			eq := strings.Index(line, "=")
+			if eq < 0 {
+				return nil, fmt.Errorf("bench line %d: expected assignment, got %q", lineNo, line)
+			}
+			out := strings.TrimSpace(line[:eq])
+			rhs := strings.TrimSpace(line[eq+1:])
+			open := strings.Index(rhs, "(")
+			close := strings.LastIndex(rhs, ")")
+			if open < 0 || close < open {
+				return nil, fmt.Errorf("bench line %d: malformed gate %q", lineNo, rhs)
+			}
+			fn := strings.ToUpper(strings.TrimSpace(rhs[:open]))
+			var args []string
+			for _, a := range strings.Split(rhs[open+1:close], ",") {
+				if a = strings.TrimSpace(a); a != "" {
+					args = append(args, a)
+				}
+			}
+			if _, dup := decls[out]; dup {
+				return nil, fmt.Errorf("bench line %d: signal %s defined twice", lineNo, out)
+			}
+			if fn == "DFF" {
+				if len(args) != 1 {
+					return nil, fmt.Errorf("bench line %d: DFF needs one input", lineNo)
+				}
+				latchPIs = append(latchPIs, out)
+				latchPOs = append(latchPOs, args[0])
+				continue
+			}
+			decls[out] = decl{fn: fn, inputs: args, line: lineNo}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	n := network.New(name)
+	for _, pi := range append(append([]string(nil), inputs...), latchPIs...) {
+		if n.FindGate(pi) == nil {
+			n.AddInput(pi)
+		}
+	}
+	var instantiate func(sig string, path []string) (*network.Gate, error)
+	instantiate = func(sig string, path []string) (*network.Gate, error) {
+		if g := n.FindGate(sig); g != nil {
+			return g, nil
+		}
+		d, ok := decls[sig]
+		if !ok {
+			return nil, fmt.Errorf("bench: signal %s is never defined", sig)
+		}
+		for _, p := range path {
+			if p == sig {
+				return nil, fmt.Errorf("bench: combinational cycle through %s", sig)
+			}
+		}
+		t, ok := typeByName[d.fn]
+		if !ok {
+			return nil, fmt.Errorf("bench line %d: unknown function %q", d.line, d.fn)
+		}
+		path = append(path, sig)
+		fanins := make([]*network.Gate, len(d.inputs))
+		for i, in := range d.inputs {
+			f, err := instantiate(in, path)
+			if err != nil {
+				return nil, err
+			}
+			fanins[i] = f
+		}
+		return n.AddGate(sig, t, fanins...), nil
+	}
+	for _, po := range append(append([]string(nil), outputs...), latchPOs...) {
+		g, err := instantiate(po, nil)
+		if err != nil {
+			return nil, err
+		}
+		n.MarkOutput(g)
+	}
+	return n, nil
+}
+
+func argOf(line string) (string, error) {
+	open := strings.Index(line, "(")
+	close := strings.LastIndex(line, ")")
+	if open < 0 || close < open {
+		return "", fmt.Errorf("malformed declaration %q", line)
+	}
+	sig := strings.TrimSpace(line[open+1 : close])
+	if sig == "" {
+		return "", fmt.Errorf("empty signal in %q", line)
+	}
+	return sig, nil
+}
+
+// Write emits n in .bench syntax. The output parses back to a functionally
+// identical network.
+func Write(w io.Writer, n *network.Network) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s\n", n.Name())
+	var piNames, poNames []string
+	for _, g := range n.Inputs() {
+		piNames = append(piNames, g.Name())
+	}
+	for _, g := range n.Outputs() {
+		poNames = append(poNames, g.Name())
+	}
+	sort.Strings(piNames)
+	sort.Strings(poNames)
+	for _, s := range piNames {
+		fmt.Fprintf(bw, "INPUT(%s)\n", s)
+	}
+	for _, s := range poNames {
+		fmt.Fprintf(bw, "OUTPUT(%s)\n", s)
+	}
+	for _, g := range n.TopoOrder() {
+		if g.IsInput() {
+			continue
+		}
+		fn, ok := nameByType[g.Type]
+		if !ok {
+			return fmt.Errorf("bench: cannot write gate type %v", g.Type)
+		}
+		names := make([]string, g.NumFanins())
+		for i, f := range g.Fanins() {
+			names[i] = f.Name()
+		}
+		fmt.Fprintf(bw, "%s = %s(%s)\n", g.Name(), fn, strings.Join(names, ", "))
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,396 @@
+// Package blif reads and writes the Berkeley Logic Interchange Format
+// subset needed for the benchmarks: .model/.inputs/.outputs/.names/.latch/
+// .end. Truth tables attached to .names are recognized as library gate
+// functions (AND, OR, XOR and their inversions, INV, BUF), matching how the
+// paper treats a mapped network.
+//
+// Sequential circuits are handled exactly as in §6 of the paper: "treated
+// as combinational ones with all sequential elements removed" — each latch
+// output becomes a primary input and each latch data input becomes a
+// primary output.
+package blif
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/logic"
+	"repro/internal/network"
+)
+
+// maxRecognizeInputs bounds truth-table expansion during gate recognition.
+const maxRecognizeInputs = 12
+
+type namesDecl struct {
+	inputs []string
+	output string
+	rows   []row
+	line   int
+}
+
+type row struct {
+	pattern string // one char per input: '0', '1', '-'
+	out     byte   // '0' or '1'
+}
+
+// Parse reads a BLIF model from r and returns the network.
+func Parse(r io.Reader) (*network.Network, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+
+	modelName := "blif"
+	var inputs, outputs []string
+	var decls []*namesDecl
+	var latchPIs, latchPOs []string
+	var cur *namesDecl
+	lineNo := 0
+
+	var pending string
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.Index(line, "#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(pending + " " + line)
+		pending = ""
+		if strings.HasSuffix(line, "\\") {
+			pending = strings.TrimSuffix(line, "\\")
+			continue
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case ".model":
+			if len(fields) > 1 {
+				modelName = fields[1]
+			}
+			cur = nil
+		case ".inputs":
+			inputs = append(inputs, fields[1:]...)
+			cur = nil
+		case ".outputs":
+			outputs = append(outputs, fields[1:]...)
+			cur = nil
+		case ".names":
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("blif line %d: .names needs at least an output", lineNo)
+			}
+			cur = &namesDecl{
+				inputs: fields[1 : len(fields)-1],
+				output: fields[len(fields)-1],
+				line:   lineNo,
+			}
+			decls = append(decls, cur)
+		case ".latch":
+			// .latch <input> <output> [type [control]] [init]
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("blif line %d: malformed .latch", lineNo)
+			}
+			latchPOs = append(latchPOs, fields[1])
+			latchPIs = append(latchPIs, fields[2])
+			cur = nil
+		case ".end":
+			cur = nil
+		case ".exdc", ".gate", ".mlatch", ".clock":
+			return nil, fmt.Errorf("blif line %d: unsupported construct %s", lineNo, fields[0])
+		default:
+			if strings.HasPrefix(fields[0], ".") {
+				// Ignore other dot-directives.
+				cur = nil
+				continue
+			}
+			if cur == nil {
+				return nil, fmt.Errorf("blif line %d: truth-table row outside .names", lineNo)
+			}
+			if err := cur.addRow(fields, lineNo); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return build(modelName, inputs, outputs, latchPIs, latchPOs, decls)
+}
+
+func (d *namesDecl) addRow(fields []string, lineNo int) error {
+	switch {
+	case len(d.inputs) == 0 && len(fields) == 1:
+		d.rows = append(d.rows, row{pattern: "", out: fields[0][0]})
+	case len(fields) == 2:
+		if len(fields[0]) != len(d.inputs) {
+			return fmt.Errorf("blif line %d: pattern width %d, want %d",
+				lineNo, len(fields[0]), len(d.inputs))
+		}
+		d.rows = append(d.rows, row{pattern: fields[0], out: fields[1][0]})
+	default:
+		return fmt.Errorf("blif line %d: malformed truth-table row", lineNo)
+	}
+	return nil
+}
+
+func build(name string, inputs, outputs, latchPIs, latchPOs []string, decls []*namesDecl) (*network.Network, error) {
+	n := network.New(name)
+	declByOut := make(map[string]*namesDecl, len(decls))
+	for _, d := range decls {
+		if declByOut[d.output] != nil {
+			return nil, fmt.Errorf("blif: signal %s defined twice", d.output)
+		}
+		declByOut[d.output] = d
+	}
+	for _, pi := range append(append([]string(nil), inputs...), latchPIs...) {
+		if n.FindGate(pi) == nil {
+			n.AddInput(pi)
+		}
+	}
+
+	var instantiate func(string, []string) (*network.Gate, error)
+	instantiate = func(sig string, path []string) (*network.Gate, error) {
+		if g := n.FindGate(sig); g != nil {
+			return g, nil
+		}
+		d := declByOut[sig]
+		if d == nil {
+			return nil, fmt.Errorf("blif: signal %s is never defined", sig)
+		}
+		for _, p := range path {
+			if p == sig {
+				return nil, fmt.Errorf("blif: combinational cycle through %s", sig)
+			}
+		}
+		path = append(path, sig)
+		fanins := make([]*network.Gate, len(d.inputs))
+		for i, in := range d.inputs {
+			f, err := instantiate(in, path)
+			if err != nil {
+				return nil, err
+			}
+			fanins[i] = f
+		}
+		t, err := recognize(d)
+		if err != nil {
+			return nil, err
+		}
+		return n.AddGate(sig, t, fanins...), nil
+	}
+
+	for _, po := range append(append([]string(nil), outputs...), latchPOs...) {
+		g, err := instantiate(po, nil)
+		if err != nil {
+			return nil, err
+		}
+		n.MarkOutput(g)
+	}
+	return n, nil
+}
+
+// recognize determines which library gate function a truth table realizes.
+// Functions that are not library gates are an error — this parser targets
+// mapped netlists.
+func recognize(d *namesDecl) (logic.GateType, error) {
+	k := len(d.inputs)
+	if k == 0 {
+		return logic.None, fmt.Errorf("blif line %d: constant node %s unsupported (mapped netlists only)", d.line, d.output)
+	}
+	if k > maxRecognizeInputs {
+		// Only the canonical single-row forms are recognizable without
+		// expansion.
+		if t, ok := recognizeCanonical(d); ok {
+			return t, nil
+		}
+		return logic.None, fmt.Errorf("blif line %d: %d-input node %s too wide to recognize", d.line, k, d.output)
+	}
+	tt, err := expand(d)
+	if err != nil {
+		return logic.None, err
+	}
+	for _, t := range []logic.GateType{logic.Buf, logic.Inv, logic.And,
+		logic.Or, logic.Nand, logic.Nor, logic.Xor, logic.Xnor} {
+		if t.IsUnary() && k != 1 {
+			continue
+		}
+		if !t.IsUnary() && k < 2 {
+			continue
+		}
+		if matches(tt, t, k) {
+			return t, nil
+		}
+	}
+	return logic.None, fmt.Errorf("blif line %d: node %s is not a library gate function", d.line, d.output)
+}
+
+// recognizeCanonical handles the single-row wide forms emitted by Write.
+func recognizeCanonical(d *namesDecl) (logic.GateType, bool) {
+	if len(d.rows) != 1 {
+		return logic.None, false
+	}
+	r := d.rows[0]
+	all := func(c byte) bool {
+		for i := 0; i < len(r.pattern); i++ {
+			if r.pattern[i] != c {
+				return false
+			}
+		}
+		return true
+	}
+	switch {
+	case all('1') && r.out == '1':
+		return logic.And, true
+	case all('1') && r.out == '0':
+		return logic.Nand, true
+	case all('0') && r.out == '0':
+		return logic.Or, true
+	case all('0') && r.out == '1':
+		return logic.Nor, true
+	}
+	return logic.None, false
+}
+
+// expand evaluates the cover into a full truth table of 2^k bits. BLIF
+// semantics: if all rows have output '1' they are the ON-set; if all '0'
+// the OFF-set; mixing is rejected.
+func expand(d *namesDecl) ([]bool, error) {
+	k := len(d.inputs)
+	size := 1 << k
+	if len(d.rows) == 0 {
+		return nil, fmt.Errorf("blif line %d: node %s has an empty cover (constant 0 unsupported)", d.line, d.output)
+	}
+	onSet := d.rows[0].out == '1'
+	tt := make([]bool, size)
+	if !onSet {
+		for i := range tt {
+			tt[i] = true
+		}
+	}
+	for _, r := range d.rows {
+		if (r.out == '1') != onSet {
+			return nil, fmt.Errorf("blif line %d: node %s mixes ON and OFF set rows", d.line, d.output)
+		}
+		// Enumerate minterm indices covered by the cube.
+		var fill func(pos int, idx int)
+		fill = func(pos, idx int) {
+			if pos == k {
+				tt[idx] = onSet
+				return
+			}
+			// Input i maps to truth-table bit position i.
+			switch r.pattern[pos] {
+			case '0':
+				fill(pos+1, idx)
+			case '1':
+				fill(pos+1, idx|1<<pos)
+			case '-':
+				fill(pos+1, idx)
+				fill(pos+1, idx|1<<pos)
+			}
+		}
+		fill(0, 0)
+	}
+	return tt, nil
+}
+
+func matches(tt []bool, t logic.GateType, k int) bool {
+	ins := make([]logic.Bit, k)
+	for idx := range tt {
+		for i := 0; i < k; i++ {
+			ins[i] = logic.Bit(idx >> i & 1)
+		}
+		want := t.Eval(ins) == 1
+		if tt[idx] != want {
+			return false
+		}
+	}
+	return true
+}
+
+// Write emits n as a BLIF model. Gate functions are written as canonical
+// covers: single-row for the AND/OR families, full parity tables for the
+// XOR family. The output parses back (see Parse) to a functionally
+// identical network.
+func Write(w io.Writer, n *network.Network) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, ".model %s\n", n.Name())
+
+	writeNameList(bw, ".inputs", gateNames(n.Inputs()))
+	writeNameList(bw, ".outputs", gateNames(n.Outputs()))
+
+	for _, g := range n.TopoOrder() {
+		if g.IsInput() {
+			continue
+		}
+		fmt.Fprintf(bw, ".names")
+		for _, f := range g.Fanins() {
+			fmt.Fprintf(bw, " %s", f.Name())
+		}
+		fmt.Fprintf(bw, " %s\n", g.Name())
+		k := g.NumFanins()
+		switch g.Type {
+		case logic.Buf:
+			fmt.Fprintln(bw, "1 1")
+		case logic.Inv:
+			fmt.Fprintln(bw, "0 1")
+		case logic.And:
+			fmt.Fprintf(bw, "%s 1\n", strings.Repeat("1", k))
+		case logic.Nand:
+			fmt.Fprintf(bw, "%s 0\n", strings.Repeat("1", k))
+		case logic.Or:
+			fmt.Fprintf(bw, "%s 0\n", strings.Repeat("0", k))
+		case logic.Nor:
+			fmt.Fprintf(bw, "%s 1\n", strings.Repeat("0", k))
+		case logic.Xor, logic.Xnor:
+			wantParity := 1
+			if g.Type == logic.Xnor {
+				wantParity = 0
+			}
+			for idx := 0; idx < 1<<k; idx++ {
+				ones := 0
+				var pat strings.Builder
+				for i := 0; i < k; i++ {
+					if idx>>i&1 == 1 {
+						pat.WriteByte('1')
+						ones++
+					} else {
+						pat.WriteByte('0')
+					}
+				}
+				if ones%2 == wantParity {
+					fmt.Fprintf(bw, "%s 1\n", pat.String())
+				}
+			}
+		default:
+			return fmt.Errorf("blif: cannot write gate type %s", g.Type)
+		}
+	}
+	fmt.Fprintln(bw, ".end")
+	return bw.Flush()
+}
+
+func gateNames(gs []*network.Gate) []string {
+	names := make([]string, len(gs))
+	for i, g := range gs {
+		names[i] = g.Name()
+	}
+	return names
+}
+
+func writeNameList(w io.Writer, directive string, names []string) {
+	sorted := append([]string(nil), names...)
+	sort.Strings(sorted)
+	fmt.Fprintf(w, "%s", directive)
+	col := len(directive)
+	for _, s := range sorted {
+		if col+len(s)+1 > 76 {
+			fmt.Fprintf(w, " \\\n ")
+			col = 1
+		}
+		fmt.Fprintf(w, " %s", s)
+		col += len(s) + 1
+	}
+	fmt.Fprintln(w)
+}

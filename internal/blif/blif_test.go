@@ -1,0 +1,278 @@
+package blif
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/logic"
+	"repro/internal/network"
+	"repro/internal/sim"
+)
+
+const sampleBlif = `
+# a small mapped circuit
+.model sample
+.inputs a b c
+.outputs f g
+.names a b t1
+11 1
+.names t1 c f
+00 1
+.names a b g
+01 1
+10 1
+.end
+`
+
+func TestParseSample(t *testing.T) {
+	n, err := Parse(strings.NewReader(sampleBlif))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Name() != "sample" {
+		t.Fatalf("model name %q", n.Name())
+	}
+	if len(n.Inputs()) != 3 || len(n.Outputs()) != 2 {
+		t.Fatal("interface size")
+	}
+	if n.FindGate("t1").Type != logic.And {
+		t.Fatalf("t1 = %v want AND", n.FindGate("t1").Type)
+	}
+	if n.FindGate("f").Type != logic.Nor {
+		t.Fatalf("f = %v want NOR", n.FindGate("f").Type)
+	}
+	if n.FindGate("g").Type != logic.Xor {
+		t.Fatalf("g = %v want XOR", n.FindGate("g").Type)
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseRecognizesAllFunctions(t *testing.T) {
+	src := `
+.model fns
+.inputs a b
+.outputs o1 o2 o3 o4 o5 o6 o7 o8
+.names a b o1
+11 1
+.names a b o2
+11 0
+.names a b o3
+00 0
+.names a b o4
+00 1
+.names a b o5
+01 1
+10 1
+.names a b o6
+00 1
+11 1
+.names a o7
+0 1
+.names a o8
+1 1
+.end
+`
+	n, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]logic.GateType{
+		"o1": logic.And, "o2": logic.Nand, "o3": logic.Or, "o4": logic.Nor,
+		"o5": logic.Xor, "o6": logic.Xnor, "o7": logic.Inv, "o8": logic.Buf,
+	}
+	for name, wt := range want {
+		if got := n.FindGate(name).Type; got != wt {
+			t.Errorf("%s recognized as %v, want %v", name, got, wt)
+		}
+	}
+}
+
+func TestParseOrFromOnSetCubes(t *testing.T) {
+	// OR written as ON-set cubes with don't-cares.
+	src := `
+.model orx
+.inputs a b c
+.outputs f
+.names a b c f
+1-- 1
+-1- 1
+--1 1
+.end
+`
+	n, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.FindGate("f").Type != logic.Or {
+		t.Fatalf("f = %v want OR", n.FindGate("f").Type)
+	}
+}
+
+func TestParseLatchRemoval(t *testing.T) {
+	// d flows into a latch whose output q feeds logic: q becomes a PI and
+	// d becomes a PO, as the paper prescribes for sequential benchmarks.
+	src := `
+.model seq
+.inputs a
+.outputs f
+.latch d q 0
+.names a q d
+11 1
+.names q f
+0 1
+.end
+`
+	n, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.FindGate("q") == nil || !n.FindGate("q").IsInput() {
+		t.Fatal("latch output q should be a PI")
+	}
+	if !n.FindGate("d").PO {
+		t.Fatal("latch input d should be a PO")
+	}
+	if len(n.Inputs()) != 2 || len(n.Outputs()) != 2 {
+		t.Fatalf("interface %d/%d", len(n.Inputs()), len(n.Outputs()))
+	}
+}
+
+func TestParseContinuationLines(t *testing.T) {
+	src := ".model c\n.inputs a \\\nb\n.outputs f\n.names a b f\n11 1\n.end\n"
+	n, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Inputs()) != 2 {
+		t.Fatal("continuation line not joined")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"undefined signal": ".model m\n.inputs a\n.outputs f\n.end\n",
+		"cycle":            ".model m\n.inputs a\n.outputs f\n.names f a f\n11 1\n.end\n",
+		"double def":       ".model m\n.inputs a b\n.outputs f\n.names a f\n1 1\n.names b f\n1 1\n.end\n",
+		"non-gate":         ".model m\n.inputs a b c\n.outputs f\n.names a b c f\n110 1\n001 1\n.end\n",
+		"constant":         ".model m\n.inputs a\n.outputs f\n.names f\n1\n.end\n",
+		"row outside":      ".model m\n.inputs a\n.outputs f\n11 1\n.end\n",
+		"bad width":        ".model m\n.inputs a b\n.outputs f\n.names a b f\n111 1\n.end\n",
+		"mixed sets":       ".model m\n.inputs a b\n.outputs f\n.names a b f\n11 1\n00 0\n.end\n",
+		"unsupported":      ".model m\n.inputs a\n.outputs f\n.gate NAND2 A=a B=a O=f\n.end\n",
+	}
+	for label, src := range cases {
+		if _, err := Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: expected parse error", label)
+		}
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	n := network.New("rt")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	c := n.AddInput("c")
+	d := n.AddInput("d")
+	g1 := n.AddGate("g1", logic.Nand, a, b)
+	g2 := n.AddGate("g2", logic.Xor, c, d, a)
+	g3 := n.AddGate("g3", logic.Nor, g1, g2)
+	g4 := n.AddGate("g4", logic.Xnor, g1, g2)
+	g5 := n.AddGate("g5", logic.Inv, g3)
+	f := n.AddGate("f", logic.And, g4, g5, b)
+	n.MarkOutput(f)
+	n.MarkOutput(g2)
+
+	var buf bytes.Buffer
+	if err := Write(&buf, n); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, buf.String())
+	}
+	ce, err := sim.EquivalentExhaustive(n, back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ce != nil {
+		t.Fatalf("round trip changed function: %v", ce)
+	}
+}
+
+func TestWriteCanonicalWideGate(t *testing.T) {
+	// Wide AND/NOR write as single rows and parse back via the canonical
+	// recognizer path (>maxRecognizeInputs inputs).
+	n := network.New("wide")
+	var ins []*network.Gate
+	for i := 0; i < maxRecognizeInputs+2; i++ {
+		ins = append(ins, n.AddInput(fmt.Sprintf("x%02d", i)))
+	}
+	f := n.AddGate("f", logic.Nand, ins...)
+	n.MarkOutput(f)
+	var buf bytes.Buffer
+	if err := Write(&buf, n); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.FindGate("f").Type != logic.Nand {
+		t.Fatalf("wide gate parsed as %v", back.FindGate("f").Type)
+	}
+}
+
+// Property: round-tripping random circuits through BLIF preserves function.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		n := randomCircuit(seed, 5, 14)
+		var buf bytes.Buffer
+		if err := Write(&buf, n); err != nil {
+			return false
+		}
+		back, err := Parse(&buf)
+		if err != nil {
+			return false
+		}
+		ce, err := sim.EquivalentExhaustive(n, back)
+		return err == nil && ce == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomCircuit(seed int64, numIn, numGates int) *network.Network {
+	n := network.New("rand")
+	state := uint64(seed)*0x9e3779b97f4a7c15 + 12345
+	next := func(mod int) int {
+		state = state*6364136223846793005 + 1442695040888963407
+		return int(state>>33) % mod
+	}
+	pool := make([]*network.Gate, 0, numIn+numGates)
+	for i := 0; i < numIn; i++ {
+		pool = append(pool, n.AddInput(fmt.Sprintf("x%d", i)))
+	}
+	types := []logic.GateType{logic.And, logic.Or, logic.Xor, logic.Nand,
+		logic.Nor, logic.Xnor, logic.Inv, logic.Buf}
+	for i := 0; i < numGates; i++ {
+		tt := types[next(len(types))]
+		k := 2 + next(3)
+		if tt.IsUnary() {
+			k = 1
+		}
+		var fanins []*network.Gate
+		for j := 0; j < k; j++ {
+			fanins = append(fanins, pool[next(len(pool))])
+		}
+		pool = append(pool, n.AddGate(fmt.Sprintf("g%d", i), tt, fanins...))
+	}
+	n.MarkOutput(pool[len(pool)-1])
+	n.MarkOutput(pool[len(pool)-2])
+	return n
+}

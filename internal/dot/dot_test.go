@@ -1,0 +1,70 @@
+package dot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/network"
+	"repro/internal/supergate"
+)
+
+func sample() *network.Network {
+	n := network.New("dotsample")
+	a, b, c := n.AddInput("a"), n.AddInput("b"), n.AddInput("c")
+	n1 := n.AddGate("n1", logic.Nor, a, b)
+	f := n.AddGate("f", logic.Nand, n1, c)
+	n.MarkOutput(f)
+	return n
+}
+
+func TestWritePlain(t *testing.T) {
+	n := sample()
+	var buf bytes.Buffer
+	if err := Write(&buf, n, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"digraph", "NAND", "NOR", "->", "ellipse"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// One edge per in-pin: 2 + 2 = 4 edges.
+	if got := strings.Count(out, "->"); got != 4 {
+		t.Fatalf("%d edges, want 4", got)
+	}
+}
+
+func TestWriteClustered(t *testing.T) {
+	n := sample()
+	var buf bytes.Buffer
+	if err := Write(&buf, n, Options{ClusterSupergates: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "subgraph cluster_0") {
+		t.Fatalf("no supergate cluster:\n%s", out)
+	}
+	if !strings.Contains(out, "and-or supergate @f (3 inputs)") {
+		t.Fatalf("cluster label wrong:\n%s", out)
+	}
+}
+
+func TestWriteWithProvidedExtractionAndPlacement(t *testing.T) {
+	n := sample()
+	n.Gates(func(g *network.Gate) { g.X, g.Y, g.Placed = 10, 20, true })
+	ext := supergate.Extract(n)
+	var buf bytes.Buffer
+	if err := Write(&buf, n, Options{ClusterSupergates: true, Extraction: ext, ShowPlacement: true}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "(10,20)") {
+		t.Fatal("placement annotation missing")
+	}
+	// Every gate appears exactly once as a node definition.
+	if got := strings.Count(buf.String(), "n1 ["); got < 1 {
+		t.Fatal("nodes missing")
+	}
+}

@@ -1,0 +1,167 @@
+// Package fanout implements the buffer-insertion stage the paper names as
+// the missing piece of its backend flow (§6: "the SIS mapper often
+// generates very large fanout nets... fanout optimization should also be
+// included into our formulation"; §7 lists buffer insertion among the
+// techniques to integrate).
+//
+// After placement, a heavily loaded driver is relieved by splitting its
+// sink set geometrically: the sinks farthest from the driver are regrouped
+// behind a buffer placed at their center of gravity. Like the inverters of
+// inverting swaps, the buffer is the only new cell; every existing cell
+// keeps its location, preserving the minimum-perturbation contract of the
+// whole flow.
+package fanout
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/library"
+	"repro/internal/logic"
+	"repro/internal/network"
+	"repro/internal/sta"
+)
+
+const eps = 1e-9
+
+// Options controls buffer insertion.
+type Options struct {
+	// Clock is the PO required time; <= 0 freezes the initial critical
+	// delay.
+	Clock float64
+	// MaxFanout is the sink count above which a net is a split candidate
+	// (default 8).
+	MaxFanout int
+	// MaxBuffers bounds insertions (default 64).
+	MaxBuffers int
+	// BufferSize is the implementation index of inserted buffers
+	// (default: strongest).
+	BufferSize int
+}
+
+// Stats reports a buffering run.
+type Stats struct {
+	BuffersAdded int
+	InitialDelay float64
+	FinalDelay   float64
+}
+
+// Optimize inserts buffers on overloaded nets while the critical delay
+// improves. Every insertion is guarded by a full timing analysis and
+// reverted when it does not help.
+func Optimize(n *network.Network, lib *library.Library, o Options) Stats {
+	if o.MaxFanout <= 0 {
+		o.MaxFanout = 8
+	}
+	if o.MaxBuffers <= 0 {
+		o.MaxBuffers = 64
+	}
+	if o.BufferSize <= 0 {
+		o.BufferSize = library.NumSizes - 1
+	}
+	tm := sta.Analyze(n, lib, o.Clock)
+	clock := tm.Clock
+	st := Stats{InitialDelay: tm.CriticalDelay, FinalDelay: tm.CriticalDelay}
+
+	for st.BuffersAdded < o.MaxBuffers {
+		tm = sta.Analyze(n, lib, clock)
+		d := worstOverloadedDriver(n, tm, o.MaxFanout)
+		if d == nil {
+			break
+		}
+		before := tm.CriticalDelay
+		buf, undo := split(n, d, o.BufferSize)
+		if buf == nil {
+			break
+		}
+		after := sta.Analyze(n, lib, clock)
+		if after.CriticalDelay >= before-eps {
+			undo()
+			break
+		}
+		st.BuffersAdded++
+		st.FinalDelay = after.CriticalDelay
+	}
+	return st
+}
+
+// worstOverloadedDriver returns the minimum-slack gate whose fanout
+// exceeds the threshold, or nil.
+func worstOverloadedDriver(n *network.Network, tm *sta.Timing, maxFanout int) *network.Gate {
+	var worst *network.Gate
+	worstSlack := math.MaxFloat64
+	n.Gates(func(g *network.Gate) {
+		if g.NumFanouts() <= maxFanout {
+			return
+		}
+		if s := tm.Slack(g); s < worstSlack {
+			worstSlack = s
+			worst = g
+		}
+	})
+	return worst
+}
+
+// split moves the farther half of d's sink pins behind a fresh buffer
+// placed at their center of gravity. It returns the buffer and an undo, or
+// nil when the net cannot be split (e.g. unplaced cells).
+func split(n *network.Network, d *network.Gate, bufSize int) (*network.Gate, func()) {
+	if !d.Placed {
+		return nil, nil
+	}
+	// Collect sink pins with distances.
+	type sinkPin struct {
+		pin  network.Pin
+		dist float64
+	}
+	var pins []sinkPin
+	for _, s := range d.Fanouts() {
+		if !s.Placed {
+			return nil, nil
+		}
+	}
+	seen := map[*network.Gate]bool{}
+	for _, s := range d.Fanouts() {
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		for i := 0; i < s.NumFanins(); i++ {
+			if s.Fanin(i) != d {
+				continue
+			}
+			dist := math.Abs(s.X-d.X) + math.Abs(s.Y-d.Y)
+			pins = append(pins, sinkPin{network.Pin{Gate: s, Index: i}, dist})
+		}
+	}
+	if len(pins) < 4 {
+		return nil, nil
+	}
+	sort.SliceStable(pins, func(i, j int) bool { return pins[i].dist > pins[j].dist })
+	far := pins[:len(pins)/2]
+
+	// Buffer at the far group's center of gravity.
+	var cx, cy float64
+	for _, p := range far {
+		cx += p.pin.Gate.X
+		cy += p.pin.Gate.Y
+	}
+	cx /= float64(len(far))
+	cy /= float64(len(far))
+
+	buf := n.AddGate(n.FreshName(d.Name()+"_buf"), logic.Buf, d)
+	buf.X, buf.Y, buf.Placed = cx, cy, true
+	buf.SizeIdx = bufSize
+	moved := make([]network.Pin, 0, len(far))
+	for _, p := range far {
+		n.ReplaceFanin(p.pin.Gate, p.pin.Index, buf)
+		moved = append(moved, p.pin)
+	}
+	undo := func() {
+		for _, p := range moved {
+			n.ReplaceFanin(p.Gate, p.Index, d)
+		}
+		n.RemoveGate(buf)
+	}
+	return buf, undo
+}

@@ -1,0 +1,137 @@
+package fanout
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/library"
+	"repro/internal/logic"
+	"repro/internal/network"
+	"repro/internal/place"
+	"repro/internal/sim"
+	"repro/internal/sizing"
+	"repro/internal/sta"
+)
+
+func lib() *library.Library { return library.Default035() }
+
+// heavyNet builds one weak driver with 24 spread-out sinks — the §6
+// "large fanout net" pathology.
+func heavyNet() *network.Network {
+	n := network.New("heavy")
+	a, b := n.AddInput("a"), n.AddInput("b")
+	d := n.AddGate("d", logic.Nand, a, b)
+	for i := 0; i < 24; i++ {
+		s := n.AddGate(fmt.Sprintf("s%d", i), logic.Inv, d)
+		n.MarkOutput(s)
+		// Sinks fan out across a 2 mm strip; the far ones are slow.
+		s.X, s.Y, s.Placed = float64(i)*80, float64(i%3)*13, true
+	}
+	a.X, a.Y, a.Placed = 0, 0, true
+	b.X, b.Y, b.Placed = 0, 13, true
+	d.X, d.Y, d.Placed = 0, 26, true
+	return n
+}
+
+func TestBufferInsertionImprovesHeavyNet(t *testing.T) {
+	n := heavyNet()
+	orig, _ := n.Clone()
+	locs := place.Snapshot(n)
+	st := Optimize(n, lib(), Options{})
+	if st.BuffersAdded == 0 {
+		t.Fatal("no buffers inserted on a 24-sink net")
+	}
+	if st.FinalDelay >= st.InitialDelay {
+		t.Fatalf("buffering did not help: %v -> %v", st.InitialDelay, st.FinalDelay)
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ce, err := sim.EquivalentExhaustive(orig, n); err != nil || ce != nil {
+		t.Fatalf("buffering changed function: %v %v", ce, err)
+	}
+	// Existing cells never move.
+	if name, same := place.SameLocations(locs, place.Snapshot(n)); !same {
+		t.Fatalf("buffering moved cell %s", name)
+	}
+	// The inserted buffers are placed and library-legal.
+	n.Gates(func(g *network.Gate) {
+		if g.Type == logic.Buf && !g.Placed {
+			t.Fatalf("unplaced buffer %s", g)
+		}
+	})
+}
+
+func TestNoActionBelowThreshold(t *testing.T) {
+	n := network.New("small")
+	a, b := n.AddInput("a"), n.AddInput("b")
+	d := n.AddGate("d", logic.Nand, a, b)
+	s := n.AddGate("s", logic.Inv, d)
+	n.MarkOutput(s)
+	st := Optimize(n, lib(), Options{})
+	if st.BuffersAdded != 0 {
+		t.Fatal("buffered a tiny net")
+	}
+}
+
+func TestUnplacedNetworkIsLeftAlone(t *testing.T) {
+	n := network.New("unplaced")
+	a, b := n.AddInput("a"), n.AddInput("b")
+	d := n.AddGate("d", logic.Nand, a, b)
+	for i := 0; i < 16; i++ {
+		s := n.AddGate(fmt.Sprintf("s%d", i), logic.Inv, d)
+		n.MarkOutput(s)
+	}
+	st := Optimize(n, lib(), Options{})
+	if st.BuffersAdded != 0 {
+		t.Fatal("buffered an unplaced design (no geometry to cluster by)")
+	}
+}
+
+func TestGuardRevertsUselessSplit(t *testing.T) {
+	// All sinks at the same point: splitting cannot help, so the guard
+	// must revert and stop.
+	n := network.New("samepoint")
+	a, b := n.AddInput("a"), n.AddInput("b")
+	d := n.AddGate("d", logic.Nand, a, b)
+	for i := 0; i < 12; i++ {
+		s := n.AddGate(fmt.Sprintf("s%d", i), logic.Inv, d)
+		n.MarkOutput(s)
+		s.X, s.Y, s.Placed = 100, 100, true
+	}
+	a.Placed, b.Placed, d.Placed = true, true, true
+	before := n.NumGates()
+	Optimize(n, lib(), Options{})
+	if n.NumGates() > before+1 {
+		t.Fatalf("runaway buffering: %d -> %d gates", before, n.NumGates())
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOnGeneratedBenchmark(t *testing.T) {
+	n, err := gen.Generate("s5378")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := lib()
+	place.Place(n, l, place.Options{Seed: 1, MovesPerCell: 10})
+	sizing.SeedForLoad(n, l, 0)
+	orig, _ := n.Clone()
+	before := sta.Analyze(n, l, 0).CriticalDelay
+
+	st := Optimize(n, l, Options{MaxBuffers: 32})
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	after := sta.Analyze(n, l, 0).CriticalDelay
+	if after > before+1e-9 {
+		t.Fatalf("buffering regressed the benchmark: %v -> %v", before, after)
+	}
+	if ce, err := sim.EquivalentRandom(orig, n, 16, 9); err != nil || ce != nil {
+		t.Fatalf("function changed: %v %v", ce, err)
+	}
+	_ = st
+}

@@ -1,0 +1,182 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/library"
+	"repro/internal/logic"
+	"repro/internal/network"
+	"repro/internal/sim"
+	"repro/internal/techmap"
+)
+
+func TestBenchmarksList(t *testing.T) {
+	names := Benchmarks()
+	if len(names) != 19 {
+		t.Fatalf("Table 1 has 19 circuits, got %d", len(names))
+	}
+	if names[0] != "alu2" || names[len(names)-1] != "s38417" {
+		t.Fatal("table order wrong")
+	}
+}
+
+func TestGenerateUnknown(t *testing.T) {
+	if _, err := Generate("nosuch"); err == nil {
+		t.Fatal("expected error for unknown benchmark")
+	}
+}
+
+func TestGenerateAllBenchmarksValidAndMapped(t *testing.T) {
+	lib := library.Default035()
+	for _, name := range Benchmarks() {
+		n, err := Generate(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := n.Validate(); err != nil {
+			t.Fatalf("%s: invalid network: %v", name, err)
+		}
+		if err := techmap.Check(n, lib); err != nil {
+			t.Fatalf("%s: not library-mapped: %v", name, err)
+		}
+		// Gate count within ±10% of the paper's column 2.
+		want, ok := TableGateCount(name)
+		if !ok {
+			t.Fatalf("%s: no table count", name)
+		}
+		got := n.NumLogicGates()
+		lo, hi := want*90/100, want*110/100
+		if got < lo || got > hi {
+			t.Errorf("%s: %d gates, paper has %d (allowed %d..%d)", name, got, want, lo, hi)
+		}
+		// No dangling internal gates.
+		n.Gates(func(g *network.Gate) {
+			if !g.IsInput() && g.NumFanouts() == 0 && !g.PO {
+				t.Errorf("%s: dangling gate %s", name, g)
+			}
+		})
+		if len(n.Outputs()) == 0 {
+			t.Errorf("%s: no outputs", name)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate("alu2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate("alu2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumGates() != b.NumGates() {
+		t.Fatal("gate counts differ between runs")
+	}
+	if sim.Signature(a, 8, 99) != sim.Signature(b, 8, 99) {
+		t.Fatal("generation is not deterministic")
+	}
+}
+
+func TestXorRichProfiles(t *testing.T) {
+	// c499/c1355/c6288 must be XOR-rich; control circuits must not be.
+	frac := func(name string) float64 {
+		n, err := Generate(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xor, total := 0, 0
+		n.Gates(func(g *network.Gate) {
+			if g.IsInput() {
+				return
+			}
+			total++
+			if g.Type.IsXorLike() {
+				xor++
+			}
+		})
+		return float64(xor) / float64(total)
+	}
+	for _, name := range []string{"c499", "c1355"} {
+		if f := frac(name); f < 0.25 {
+			t.Errorf("%s: XOR fraction %.2f, want >= 0.25", name, f)
+		}
+	}
+	// The multiplier array is NAND/INV-dominated (like the real c6288),
+	// but its full-adder sums still make it more XOR-rich than control
+	// logic.
+	if f := frac("c6288"); f < 0.12 {
+		t.Errorf("c6288: XOR fraction %.2f, want >= 0.12", f)
+	}
+	for _, name := range []string{"k2", "i8", "x3"} {
+		if f := frac(name); f > 0.15 {
+			t.Errorf("%s: XOR fraction %.2f, want <= 0.15", name, f)
+		}
+	}
+}
+
+func TestFromProfileSmall(t *testing.T) {
+	p := Profile{Name: "tiny", Seed: 7, NumPI: 6, TargetGates: 40,
+		XorFrac: 0.2, NorFrac: 0.4, InvFrac: 0.1, Locality: 0.5, MaxFanin: 3}
+	n := FromProfile(p)
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.NumLogicGates(); got < 40 || got > 44 {
+		t.Fatalf("gate count %d, want ~40", got)
+	}
+}
+
+func TestAdderBlockIsArithmetic(t *testing.T) {
+	// A profile that is purely one adder must contain XOR3 gates (sums)
+	// and NAND majority structure (carries).
+	p := Profile{Name: "add", Seed: 3, NumPI: 17, TargetGates: 1,
+		AdderBits: []int{8}, Locality: 0.5, MaxFanin: 3}
+	n := FromProfile(p)
+	xor3, nand3 := 0, 0
+	n.Gates(func(g *network.Gate) {
+		if g.Type == logic.Xor && g.NumFanins() == 3 {
+			xor3++
+		}
+		if g.Type == logic.Nand && g.NumFanins() == 3 {
+			nand3++
+		}
+	})
+	if xor3 < 8 || nand3 < 8 {
+		t.Fatalf("adder structure missing: %d XOR3, %d NAND3", xor3, nand3)
+	}
+}
+
+func TestPLACreatesWideOrPlane(t *testing.T) {
+	p := Profile{Name: "pla", Seed: 11, NumPI: 30, TargetGates: 1,
+		PLATerms: 20, PLALits: 8, Locality: 0.5, MaxFanin: 4}
+	n := FromProfile(p)
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The OR plane reduces 20 terms with fanin-4 NOR/INV levels; there
+	// must be NOR gates whose fanins are themselves INV/NOR outputs.
+	nor4 := 0
+	n.Gates(func(g *network.Gate) {
+		if g.Type == logic.Nor && g.NumFanins() == 4 {
+			nor4++
+		}
+	})
+	if nor4 < 5 {
+		t.Fatalf("PLA OR-plane too small: %d NOR4 gates", nor4)
+	}
+}
+
+func TestRedundancyInjection(t *testing.T) {
+	// Absorption AND(g, OR(g,x)) ≡ g: simulate to confirm the injected
+	// block's output equals its stem input.
+	p := Profile{Name: "red", Seed: 5, NumPI: 4, TargetGates: 3,
+		Redundant: 1, Locality: 0.5, MaxFanin: 2}
+	n := FromProfile(p)
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if n.NumLogicGates() < 3 {
+		t.Fatal("redundancy block missing")
+	}
+}

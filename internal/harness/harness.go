@@ -1,0 +1,222 @@
+// Package harness drives the paper's experimental flow end to end and
+// regenerates Table 1: for each benchmark it builds the mapped netlist,
+// places it, runs the three optimizers (gsg, GS, gsg+GS) on independent
+// copies of the same placement, and reports the paper's columns — initial
+// critical-path delay, per-optimizer delay improvement and CPU time, area
+// deltas, non-trivial supergate coverage, the largest supergate's input
+// count L, and the number of redundancies found during extraction.
+//
+// Every optimized network is verified against its pre-optimization copy by
+// random simulation; a verification failure fails the run loudly rather
+// than producing a bogus row.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/library"
+	"repro/internal/opt"
+	"repro/internal/place"
+	"repro/internal/sim"
+	"repro/internal/sizing"
+)
+
+// Config controls a harness run.
+type Config struct {
+	// Benchmarks lists the circuits; nil means all of Table 1.
+	Benchmarks []string
+	// PlaceSeed seeds the placer (default 1).
+	PlaceSeed int64
+	// PlaceMoves is the annealer effort per cell (default 30).
+	PlaceMoves int
+	// MaxIters bounds optimizer iterations (default 6).
+	MaxIters int
+	// VerifyRounds is the number of 64-pattern random equivalence rounds
+	// per optimizer (default 16; 0 disables verification).
+	VerifyRounds int
+	// Progress, when non-nil, receives one line per benchmark stage.
+	Progress io.Writer
+}
+
+func (c *Config) fill() {
+	if c.Benchmarks == nil {
+		c.Benchmarks = gen.Benchmarks()
+	}
+	if c.PlaceSeed == 0 {
+		c.PlaceSeed = 1
+	}
+	if c.PlaceMoves == 0 {
+		c.PlaceMoves = 30
+	}
+	if c.MaxIters == 0 {
+		c.MaxIters = 6
+	}
+	if c.VerifyRounds == 0 {
+		c.VerifyRounds = 16
+	}
+}
+
+// Row is one line of Table 1.
+type Row struct {
+	Name  string
+	Gates int
+	// InitNS is the critical path delay after placement, ns (column 3).
+	InitNS float64
+	// Delay improvements in percent (columns 4-6).
+	GsgPct, GSPct, GsgGSPct float64
+	// CPU seconds (columns 7-9).
+	GsgCPU, GSCPU, GsgGSCPU float64
+	// Area deltas in percent (columns 10-11).
+	GSAreaPct, GsgGSAreaPct float64
+	// CovPct is the percentage of gates covered by non-trivial
+	// supergates (column 12).
+	CovPct float64
+	// L is the input count of the largest supergate (column 13).
+	L int
+	// Red is the number of redundancies found (column 14).
+	Red int
+	// Verified reports that all three optimized networks are
+	// simulation-equivalent to the placed original.
+	Verified bool
+}
+
+// RunBenchmark produces one Table 1 row.
+func RunBenchmark(name string, cfg Config) (Row, error) {
+	cfg.fill()
+	lib := library.Default035()
+	base, err := gen.Generate(name)
+	if err != nil {
+		return Row{}, err
+	}
+	place.Place(base, lib, place.Options{Seed: cfg.PlaceSeed, MovesPerCell: cfg.PlaceMoves})
+	// Re-seed implementations from the real post-placement loads, as the
+	// paper's timing-driven mapper would have: the optimizers then start
+	// from a load-sized netlist (GS refines rather than rescues).
+	sizing.SeedForLoad(base, lib, 0)
+	row := Row{Name: name, Gates: base.NumLogicGates(), Verified: true}
+
+	progress := func(format string, args ...interface{}) {
+		if cfg.Progress != nil {
+			fmt.Fprintf(cfg.Progress, format+"\n", args...)
+		}
+	}
+
+	run := func(strat opt.Strategy) (opt.Result, float64, error) {
+		n, _ := base.Clone()
+		start := time.Now()
+		res := opt.Optimize(n, lib, strat, opt.Options{MaxIters: cfg.MaxIters})
+		cpu := time.Since(start).Seconds()
+		if cfg.VerifyRounds > 0 {
+			ce, err := sim.EquivalentRandom(base, n, cfg.VerifyRounds, 12345)
+			if err != nil {
+				return res, cpu, err
+			}
+			if ce != nil {
+				return res, cpu, fmt.Errorf("harness: %s/%v changed function: %v", name, strat, ce)
+			}
+		}
+		progress("  %-7s %-8s %6.2f%%  %7.2fs", name, strat, res.ImprovementPct(), cpu)
+		return res, cpu, nil
+	}
+
+	gsg, gsgCPU, err := run(opt.Gsg)
+	if err != nil {
+		return row, err
+	}
+	gs, gsCPU, err := run(opt.GS)
+	if err != nil {
+		return row, err
+	}
+	both, bothCPU, err := run(opt.GsgGS)
+	if err != nil {
+		return row, err
+	}
+
+	row.InitNS = gsg.InitialDelay
+	row.GsgPct = gsg.ImprovementPct()
+	row.GSPct = gs.ImprovementPct()
+	row.GsgGSPct = both.ImprovementPct()
+	row.GsgCPU = gsgCPU
+	row.GSCPU = gsCPU
+	row.GsgGSCPU = bothCPU
+	row.GSAreaPct = gs.AreaDeltaPct()
+	row.GsgGSAreaPct = both.AreaDeltaPct()
+	row.CovPct = 100 * gsg.Coverage
+	row.L = gsg.MaxLeaves
+	row.Red = gsg.Redundancies
+	return row, nil
+}
+
+// RunAll produces all rows of the configured benchmark set.
+func RunAll(cfg Config) ([]Row, error) {
+	cfg.fill()
+	rows := make([]Row, 0, len(cfg.Benchmarks))
+	for _, name := range cfg.Benchmarks {
+		row, err := RunBenchmark(name, cfg)
+		if err != nil {
+			return rows, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Average returns the column averages (the paper's "ave." line covers the
+// percentage columns).
+func Average(rows []Row) Row {
+	avg := Row{Name: "ave.", Verified: true}
+	if len(rows) == 0 {
+		return avg
+	}
+	for _, r := range rows {
+		avg.GsgPct += r.GsgPct
+		avg.GSPct += r.GSPct
+		avg.GsgGSPct += r.GsgGSPct
+		avg.GSAreaPct += r.GSAreaPct
+		avg.GsgGSAreaPct += r.GsgGSAreaPct
+		avg.CovPct += r.CovPct
+		avg.Verified = avg.Verified && r.Verified
+	}
+	k := float64(len(rows))
+	avg.GsgPct /= k
+	avg.GSPct /= k
+	avg.GsgGSPct /= k
+	avg.GSAreaPct /= k
+	avg.GsgGSAreaPct /= k
+	avg.CovPct /= k
+	return avg
+}
+
+// FormatTable renders rows in the layout of Table 1, appending the
+// average line.
+func FormatTable(rows []Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %6s %7s %6s %6s %7s %8s %8s %8s %7s %8s %7s %4s %6s\n",
+		"ckt", "gates", "init", "gsg", "GS", "gsg+GS",
+		"gsg cpu", "GS cpu", "g+G cpu", "GS ar%", "g+G ar%", "cov%", "L", "#red")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %6d %7.2f %5.1f%% %5.1f%% %6.1f%% %7.2fs %7.2fs %7.2fs %+6.1f%% %+7.1f%% %6.1f%% %4d %6d\n",
+			r.Name, r.Gates, r.InitNS, r.GsgPct, r.GSPct, r.GsgGSPct,
+			r.GsgCPU, r.GSCPU, r.GsgGSCPU, r.GSAreaPct, r.GsgGSAreaPct,
+			r.CovPct, r.L, r.Red)
+	}
+	avg := Average(rows)
+	fmt.Fprintf(&b, "%-8s %6s %7s %5.1f%% %5.1f%% %6.1f%% %8s %8s %8s %+6.1f%% %+7.1f%% %6.1f%%\n",
+		"ave.", "", "", avg.GsgPct, avg.GSPct, avg.GsgGSPct, "", "", "",
+		avg.GSAreaPct, avg.GsgGSAreaPct, avg.CovPct)
+	return b.String()
+}
+
+// PaperAverages returns the headline numbers of the paper's "ave." row for
+// comparison in EXPERIMENTS.md: gsg 3.1%, GS 5.4%, gsg+GS 9.0%, GS area
+// -2.2%, gsg+GS area -2.3%, coverage 27.6%.
+func PaperAverages() Row {
+	return Row{
+		Name: "paper ave.", GsgPct: 3.1, GSPct: 5.4, GsgGSPct: 9.0,
+		GSAreaPct: -2.2, GsgGSAreaPct: -2.3, CovPct: 27.6,
+	}
+}

@@ -1,0 +1,89 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunBenchmarkSmall(t *testing.T) {
+	cfg := Config{PlaceMoves: 5, MaxIters: 2, VerifyRounds: 4}
+	row, err := RunBenchmark("c432", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Name != "c432" || row.Gates == 0 || row.InitNS <= 0 {
+		t.Fatalf("row incomplete: %+v", row)
+	}
+	if !row.Verified {
+		t.Fatal("verification flag lost")
+	}
+	// No optimizer may worsen delay.
+	for label, pct := range map[string]float64{
+		"gsg": row.GsgPct, "GS": row.GSPct, "gsg+GS": row.GsgGSPct,
+	} {
+		if pct < -1e-6 {
+			t.Errorf("%s worsened delay: %v%%", label, pct)
+		}
+	}
+	if row.CovPct <= 0 || row.L < 2 {
+		t.Fatalf("extraction columns missing: %+v", row)
+	}
+}
+
+func TestRunBenchmarkUnknown(t *testing.T) {
+	if _, err := RunBenchmark("nope", Config{}); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestRunAllSubsetAndFormat(t *testing.T) {
+	cfg := Config{
+		Benchmarks: []string{"c432", "alu2"},
+		PlaceMoves: 5, MaxIters: 2, VerifyRounds: 4,
+	}
+	rows, err := RunAll(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	table := FormatTable(rows)
+	for _, want := range []string{"ckt", "c432", "alu2", "ave."} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(table), "\n")
+	if len(lines) != 4 { // header + 2 rows + average
+		t.Fatalf("table has %d lines", len(lines))
+	}
+}
+
+func TestAverage(t *testing.T) {
+	rows := []Row{
+		{GsgPct: 2, GSPct: 4, GsgGSPct: 8, GSAreaPct: -1, GsgGSAreaPct: -3, CovPct: 20, Verified: true},
+		{GsgPct: 4, GSPct: 6, GsgGSPct: 10, GSAreaPct: -3, GsgGSAreaPct: -1, CovPct: 40, Verified: true},
+	}
+	avg := Average(rows)
+	if avg.GsgPct != 3 || avg.GSPct != 5 || avg.GsgGSPct != 9 {
+		t.Fatalf("averages wrong: %+v", avg)
+	}
+	if avg.GSAreaPct != -2 || avg.GsgGSAreaPct != -2 || avg.CovPct != 30 {
+		t.Fatalf("area/cov averages wrong: %+v", avg)
+	}
+	if !avg.Verified {
+		t.Fatal("verified aggregation")
+	}
+	empty := Average(nil)
+	if empty.GsgPct != 0 {
+		t.Fatal("empty average")
+	}
+}
+
+func TestPaperAverages(t *testing.T) {
+	p := PaperAverages()
+	if p.GsgGSPct != 9.0 || p.CovPct != 27.6 {
+		t.Fatalf("paper constants drifted: %+v", p)
+	}
+}

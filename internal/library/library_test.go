@@ -1,0 +1,134 @@
+package library
+
+import (
+	"testing"
+
+	"repro/internal/logic"
+)
+
+func TestDefaultLibraryShape(t *testing.T) {
+	l := Default035()
+	// Paper cell set: INV, BUF, NAND, NOR, XOR, XNOR, fanins 2..4, 4 sizes.
+	if !l.Supports(logic.Inv, 1) || !l.Supports(logic.Buf, 1) {
+		t.Fatal("missing INV/BUF")
+	}
+	for _, g := range []logic.GateType{logic.Nand, logic.Nor, logic.Xor, logic.Xnor} {
+		for f := 2; f <= MaxFanin; f++ {
+			if !l.Supports(g, f) {
+				t.Fatalf("missing %s%d", g, f)
+			}
+			for s := 0; s < NumSizes; s++ {
+				c, err := l.Cell(g, f, s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if c.Type != g || c.Fanin != f || c.Size != s {
+					t.Fatalf("cell identity wrong: %+v", c)
+				}
+			}
+		}
+	}
+	// No AND/OR cells — the paper's library is inverting.
+	if l.Supports(logic.And, 2) || l.Supports(logic.Or, 2) {
+		t.Fatal("library should not contain AND/OR")
+	}
+	if l.Supports(logic.Nand, 5) || l.Supports(logic.Nand, 1) {
+		t.Fatal("fanin range wrong")
+	}
+}
+
+func TestCellErrors(t *testing.T) {
+	l := Default035()
+	if _, err := l.Cell(logic.And, 2, 0); err == nil {
+		t.Fatal("expected error for unsupported cell")
+	}
+	if _, err := l.Cell(logic.Nand, 2, NumSizes); err == nil {
+		t.Fatal("expected error for out-of-range size")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustCell should panic on bad cell")
+		}
+	}()
+	l.MustCell(logic.And, 2, 0)
+}
+
+func TestSizeMonotonicity(t *testing.T) {
+	l := Default035()
+	for _, g := range []logic.GateType{logic.Nand, logic.Nor, logic.Xor, logic.Xnor} {
+		for f := 2; f <= MaxFanin; f++ {
+			for s := 1; s < NumSizes; s++ {
+				prev := l.MustCell(g, f, s-1)
+				cur := l.MustCell(g, f, s)
+				if cur.Drive <= prev.Drive {
+					t.Errorf("%s: drive not increasing", cur.Name)
+				}
+				if cur.Area <= prev.Area {
+					t.Errorf("%s: area not increasing", cur.Name)
+				}
+				if cur.InputCap <= prev.InputCap {
+					t.Errorf("%s: input cap not increasing", cur.Name)
+				}
+				if cur.ResRise >= prev.ResRise || cur.ResFall >= prev.ResFall {
+					t.Errorf("%s: drive resistance not decreasing", cur.Name)
+				}
+			}
+		}
+	}
+}
+
+func TestDelayModel(t *testing.T) {
+	l := Default035()
+	c := l.MustCell(logic.Nand, 2, 0)
+	r0, f0 := c.Delay(0)
+	if r0 != c.IntrinsicRise || f0 != c.IntrinsicFall {
+		t.Fatal("zero-load delay should be intrinsic")
+	}
+	r1, f1 := c.Delay(0.1)
+	if r1 <= r0 || f1 <= f0 {
+		t.Fatal("delay must grow with load")
+	}
+	if c.MaxDelay(0.1) < r1 || c.MaxDelay(0.1) < f1 {
+		t.Fatal("MaxDelay must dominate both edges")
+	}
+	// Upsizing under the same load must be faster on the load-dependent
+	// term: at a heavy load the X8 cell beats the X1 cell.
+	big := l.MustCell(logic.Nand, 2, NumSizes-1)
+	if big.MaxDelay(0.5) >= c.MaxDelay(0.5) {
+		t.Fatal("upsizing did not help under heavy load")
+	}
+}
+
+func TestRiseFallAsymmetry(t *testing.T) {
+	l := Default035()
+	nand := l.MustCell(logic.Nand, 2, 0)
+	if nand.ResRise <= nand.ResFall {
+		t.Error("NAND should pull up slower than down")
+	}
+	nor := l.MustCell(logic.Nor, 2, 0)
+	if nor.ResFall <= nor.ResRise {
+		t.Error("NOR should pull down slower than up")
+	}
+}
+
+func TestWidthAndNames(t *testing.T) {
+	l := Default035()
+	c := l.MustCell(logic.Xor, 3, 2)
+	if c.Width() <= 0 {
+		t.Fatal("nonpositive width")
+	}
+	if c.Name != "XOR3X4" {
+		t.Fatalf("cell name = %q", c.Name)
+	}
+	if l.Name() == "" {
+		t.Fatal("library name empty")
+	}
+}
+
+func TestTypes(t *testing.T) {
+	l := Default035()
+	types := l.Types()
+	if len(types) != 6 {
+		t.Fatalf("expected 6 cell functions, got %d (%v)", len(types), types)
+	}
+}

@@ -1,0 +1,151 @@
+package logic
+
+import "fmt"
+
+// Value is the five-valued logic used by the D-calculus: the four Roth
+// values 0, 1, D (good 1 / faulty 0), D̄ (good 0 / faulty 1), plus X for
+// unassigned. The paper's proofs (Lemmas 1–5) are phrased in this algebra;
+// the atpg package uses it to cross-validate the linear-time symmetry
+// detector.
+type Value uint8
+
+// The five composite values. D carries good value 1 and faulty value 0;
+// DBar is its complement.
+const (
+	X Value = iota
+	Zero
+	One
+	D
+	DBar
+)
+
+var valueNames = [...]string{X: "X", Zero: "0", One: "1", D: "D", DBar: "D'"}
+
+func (v Value) String() string {
+	if int(v) < len(valueNames) {
+		return valueNames[v]
+	}
+	return fmt.Sprintf("Value(%d)", uint8(v))
+}
+
+// FromBit lifts a two-valued bit into the composite algebra.
+func FromBit(b Bit) Value {
+	if b == 0 {
+		return Zero
+	}
+	return One
+}
+
+// FromPair builds the composite value with the given good and faulty
+// circuit bits.
+func FromPair(good, faulty Bit) Value {
+	switch {
+	case good == faulty && good == 0:
+		return Zero
+	case good == faulty:
+		return One
+	case good == 1:
+		return D
+	default:
+		return DBar
+	}
+}
+
+// Known reports whether v is assigned (not X).
+func (v Value) Known() bool { return v != X }
+
+// Good returns the good-circuit bit of v; X panics.
+func (v Value) Good() Bit {
+	switch v {
+	case Zero, DBar:
+		return 0
+	case One, D:
+		return 1
+	}
+	panic("logic: Good of X")
+}
+
+// Faulty returns the faulty-circuit bit of v; X panics.
+func (v Value) Faulty() Bit {
+	switch v {
+	case Zero, D:
+		return 0
+	case One, DBar:
+		return 1
+	}
+	panic("logic: Faulty of X")
+}
+
+// Not returns the complement of v in the D-calculus. Not(X) == X.
+func (v Value) Not() Value {
+	switch v {
+	case Zero:
+		return One
+	case One:
+		return Zero
+	case D:
+		return DBar
+	case DBar:
+		return D
+	}
+	return X
+}
+
+// IsD reports whether v is D or D̄ — a fault-difference value.
+func (v Value) IsD() bool { return v == D || v == DBar }
+
+// EvalD evaluates a gate of type t over composite values. If any input is
+// X the result may still be known when a controlling value is present;
+// otherwise it is X. This is standard five-valued D-calculus evaluation.
+func (t GateType) EvalD(ins []Value) Value {
+	base, inverted := t.Base()
+	var out Value
+	switch base {
+	case And, Or:
+		cv := base.ControllingValue() // 0 for AND, 1 for OR
+		anyX := false
+		goodAcc, faultyAcc := base.NonControllingValue(), base.NonControllingValue()
+		for _, v := range ins {
+			if v == X {
+				anyX = true
+				continue
+			}
+			g, f := v.Good(), v.Faulty()
+			if base == And {
+				goodAcc &= g
+				faultyAcc &= f
+			} else {
+				goodAcc |= g
+				faultyAcc |= f
+			}
+		}
+		if anyX {
+			// Output is known only if both rails are already controlled.
+			if goodAcc == cv && faultyAcc == cv {
+				out = FromPair(goodAcc, faultyAcc)
+			} else {
+				return X
+			}
+		} else {
+			out = FromPair(goodAcc, faultyAcc)
+		}
+	case Xor:
+		var g, f Bit
+		for _, v := range ins {
+			if v == X {
+				return X
+			}
+			g ^= v.Good()
+			f ^= v.Faulty()
+		}
+		out = FromPair(g, f)
+	case Buf:
+		out = ins[0]
+	default:
+		panic("logic: EvalD on " + t.String())
+	}
+	if inverted {
+		out = out.Not()
+	}
+	return out
+}

@@ -1,0 +1,126 @@
+package logic
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValueRails(t *testing.T) {
+	cases := []struct {
+		v            Value
+		good, faulty Bit
+	}{
+		{Zero, 0, 0}, {One, 1, 1}, {D, 1, 0}, {DBar, 0, 1},
+	}
+	for _, c := range cases {
+		if c.v.Good() != c.good || c.v.Faulty() != c.faulty {
+			t.Errorf("%v rails = %d/%d want %d/%d",
+				c.v, c.v.Good(), c.v.Faulty(), c.good, c.faulty)
+		}
+		if FromPair(c.good, c.faulty) != c.v {
+			t.Errorf("FromPair(%d,%d) != %v", c.good, c.faulty, c.v)
+		}
+	}
+}
+
+func TestValueNot(t *testing.T) {
+	pairs := map[Value]Value{Zero: One, One: Zero, D: DBar, DBar: D, X: X}
+	for v, want := range pairs {
+		if v.Not() != want {
+			t.Errorf("Not(%v) = %v want %v", v, v.Not(), want)
+		}
+	}
+}
+
+func TestFromBit(t *testing.T) {
+	if FromBit(0) != Zero || FromBit(1) != One {
+		t.Error("FromBit wrong")
+	}
+}
+
+func TestIsD(t *testing.T) {
+	if !D.IsD() || !DBar.IsD() || Zero.IsD() || One.IsD() || X.IsD() {
+		t.Error("IsD classification wrong")
+	}
+}
+
+// Property: on fully assigned inputs, EvalD is exactly Eval run on the good
+// rail and Eval run on the faulty rail.
+func TestEvalDRailDecomposition(t *testing.T) {
+	gates := []GateType{And, Or, Xor, Nand, Nor, Xnor}
+	vals := []Value{Zero, One, D, DBar}
+	f := func(i0, i1, i2 uint8) bool {
+		ins := []Value{vals[i0%4], vals[i1%4], vals[i2%4]}
+		goods := []Bit{ins[0].Good(), ins[1].Good(), ins[2].Good()}
+		faults := []Bit{ins[0].Faulty(), ins[1].Faulty(), ins[2].Faulty()}
+		for _, g := range gates {
+			got := g.EvalD(ins)
+			want := FromPair(g.Eval(goods), g.Eval(faults))
+			if got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvalDWithX(t *testing.T) {
+	// AND with one controlling 0 input dominates an X.
+	if got := And.EvalD([]Value{Zero, X}); got != Zero {
+		t.Errorf("AND(0,X) = %v want 0", got)
+	}
+	if got := Nand.EvalD([]Value{Zero, X}); got != One {
+		t.Errorf("NAND(0,X) = %v want 1", got)
+	}
+	if got := Or.EvalD([]Value{One, X}); got != One {
+		t.Errorf("OR(1,X) = %v want 1", got)
+	}
+	// Non-controlling input with X stays unknown.
+	if got := And.EvalD([]Value{One, X}); got != X {
+		t.Errorf("AND(1,X) = %v want X", got)
+	}
+	// D alone cannot control an AND on both rails.
+	if got := And.EvalD([]Value{D, X}); got != X {
+		t.Errorf("AND(D,X) = %v want X", got)
+	}
+	// XOR with any X is unknown.
+	if got := Xor.EvalD([]Value{One, X}); got != X {
+		t.Errorf("XOR(1,X) = %v want X", got)
+	}
+	if got := Inv.EvalD([]Value{X}); got != X {
+		t.Errorf("INV(X) = %v want X", got)
+	}
+}
+
+func TestEvalDPropagation(t *testing.T) {
+	// Classic D propagation: AND(D, 1) = D; OR(D', 0) = D'.
+	if got := And.EvalD([]Value{D, One}); got != D {
+		t.Errorf("AND(D,1) = %v", got)
+	}
+	if got := Or.EvalD([]Value{DBar, Zero}); got != DBar {
+		t.Errorf("OR(D',0) = %v", got)
+	}
+	// D meeting its complement on AND yields constant 0.
+	if got := And.EvalD([]Value{D, DBar}); got != Zero {
+		t.Errorf("AND(D,D') = %v", got)
+	}
+	// XOR(D, D) cancels to 0; XOR(D, D') is constant 1.
+	if got := Xor.EvalD([]Value{D, D}); got != Zero {
+		t.Errorf("XOR(D,D) = %v", got)
+	}
+	if got := Xor.EvalD([]Value{D, DBar}); got != One {
+		t.Errorf("XOR(D,D') = %v", got)
+	}
+	if got := Inv.EvalD([]Value{D}); got != DBar {
+		t.Errorf("INV(D) = %v", got)
+	}
+}
+
+func TestValueString(t *testing.T) {
+	if D.String() != "D" || DBar.String() != "D'" || X.String() != "X" {
+		t.Error("Value names wrong")
+	}
+}

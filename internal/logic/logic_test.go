@@ -1,0 +1,164 @@
+package logic
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBaseAndInversion(t *testing.T) {
+	cases := []struct {
+		in   GateType
+		base GateType
+		inv  bool
+	}{
+		{And, And, false},
+		{Nand, And, true},
+		{Or, Or, false},
+		{Nor, Or, true},
+		{Xor, Xor, false},
+		{Xnor, Xor, true},
+		{Inv, Buf, true},
+		{Buf, Buf, false},
+	}
+	for _, c := range cases {
+		b, inv := c.in.Base()
+		if b != c.base || inv != c.inv {
+			t.Errorf("%v.Base() = %v,%v want %v,%v", c.in, b, inv, c.base, c.inv)
+		}
+	}
+}
+
+func TestWithInversionIsInvolution(t *testing.T) {
+	for _, g := range []GateType{And, Or, Xor, Nand, Nor, Xnor, Inv, Buf} {
+		if got := g.WithInversion(true).WithInversion(true); got != g {
+			t.Errorf("double inversion of %v = %v", g, got)
+		}
+		if got := g.WithInversion(false); got != g {
+			t.Errorf("%v.WithInversion(false) = %v", g, got)
+		}
+	}
+}
+
+func TestControllingValues(t *testing.T) {
+	if And.ControllingValue() != 0 || Nand.ControllingValue() != 0 {
+		t.Error("cv(AND family) should be 0")
+	}
+	if Or.ControllingValue() != 1 || Nor.ControllingValue() != 1 {
+		t.Error("cv(OR family) should be 1")
+	}
+	if And.NonControllingValue() != 1 || Or.NonControllingValue() != 0 {
+		t.Error("ncv wrong")
+	}
+}
+
+func TestControlledOutput(t *testing.T) {
+	cases := map[GateType]Bit{And: 0, Nand: 1, Or: 1, Nor: 0}
+	for g, want := range cases {
+		if got := g.ControlledOutput(); got != want {
+			t.Errorf("ControlledOutput(%v) = %d want %d", g, got, want)
+		}
+		if got := g.NonControlledOutput(); got != want^1 {
+			t.Errorf("NonControlledOutput(%v) = %d want %d", g, got, want^1)
+		}
+	}
+}
+
+func TestHasControllingValue(t *testing.T) {
+	for _, g := range []GateType{And, Or, Nand, Nor} {
+		if !g.HasControllingValue() {
+			t.Errorf("%v should have a controlling value", g)
+		}
+	}
+	for _, g := range []GateType{Xor, Xnor, Inv, Buf} {
+		if g.HasControllingValue() {
+			t.Errorf("%v should not have a controlling value", g)
+		}
+	}
+}
+
+func TestEvalTruthTables(t *testing.T) {
+	type tc struct {
+		g    GateType
+		ins  []Bit
+		want Bit
+	}
+	cases := []tc{
+		{And, []Bit{1, 1}, 1}, {And, []Bit{1, 0}, 0},
+		{Nand, []Bit{1, 1}, 0}, {Nand, []Bit{0, 1}, 1},
+		{Or, []Bit{0, 0}, 0}, {Or, []Bit{0, 1}, 1},
+		{Nor, []Bit{0, 0}, 1}, {Nor, []Bit{1, 0}, 0},
+		{Xor, []Bit{1, 1}, 0}, {Xor, []Bit{1, 0}, 1},
+		{Xnor, []Bit{1, 1}, 1}, {Xnor, []Bit{1, 0}, 0},
+		{Inv, []Bit{0}, 1}, {Inv, []Bit{1}, 0},
+		{Buf, []Bit{1}, 1}, {Buf, []Bit{0}, 0},
+		{And, []Bit{1, 1, 1, 1}, 1}, {And, []Bit{1, 1, 0, 1}, 0},
+		{Xor, []Bit{1, 1, 1}, 1}, {Xnor, []Bit{1, 1, 1}, 0},
+	}
+	for _, c := range cases {
+		if got := c.g.Eval(c.ins); got != c.want {
+			t.Errorf("%v%v = %d want %d", c.g, c.ins, got, c.want)
+		}
+	}
+}
+
+// Property: EvalWords agrees bit-for-bit with 64 scalar Eval calls.
+func TestEvalWordsMatchesEval(t *testing.T) {
+	gates := []GateType{And, Or, Xor, Nand, Nor, Xnor}
+	f := func(a, b, c uint64) bool {
+		words := []uint64{a, b, c}
+		for _, g := range gates {
+			w := g.EvalWords(words)
+			for bit := 0; bit < 64; bit++ {
+				ins := []Bit{
+					Bit(a >> bit & 1), Bit(b >> bit & 1), Bit(c >> bit & 1),
+				}
+				if Bit(w>>bit&1) != g.Eval(ins) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvalWordsUnary(t *testing.T) {
+	if Inv.EvalWords([]uint64{0}) != ^uint64(0) {
+		t.Error("INV of 0-word")
+	}
+	if Buf.EvalWords([]uint64{42}) != 42 {
+		t.Error("BUF should pass through")
+	}
+}
+
+func TestTypePredicates(t *testing.T) {
+	if !And.IsAndOr() || !Nor.IsAndOr() || Xor.IsAndOr() || Inv.IsAndOr() {
+		t.Error("IsAndOr classification wrong")
+	}
+	if !Xor.IsXorLike() || !Xnor.IsXorLike() || And.IsXorLike() {
+		t.Error("IsXorLike classification wrong")
+	}
+	if !Inv.IsUnary() || !Buf.IsUnary() || And.IsUnary() {
+		t.Error("IsUnary classification wrong")
+	}
+}
+
+func TestMinFanin(t *testing.T) {
+	if And.MinFanin() != 2 || Inv.MinFanin() != 1 || Input.MinFanin() != 0 {
+		t.Error("MinFanin wrong")
+	}
+	if None.MinFanin() != -1 {
+		t.Error("MinFanin(None) should be -1")
+	}
+}
+
+func TestStringNames(t *testing.T) {
+	if And.String() != "AND" || Xnor.String() != "XNOR" || Input.String() != "INPUT" {
+		t.Error("String names wrong")
+	}
+	if GateType(200).String() == "" {
+		t.Error("out-of-range String should not be empty")
+	}
+}

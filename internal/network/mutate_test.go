@@ -1,0 +1,144 @@
+package network
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/logic"
+)
+
+func TestSetFanins(t *testing.T) {
+	n := New("sf")
+	a, b, c, d := n.AddInput("a"), n.AddInput("b"), n.AddInput("c"), n.AddInput("d")
+	g := n.AddGate("g", logic.Nand, a, b)
+	n.MarkOutput(g)
+	n.SetFanins(g, []*Gate{c, d, a})
+	if g.NumFanins() != 3 || g.Fanin(0) != c || g.Fanin(2) != a {
+		t.Fatal("fanins not replaced")
+	}
+	if b.NumFanouts() != 0 || a.NumFanouts() != 1 || c.NumFanouts() != 1 {
+		t.Fatal("fanout bookkeeping wrong")
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetFaninsNilPanics(t *testing.T) {
+	n := New("sfn")
+	a, b := n.AddInput("a"), n.AddInput("b")
+	g := n.AddGate("g", logic.Nand, a, b)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on nil fanin")
+		}
+	}()
+	n.SetFanins(g, []*Gate{a, nil})
+}
+
+func TestRename(t *testing.T) {
+	n := New("rn")
+	a := n.AddInput("a")
+	n.Rename(a, "alpha")
+	if n.FindGate("a") != nil || n.FindGate("alpha") != a || a.Name() != "alpha" {
+		t.Fatal("rename bookkeeping")
+	}
+	// Renaming to itself is a no-op.
+	n.Rename(a, "alpha")
+	// Renaming onto a taken name panics.
+	n.AddInput("b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate rename")
+		}
+	}()
+	n.Rename(a, "b")
+}
+
+func TestTransferFanouts(t *testing.T) {
+	n := New("tf")
+	a, b := n.AddInput("a"), n.AddInput("b")
+	old := n.AddGate("old", logic.Nand, a, b)
+	s1 := n.AddGate("s1", logic.Inv, old)
+	s2 := n.AddGate("s2", logic.Inv, old)
+	n.MarkOutput(old)
+	n.MarkOutput(s1)
+	n.MarkOutput(s2)
+	repl := n.AddGate("repl", logic.Inv, old)
+
+	n.TransferFanouts(old, repl)
+	if s1.Fanin(0) != repl || s2.Fanin(0) != repl {
+		t.Fatal("sinks not transferred")
+	}
+	// repl itself keeps old as its fanin (exempted), and the PO flag
+	// moved.
+	if repl.Fanin(0) != old {
+		t.Fatal("replacement's own fanin must stay")
+	}
+	if old.PO || !repl.PO {
+		t.Fatal("PO flag should move")
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGateSliceAndFaninIndexOf(t *testing.T) {
+	n := New("gs")
+	a, b := n.AddInput("a"), n.AddInput("b")
+	g := n.AddGate("g", logic.Nand, a, b)
+	n.MarkOutput(g)
+	if got := n.GateSlice(); len(got) != 3 || got[2] != g {
+		t.Fatal("GateSlice")
+	}
+	if g.FaninIndexOf(b) != 1 || g.FaninIndexOf(g) != -1 {
+		t.Fatal("FaninIndexOf")
+	}
+}
+
+// Property: any sequence of valid mutations keeps structural invariants.
+func TestRandomMutationSequenceKeepsInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		n := New("mut")
+		state := uint64(seed)*0x9e3779b97f4a7c15 + 3
+		next := func(mod int) int {
+			state = state*6364136223846793005 + 1442695040888963407
+			return int(state>>33) % mod
+		}
+		var pool []*Gate
+		for i := 0; i < 4; i++ {
+			pool = append(pool, n.AddInput(fmt.Sprintf("x%d", i)))
+		}
+		types := []logic.GateType{logic.Nand, logic.Nor, logic.Xor, logic.Inv}
+		for i := 0; i < 20; i++ {
+			tt := types[next(len(types))]
+			k := 2
+			if tt == logic.Inv {
+				k = 1
+			}
+			var fanins []*Gate
+			for j := 0; j < k; j++ {
+				fanins = append(fanins, pool[next(len(pool))])
+			}
+			pool = append(pool, n.AddGate(fmt.Sprintf("g%d", i), tt, fanins...))
+		}
+		n.MarkOutput(pool[len(pool)-1])
+		// Random rewires that cannot create cycles: new driver must have
+		// a smaller id (ids are topological for this construction).
+		for step := 0; step < 30; step++ {
+			g := pool[4+next(len(pool)-4)]
+			idx := next(g.NumFanins())
+			nd := pool[next(len(pool))]
+			if nd.ID() >= g.ID() {
+				continue
+			}
+			n.ReplaceFanin(g, idx, nd)
+		}
+		n.Sweep()
+		return n.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,506 @@
+// Package opt implements the paper's post-placement performance optimizer
+// (§5, §6): supergate-based rewiring formulated as a sizing problem. Each
+// set of leaf swaps of a supergate acts as an alternative "library
+// implementation" of that supergate; finding the best implementation per
+// site and applying the best sequence is exactly the Coudert-style loop of
+// the sizing package.
+//
+// Three strategies reproduce the experimental comparison of §6:
+//
+//   - Gsg: supergate-based rewiring only. The placement is untouched;
+//     only wires move and inverters may be added or deleted.
+//   - GS: traditional gate sizing only.
+//   - GsgGS: rewiring for gates covered by non-trivial supergates, sizing
+//     for the rest — the paper's minimum-perturbation combination.
+//
+// Every accepted batch of moves is guarded by a full timing analysis, so
+// the critical delay never regresses; local evaluations only *rank*
+// candidates.
+package opt
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/library"
+	"repro/internal/logic"
+	"repro/internal/network"
+	"repro/internal/rewire"
+	"repro/internal/sizing"
+	"repro/internal/sta"
+	"repro/internal/supergate"
+	"repro/internal/techmap"
+)
+
+const eps = 1e-9
+
+// Strategy selects which optimizer §6 compares.
+type Strategy int
+
+const (
+	// Gsg is supergate-based rewiring only.
+	Gsg Strategy = iota
+	// GS is traditional gate sizing only.
+	GS
+	// GsgGS rewires gates covered by non-trivial supergates and sizes
+	// the rest.
+	GsgGS
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case Gsg:
+		return "gsg"
+	case GS:
+		return "GS"
+	case GsgGS:
+		return "gsg+GS"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// Options controls an optimization run.
+type Options struct {
+	// Clock is the PO required time; <= 0 freezes the initial critical
+	// delay, turning slack maximization into delay minimization.
+	Clock float64
+	// MaxIters bounds the outer phase-1/phase-2 iterations (default 6).
+	MaxIters int
+	// MaxSwapLeaves caps the supergate size whose swap pairs are
+	// enumerated exhaustively (default 48, covering Table 1's largest).
+	MaxSwapLeaves int
+	// DisableRelaxation turns off the sum-slack phase, leaving only the
+	// min-slack neighborhood search. Used by the ablation benchmarks to
+	// isolate the contribution of Coudert's relaxation.
+	DisableRelaxation bool
+}
+
+// Result reports one optimizer run with the Table 1 quantities.
+type Result struct {
+	Strategy     Strategy
+	InitialDelay float64 // ns, after placement
+	FinalDelay   float64 // ns
+	InitialArea  float64 // µm²
+	FinalArea    float64 // µm²
+	Swaps        int
+	Resizes      int
+	Iterations   int
+
+	// Extraction statistics of the *initial* network (identical across
+	// strategies on the same input): Table 1's cov %, L, and #red.
+	Coverage     float64
+	MaxLeaves    int
+	Redundancies int
+}
+
+// ImprovementPct returns the delay improvement in percent (positive is
+// better), as Table 1 reports.
+func (r Result) ImprovementPct() float64 {
+	if r.InitialDelay == 0 {
+		return 0
+	}
+	return 100 * (r.InitialDelay - r.FinalDelay) / r.InitialDelay
+}
+
+// AreaDeltaPct returns the area change in percent (negative = smaller).
+func (r Result) AreaDeltaPct() float64 {
+	if r.InitialArea == 0 {
+		return 0
+	}
+	return 100 * (r.FinalArea - r.InitialArea) / r.InitialArea
+}
+
+// Optimize runs the selected strategy on the mapped, placed network in
+// place. Placement coordinates of existing cells are never modified; the
+// only new cells are inverters from inverting swaps, placed at the pin
+// they feed.
+func Optimize(n *network.Network, lib *library.Library, strat Strategy, o Options) Result {
+	if o.MaxIters <= 0 {
+		o.MaxIters = 6
+	}
+	if o.MaxSwapLeaves <= 0 {
+		o.MaxSwapLeaves = 48
+	}
+	tm := sta.Analyze(n, lib, o.Clock)
+	clock := tm.Clock
+
+	ext := supergate.Extract(n)
+	res := Result{
+		Strategy:     strat,
+		InitialDelay: tm.CriticalDelay,
+		FinalDelay:   tm.CriticalDelay,
+		InitialArea:  techmap.Area(n, lib),
+		Coverage:     ext.Coverage(),
+		MaxLeaves:    ext.MaxLeaves(),
+		Redundancies: len(ext.Redundancies),
+	}
+
+	objectives := []sizing.Objective{sizing.MinSlack, sizing.SumSlack}
+	if o.DisableRelaxation {
+		objectives = objectives[:1]
+	}
+	bestDelay := tm.CriticalDelay
+	for iter := 0; iter < o.MaxIters; iter++ {
+		improved := false
+		for _, obj := range objectives {
+			tm = sta.Analyze(n, lib, clock)
+			before := tm.CriticalDelay
+			applied, undos := runPhase(n, lib, tm, strat, obj, o, &res)
+			if applied == 0 {
+				continue
+			}
+			after := sta.Analyze(n, lib, clock)
+			if after.CriticalDelay > before+eps {
+				// The batch regressed globally (a locally-scored move
+				// misled); roll it back and retry with only the single
+				// best move, which is almost always sound.
+				for i := len(undos) - 1; i >= 0; i-- {
+					undos[i]()
+				}
+				applied, undos = runPhaseTop1(n, lib, tm, strat, obj, o, &res)
+				if applied == 0 {
+					continue
+				}
+				after = sta.Analyze(n, lib, clock)
+				if after.CriticalDelay > before+eps {
+					for i := len(undos) - 1; i >= 0; i-- {
+						undos[i]()
+					}
+					continue
+				}
+			}
+			// The batch is accepted; gates orphaned by inverter
+			// collapses are now safe to sweep (no pending undos).
+			n.Sweep()
+			if after.CriticalDelay < bestDelay-eps {
+				bestDelay = after.CriticalDelay
+				improved = true
+			}
+		}
+		res.Iterations = iter + 1
+		if !improved {
+			break
+		}
+	}
+	// Note: no blanket inverter-pair collapse here. Pre-existing INV
+	// chains often serve as buffers, and stripping them regresses delay;
+	// inverting swaps already collapse onto inverter drivers instead of
+	// stacking (see rewire.Apply), so nothing accretes.
+	final := sta.Analyze(n, lib, clock)
+	res.FinalDelay = final.CriticalDelay
+	res.FinalArea = techmap.Area(n, lib)
+	return res
+}
+
+// runPhase computes the best move per site for the strategy, sorts by
+// gain, and applies the best sequence with revalidation. It returns the
+// number of applied moves and their undo functions in application order.
+func runPhase(n *network.Network, lib *library.Library, tm *sta.Timing, strat Strategy, obj sizing.Objective, o Options, res *Result) (int, []Undo) {
+	return runPhaseCapped(n, lib, tm, strat, obj, o, res, 0)
+}
+
+// runPhaseTop1 applies only the single highest-gain move — the fallback
+// when a full batch regresses the critical delay.
+func runPhaseTop1(n *network.Network, lib *library.Library, tm *sta.Timing, strat Strategy, obj sizing.Objective, o Options, res *Result) (int, []Undo) {
+	return runPhaseCapped(n, lib, tm, strat, obj, o, res, 1)
+}
+
+// runPhaseCapped is runPhase with an optional cap on applied moves
+// (0 = unlimited).
+func runPhaseCapped(n *network.Network, lib *library.Library, tm *sta.Timing, strat Strategy, obj sizing.Objective, o Options, res *Result, maxApply int) (int, []Undo) {
+	type move struct {
+		gain float64
+		// Exactly one of swap/resize is set.
+		swap   *rewire.Swap
+		gate   *network.Gate
+		size   int
+		isSwap bool
+	}
+	var moves []move
+
+	// In the min-slack phase only sites touching the critical region are
+	// candidates (Coudert: maximize the *minimum* slack). Moves at
+	// off-critical sites cannot raise the minimum, but their local scores
+	// would still rank positive, flooding the batch with irrelevant —
+	// and collectively harmful — changes. The relaxation phase considers
+	// every site.
+	// The relaxation phase works a wider band around the bottleneck (it
+	// spreads slack to let the next min-slack phase escape the local
+	// minimum), but not the whole network: global sum-of-slacks moves
+	// degenerate into mass downsizing that the guard then rejects.
+	margin := 0.02 * tm.Clock
+	if obj == sizing.SumSlack {
+		margin = 0.10 * tm.Clock
+	}
+	threshold := tm.WorstSlack() + margin
+	critical := func(g *network.Gate) bool { return tm.Slack(g) <= threshold }
+
+	var ext *supergate.Extraction
+	if strat != GS {
+		ext = supergate.Extract(n)
+		for _, sg := range ext.NonTrivial() {
+			if len(sg.Leaves) > o.MaxSwapLeaves {
+				continue
+			}
+			if !supergateCritical(sg, critical) {
+				continue
+			}
+			if s, gain := bestSwap(tm, sg, obj); gain > eps {
+				sCopy := s
+				moves = append(moves, move{gain: gain, swap: &sCopy, isSwap: true})
+			}
+		}
+	}
+	if strat != Gsg {
+		sizable := sizableFilter(strat, ext)
+		n.Gates(func(g *network.Gate) {
+			if g.IsInput() || !sizable(g) || !neighborhoodCritical(g, critical) {
+				return
+			}
+			if size, gain := sizing.BestResize(tm, g, obj); gain > eps {
+				moves = append(moves, move{gain: gain, gate: g, size: size})
+			}
+		})
+	}
+	sort.SliceStable(moves, func(i, j int) bool { return moves[i].gain > moves[j].gain })
+
+	applied := 0
+	var undos []Undo
+	for _, m := range moves {
+		if maxApply > 0 && applied >= maxApply {
+			break
+		}
+		if m.isSwap {
+			// Revalidate against the current (partially mutated) state.
+			if gain := EvalSwap(tm, *m.swap, obj); gain <= eps {
+				continue
+			}
+			undos = append(undos, applySwap(n, *m.swap))
+			res.Swaps++
+		} else {
+			if gain := sizing.EvalResize(tm, m.gate, m.size, obj); gain <= eps {
+				continue
+			}
+			g, old := m.gate, m.gate.SizeIdx
+			g.SizeIdx = m.size
+			undos = append(undos, func() { g.SizeIdx = old })
+			res.Resizes++
+		}
+		applied++
+	}
+	return applied, undos
+}
+
+// Undo reverts one applied move.
+type Undo func()
+
+// supergateCritical reports whether any covered gate or leaf driver of sg
+// satisfies the criticality predicate.
+func supergateCritical(sg *supergate.Supergate, critical func(*network.Gate) bool) bool {
+	for _, g := range sg.Gates {
+		if critical(g) {
+			return true
+		}
+	}
+	for _, l := range sg.Leaves {
+		if critical(l.Driver) {
+			return true
+		}
+	}
+	return false
+}
+
+// neighborhoodCritical reports whether a resize of g can touch the
+// critical region: g itself, its fanin drivers, or any of their sinks.
+func neighborhoodCritical(g *network.Gate, critical func(*network.Gate) bool) bool {
+	if critical(g) {
+		return true
+	}
+	for _, d := range g.Fanins() {
+		if critical(d) {
+			return true
+		}
+		for _, s := range d.Fanouts() {
+			if critical(s) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// sizableFilter returns which gates the strategy may resize.
+func sizableFilter(strat Strategy, ext *supergate.Extraction) func(*network.Gate) bool {
+	if strat == GS || ext == nil {
+		return func(*network.Gate) bool { return true }
+	}
+	// gsg+GS: only gates covered by trivial supergates are sized; gates
+	// inside non-trivial supergates belong to the rewiring engine.
+	return func(g *network.Gate) bool {
+		sg := ext.ByGate[g]
+		return sg == nil || sg.Trivial()
+	}
+}
+
+// bestSwap returns the best-gaining swap of a supergate (§5: "for each
+// supergate, we find the best swap which maximizes the minimum slack in
+// its neighborhood").
+func bestSwap(tm *sta.Timing, sg *supergate.Supergate, obj sizing.Objective) (rewire.Swap, float64) {
+	var best rewire.Swap
+	bestGain := 0.0
+	for _, s := range rewire.Enumerate(sg) {
+		if gain := EvalSwap(tm, s, obj); gain > bestGain+eps {
+			bestGain = gain
+			best = s
+		}
+	}
+	return best, bestGain
+}
+
+// applySwap commits a swap and places any inverter it created at the pin
+// gate it feeds, keeping every pre-existing cell exactly where it was.
+func applySwap(n *network.Network, s rewire.Swap) Undo {
+	undo := rewire.Apply(n, s)
+	for _, idx := range []int{s.I, s.J} {
+		pin := s.SG.Leaves[idx].Pin
+		d := pin.Driver()
+		if d.Type == logic.Inv && !d.Placed {
+			d.X, d.Y = pin.Gate.X, pin.Gate.Y
+			d.Placed = pin.Gate.Placed
+		}
+	}
+	return Undo(undo)
+}
+
+// EvalSwap locally evaluates the objective gain of a swap against tm: the
+// two affected drivers' nets are rebuilt with the exchanged sink, their
+// arrivals recomputed, and the slacks of every gate they feed rescored
+// with required times frozen. Inverting swaps add the inverter's cell
+// delay at the receiving pin (the committed batch is still guarded by a
+// full analysis).
+func EvalSwap(tm *sta.Timing, s rewire.Swap, obj sizing.Objective) float64 {
+	pa := s.SG.Leaves[s.I].Pin
+	pb := s.SG.Leaves[s.J].Pin
+	ka, kb := pa.Driver(), pb.Driver()
+	if ka == kb {
+		return 0
+	}
+	// Hypothetical sink multisets after the exchange.
+	newSinksA := swapOneSink(ka.Fanouts(), pa.Gate, pb.Gate)
+	newSinksB := swapOneSink(kb.Fanouts(), pb.Gate, pa.Gate)
+	infoA := tm.ComputeNet(ka, newSinksA)
+	infoB := tm.ComputeNet(kb, newSinksB)
+	if ka.PO {
+		infoA.Load += sta.POLoadPF
+	}
+	if kb.PO {
+		infoB.Load += sta.POLoadPF
+	}
+	newArr := map[*network.Gate]sta.Edge{}
+	arrOf := func(k *network.Gate, info sta.NetInfo) sta.Edge {
+		if k.IsInput() {
+			return sta.Edge{}
+		}
+		pins := make([]sta.Edge, k.NumFanins())
+		for i, d := range k.Fanins() {
+			a := tm.Arrival(d)
+			w := tm.WireDelay(d, k)
+			pins[i] = sta.Edge{Rise: a.Rise + w, Fall: a.Fall + w}
+		}
+		return tm.GateOutput(k, pins, info.Load)
+	}
+	newArr[ka] = arrOf(ka, infoA)
+	newArr[kb] = arrOf(kb, infoB)
+
+	// Neighborhood: the two drivers plus every sink either of them
+	// touches before or after the exchange (the same set).
+	seen := map[*network.Gate]bool{ka: true, kb: true}
+	var sinks []*network.Gate
+	for _, lst := range [][]*network.Gate{newSinksA, newSinksB} {
+		for _, t := range lst {
+			if !seen[t] {
+				seen[t] = true
+				sinks = append(sinks, t)
+			}
+		}
+	}
+	invPenalty := 0.0
+	if s.Inverting {
+		// Approximate: one smallest-inverter delay per redirected pin at a
+		// typical ~5 fF load. The committed batch is still validated by a
+		// full analysis, so this only needs to rank candidates sensibly.
+		invPenalty = invDelayEstimatePenalty
+	}
+	var after []float64
+	slackOf := func(x *network.Gate, arr sta.Edge) float64 {
+		r := tm.Required(x)
+		return math.Min(r.Rise-arr.Rise, r.Fall-arr.Fall)
+	}
+	for _, k := range []*network.Gate{ka, kb} {
+		if !k.IsInput() {
+			after = append(after, slackOf(k, newArr[k]))
+		}
+	}
+	for _, t := range sinks {
+		pins := make([]sta.Edge, t.NumFanins())
+		for i := range pins {
+			d := t.Fanin(i)
+			// The hypothetical connection: pin pa is now fed by kb, pin
+			// pb by ka.
+			cur := network.Pin{Gate: t, Index: i}
+			switch {
+			case cur == pa:
+				d = kb
+			case cur == pb:
+				d = ka
+			}
+			var a sta.Edge
+			var w float64
+			switch d {
+			case ka:
+				a, w = newArr[ka], infoA.SinkDelay[t]
+			case kb:
+				a, w = newArr[kb], infoB.SinkDelay[t]
+			default:
+				a, w = tm.Arrival(d), tm.WireDelay(d, t)
+			}
+			pen := 0.0
+			if cur == pa || cur == pb {
+				pen = invPenalty
+			}
+			pins[i] = sta.Edge{Rise: a.Rise + w + pen, Fall: a.Fall + w + pen}
+		}
+		after = append(after, slackOf(t, tm.GateOutput(t, pins, tm.Load(t))))
+	}
+
+	// Baseline: the same gate set under committed timing.
+	var before []float64
+	for x := range seen {
+		if !x.IsInput() {
+			before = append(before, tm.Slack(x))
+		}
+	}
+	return sizing.Score(obj, after, tm.Clock) - sizing.Score(obj, before, tm.Clock)
+}
+
+// swapOneSink returns fanouts with a single occurrence of from replaced by
+// to.
+func swapOneSink(fanouts []*network.Gate, from, to *network.Gate) []*network.Gate {
+	out := make([]*network.Gate, len(fanouts))
+	replaced := false
+	for i, f := range fanouts {
+		if !replaced && f == from {
+			out[i] = to
+			replaced = true
+			continue
+		}
+		out[i] = f
+	}
+	return out
+}
+
+// invDelayEstimatePenalty is a representative smallest-inverter delay
+// (intrinsic + drive resistance × ~5 fF) used to penalize inverting swaps
+// during candidate ranking.
+const invDelayEstimatePenalty = 0.03 + 8.0*0.005

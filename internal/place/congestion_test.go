@@ -1,0 +1,87 @@
+package place
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/logic"
+	"repro/internal/network"
+)
+
+func TestCongestionSingleNet(t *testing.T) {
+	// One net spanning 100 µm horizontally in a 50 µm grid: HPWL 100
+	// spread over 3 bins (columns 0, 1, 2).
+	n := network.New("c")
+	a := n.AddInput("a")
+	s := n.AddGate("s", logic.Inv, a)
+	n.MarkOutput(s)
+	a.X, a.Y, a.Placed = 0, 0, true
+	s.X, s.Y, s.Placed = 100, 0, true
+
+	g, err := Congestion(n, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.BinsX != 3 || g.BinsY != 1 {
+		t.Fatalf("grid %dx%d, want 3x1", g.BinsX, g.BinsY)
+	}
+	if math.Abs(g.Total()-100) > 1e-9 {
+		t.Fatalf("total demand %v, want 100", g.Total())
+	}
+	want := 100.0 / 3
+	for x := 0; x < 3; x++ {
+		if math.Abs(g.Demand[0][x]-want) > 1e-9 {
+			t.Fatalf("bin %d demand %v, want %v", x, g.Demand[0][x], want)
+		}
+	}
+	if math.Abs(g.Peak()-want) > 1e-9 {
+		t.Fatalf("peak %v", g.Peak())
+	}
+}
+
+func TestCongestionZeroLengthNetIgnored(t *testing.T) {
+	n := network.New("z")
+	a := n.AddInput("a")
+	s := n.AddGate("s", logic.Inv, a)
+	n.MarkOutput(s)
+	a.X, a.Y, a.Placed = 10, 10, true
+	s.X, s.Y, s.Placed = 10, 10, true
+	g, err := Congestion(n, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Total() != 0 {
+		t.Fatal("coincident net should add no demand")
+	}
+}
+
+func TestCongestionErrors(t *testing.T) {
+	n := network.New("e")
+	n.AddInput("a")
+	if _, err := Congestion(n, 0); err == nil {
+		t.Fatal("zero bin size accepted")
+	}
+	if _, err := Congestion(n, 50); err == nil {
+		t.Fatal("unplaced network accepted")
+	}
+}
+
+func TestCongestionTotalMatchesHPWL(t *testing.T) {
+	n, err := gen.Generate("c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	Place(n, lib(), Options{Seed: 4, MovesPerCell: 5})
+	g, err := Congestion(n, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hpwl := TotalHPWL(n)
+	if math.Abs(g.Total()-hpwl) > hpwl*1e-9 {
+		t.Fatalf("congestion total %v != HPWL %v", g.Total(), hpwl)
+	}
+	if g.Peak() <= 0 || g.Peak() > g.Total() {
+		t.Fatalf("peak %v out of range", g.Peak())
+	}
+}

@@ -1,0 +1,134 @@
+package place
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/library"
+	"repro/internal/logic"
+	"repro/internal/network"
+)
+
+func lib() *library.Library { return library.Default035() }
+
+func smallCircuit() *network.Network {
+	n := network.New("p")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	c := n.AddInput("c")
+	g1 := n.AddGate("g1", logic.Nand, a, b)
+	g2 := n.AddGate("g2", logic.Nor, g1, c)
+	f := n.AddGate("f", logic.Xor, g1, g2)
+	n.MarkOutput(f)
+	return n
+}
+
+func TestPlaceAssignsAllCoordinates(t *testing.T) {
+	n := smallCircuit()
+	res := Place(n, lib(), Options{Seed: 1})
+	n.Gates(func(g *network.Gate) {
+		if !g.Placed {
+			t.Errorf("%s not placed", g)
+		}
+		if g.X < 0 || g.Y < 0 || g.Y > res.DieHeight {
+			t.Errorf("%s at (%v,%v) outside die", g, g.X, g.Y)
+		}
+	})
+	if res.Rows < 1 || res.DieWidth <= 0 {
+		t.Fatalf("bad die: %+v", res)
+	}
+}
+
+func TestPlaceDeterministic(t *testing.T) {
+	n1 := smallCircuit()
+	n2 := smallCircuit()
+	Place(n1, lib(), Options{Seed: 42})
+	Place(n2, lib(), Options{Seed: 42})
+	s1, s2 := Snapshot(n1), Snapshot(n2)
+	if name, same := SameLocations(s1, s2); !same {
+		t.Fatalf("placement not deterministic at %s", name)
+	}
+}
+
+func TestPlaceSeedMatters(t *testing.T) {
+	n, err := gen.Generate("c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := n.Clone()
+	Place(n, lib(), Options{Seed: 1})
+	Place(m, lib(), Options{Seed: 2})
+	if _, same := SameLocations(Snapshot(n), Snapshot(m)); same {
+		t.Fatal("different seeds gave identical placements (annealer inert?)")
+	}
+}
+
+func TestAnnealingImprovesWirelength(t *testing.T) {
+	n, err := gen.Generate("c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Place(n, lib(), Options{Seed: 7})
+	if res.FinalHPWL <= 0 {
+		t.Fatal("no wirelength")
+	}
+	if res.FinalHPWL > res.InitialHPWL {
+		t.Fatalf("annealing worsened HPWL: %.0f -> %.0f", res.InitialHPWL, res.FinalHPWL)
+	}
+	if res.MovesTaken == 0 {
+		t.Fatal("annealer accepted no moves")
+	}
+	if got := TotalHPWL(n); got != res.FinalHPWL {
+		t.Fatalf("TotalHPWL %v != reported %v", got, res.FinalHPWL)
+	}
+}
+
+func TestSnapshotAndCompare(t *testing.T) {
+	n := smallCircuit()
+	Place(n, lib(), Options{Seed: 3})
+	s1 := Snapshot(n)
+	if len(s1) != n.NumGates() {
+		t.Fatalf("snapshot has %d entries, want %d", len(s1), n.NumGates())
+	}
+	g := n.FindGate("g1")
+	g.X += 1
+	s2 := Snapshot(n)
+	name, same := SameLocations(s1, s2)
+	if same || name != "g1" {
+		t.Fatalf("SameLocations missed the moved cell: %q %v", name, same)
+	}
+	// Snapshots tolerate gates missing from one side (e.g. swept gates).
+	g.X -= 1
+	s3 := Snapshot(n)
+	delete(s3, "g2")
+	if _, same := SameLocations(Snapshot(n), s3); !same {
+		t.Fatal("missing entries should not count as moves")
+	}
+}
+
+func TestPlaceEmptyNetwork(t *testing.T) {
+	n := network.New("empty")
+	res := Place(n, lib(), Options{Seed: 1})
+	if res.Rows != 0 || res.FinalHPWL != 0 {
+		t.Fatalf("empty placement: %+v", res)
+	}
+}
+
+func TestPlaceScalesToTableCircuits(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	n, err := gen.Generate("alu4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Place(n, lib(), Options{Seed: 5, MovesPerCell: 20})
+	if res.FinalHPWL > res.InitialHPWL {
+		t.Fatal("annealing worsened a real benchmark")
+	}
+	// Die should be roughly square (aspect default 1): within 4x.
+	ratio := res.DieWidth / res.DieHeight
+	if ratio < 0.25 || ratio > 4 {
+		t.Fatalf("die aspect %v unreasonable (%+v)", ratio, res)
+	}
+}

@@ -1,0 +1,231 @@
+// Package sim provides 64-way bit-parallel logic simulation of mapped
+// Boolean networks and simulation-based equivalence checking. It is the
+// verification oracle of this reproduction: every rewiring move the
+// supergate theory claims to be function-preserving is checked against it
+// in tests, and the harness re-verifies optimized circuits against their
+// originals.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/logic"
+	"repro/internal/network"
+)
+
+// EvalWords simulates one 64-pattern round. in maps primary-input names to
+// 64 packed patterns (bit i of each word is pattern i). The result maps
+// primary-output names to their packed responses. Missing inputs default
+// to all-zero words.
+func EvalWords(n *network.Network, in map[string]uint64) map[string]uint64 {
+	vals := make(map[*network.Gate]uint64, n.NumGates())
+	var buf []uint64
+	for _, g := range n.TopoOrder() {
+		if g.IsInput() {
+			vals[g] = in[g.Name()]
+			continue
+		}
+		buf = buf[:0]
+		for _, f := range g.Fanins() {
+			buf = append(buf, vals[f])
+		}
+		vals[g] = g.Type.EvalWords(buf)
+	}
+	out := make(map[string]uint64)
+	for _, po := range n.Outputs() {
+		out[po.Name()] = vals[po]
+	}
+	return out
+}
+
+// Eval simulates one single-bit pattern given by primary-input name.
+func Eval(n *network.Network, in map[string]logic.Bit) map[string]logic.Bit {
+	words := make(map[string]uint64, len(in))
+	for name, b := range in {
+		words[name] = uint64(b)
+	}
+	outWords := EvalWords(n, words)
+	out := make(map[string]logic.Bit, len(outWords))
+	for name, w := range outWords {
+		out[name] = logic.Bit(w & 1)
+	}
+	return out
+}
+
+// Counterexample describes a single input pattern on which two networks
+// disagree.
+type Counterexample struct {
+	Inputs map[string]logic.Bit
+	Output string // name of a disagreeing primary output
+	A, B   logic.Bit
+}
+
+func (c *Counterexample) String() string {
+	return fmt.Sprintf("output %s: A=%d B=%d under %v", c.Output, c.A, c.B, c.Inputs)
+}
+
+// interfaceNames returns the sorted PI and PO name sets of n.
+func interfaceNames(n *network.Network) (pis, pos []string) {
+	for _, g := range n.Inputs() {
+		pis = append(pis, g.Name())
+	}
+	for _, g := range n.Outputs() {
+		pos = append(pos, g.Name())
+	}
+	sort.Strings(pis)
+	sort.Strings(pos)
+	return pis, pos
+}
+
+func sameInterface(a, b *network.Network) error {
+	apis, apos := interfaceNames(a)
+	bpis, bpos := interfaceNames(b)
+	if len(apis) != len(bpis) {
+		return fmt.Errorf("sim: PI count differs: %d vs %d", len(apis), len(bpis))
+	}
+	for i := range apis {
+		if apis[i] != bpis[i] {
+			return fmt.Errorf("sim: PI sets differ at %q vs %q", apis[i], bpis[i])
+		}
+	}
+	if len(apos) != len(bpos) {
+		return fmt.Errorf("sim: PO count differs: %d vs %d", len(apos), len(bpos))
+	}
+	for i := range apos {
+		if apos[i] != bpos[i] {
+			return fmt.Errorf("sim: PO sets differ at %q vs %q", apos[i], bpos[i])
+		}
+	}
+	return nil
+}
+
+// extractCE pulls the first disagreeing pattern out of a word-level
+// mismatch.
+func extractCE(in map[string]uint64, po string, wa, wb uint64) *Counterexample {
+	diff := wa ^ wb
+	bit := 0
+	for ; bit < 64; bit++ {
+		if diff>>bit&1 == 1 {
+			break
+		}
+	}
+	ce := &Counterexample{
+		Inputs: make(map[string]logic.Bit, len(in)),
+		Output: po,
+		A:      logic.Bit(wa >> bit & 1),
+		B:      logic.Bit(wb >> bit & 1),
+	}
+	for name, w := range in {
+		ce.Inputs[name] = logic.Bit(w >> bit & 1)
+	}
+	return ce
+}
+
+// EquivalentRandom checks a and b on rounds×64 pseudo-random patterns
+// derived from seed. The networks must have identical PI and PO name sets;
+// otherwise an error is returned. On disagreement it returns a
+// counterexample. A nil counterexample with nil error means no difference
+// was observed (probabilistic equivalence).
+func EquivalentRandom(a, b *network.Network, rounds int, seed int64) (*Counterexample, error) {
+	if err := sameInterface(a, b); err != nil {
+		return nil, err
+	}
+	pis, pos := interfaceNames(a)
+	rng := rand.New(rand.NewSource(seed))
+	in := make(map[string]uint64, len(pis))
+	for r := 0; r < rounds; r++ {
+		for _, pi := range pis {
+			in[pi] = rng.Uint64()
+		}
+		outA := EvalWords(a, in)
+		outB := EvalWords(b, in)
+		for _, po := range pos {
+			if outA[po] != outB[po] {
+				return extractCE(in, po, outA[po], outB[po]), nil
+			}
+		}
+	}
+	return nil, nil
+}
+
+// MaxExhaustiveInputs bounds EquivalentExhaustive: 2^20 patterns.
+const MaxExhaustiveInputs = 20
+
+// EquivalentExhaustive checks a and b on all 2^k input patterns, where k is
+// the number of primary inputs. It returns an error when k exceeds
+// MaxExhaustiveInputs. A nil counterexample means proven equivalence.
+func EquivalentExhaustive(a, b *network.Network) (*Counterexample, error) {
+	if err := sameInterface(a, b); err != nil {
+		return nil, err
+	}
+	pis, pos := interfaceNames(a)
+	k := len(pis)
+	if k > MaxExhaustiveInputs {
+		return nil, fmt.Errorf("sim: %d inputs exceed exhaustive limit %d", k, MaxExhaustiveInputs)
+	}
+	total := uint64(1) << k
+	in := make(map[string]uint64, k)
+	// Enumerate patterns in blocks of 64: pattern index = base + bit.
+	for base := uint64(0); base < total; base += 64 {
+		for i, pi := range pis {
+			var w uint64
+			for bit := uint64(0); bit < 64 && base+bit < total; bit++ {
+				if (base+bit)>>uint(i)&1 == 1 {
+					w |= 1 << bit
+				}
+			}
+			in[pi] = w
+		}
+		valid := total - base
+		var mask uint64 = ^uint64(0)
+		if valid < 64 {
+			mask = (1 << valid) - 1
+		}
+		outA := EvalWords(a, in)
+		outB := EvalWords(b, in)
+		for _, po := range pos {
+			if (outA[po]^outB[po])&mask != 0 {
+				return extractCE(in, po, outA[po]&mask, outB[po]&mask), nil
+			}
+		}
+	}
+	return nil, nil
+}
+
+// Equivalent picks the strongest affordable check: exhaustive when the
+// input count permits, otherwise rounds×64 random patterns.
+func Equivalent(a, b *network.Network, rounds int, seed int64) (*Counterexample, error) {
+	if len(a.Inputs()) <= MaxExhaustiveInputs {
+		return EquivalentExhaustive(a, b)
+	}
+	return EquivalentRandom(a, b, rounds, seed)
+}
+
+// Signature returns a seed-deterministic 64-bit hash of the network's
+// input/output behaviour over rounds×64 random patterns. Functionally
+// equal networks with the same interface always produce equal signatures;
+// unequal ones almost surely differ.
+func Signature(n *network.Network, rounds int, seed int64) uint64 {
+	pis, pos := interfaceNames(n)
+	rng := rand.New(rand.NewSource(seed))
+	in := make(map[string]uint64, len(pis))
+	const fnvOffset = 14695981039346656037
+	const fnvPrime = 1099511628211
+	h := uint64(fnvOffset)
+	for r := 0; r < rounds; r++ {
+		for _, pi := range pis {
+			in[pi] = rng.Uint64()
+		}
+		out := EvalWords(n, in)
+		for _, po := range pos {
+			w := out[po]
+			for b := 0; b < 64; b += 8 {
+				h ^= w >> b & 0xff
+				h *= fnvPrime
+			}
+		}
+	}
+	return h
+}

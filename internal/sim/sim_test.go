@@ -1,0 +1,202 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/logic"
+	"repro/internal/network"
+)
+
+// mux builds f = OR(AND(s,a), AND(INV(s),b)) — a 2:1 multiplexer.
+func mux(name string) *network.Network {
+	n := network.New(name)
+	s := n.AddInput("s")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	sn := n.AddGate("sn", logic.Inv, s)
+	t1 := n.AddGate("t1", logic.And, s, a)
+	t2 := n.AddGate("t2", logic.And, sn, b)
+	f := n.AddGate("f", logic.Or, t1, t2)
+	n.MarkOutput(f)
+	return n
+}
+
+// muxNand builds the same mux out of NANDs:
+// f = NAND(NAND(s,a), NAND(INV(s),b)).
+func muxNand(name string) *network.Network {
+	n := network.New(name)
+	s := n.AddInput("s")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	sn := n.AddGate("sn", logic.Inv, s)
+	t1 := n.AddGate("t1", logic.Nand, s, a)
+	t2 := n.AddGate("t2", logic.Nand, sn, b)
+	f := n.AddGate("f", logic.Nand, t1, t2)
+	n.MarkOutput(f)
+	return n
+}
+
+func TestEvalMux(t *testing.T) {
+	n := mux("m")
+	cases := []struct {
+		s, a, b, want logic.Bit
+	}{
+		{1, 1, 0, 1}, {1, 0, 1, 0}, {0, 1, 0, 0}, {0, 0, 1, 1},
+	}
+	for _, c := range cases {
+		out := Eval(n, map[string]logic.Bit{"s": c.s, "a": c.a, "b": c.b})
+		if out["f"] != c.want {
+			t.Errorf("mux(s=%d,a=%d,b=%d) = %d want %d", c.s, c.a, c.b, out["f"], c.want)
+		}
+	}
+}
+
+func TestEvalWordsMissingInputDefaultsZero(t *testing.T) {
+	n := mux("m")
+	out := EvalWords(n, map[string]uint64{"a": ^uint64(0)})
+	// s = 0 everywhere, so f = b = 0 everywhere.
+	if out["f"] != 0 {
+		t.Fatalf("f = %x want 0", out["f"])
+	}
+}
+
+func TestEquivalentExhaustiveEqual(t *testing.T) {
+	ce, err := EquivalentExhaustive(mux("a"), muxNand("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ce != nil {
+		t.Fatalf("mux and NAND-mux should be equivalent, got %v", ce)
+	}
+}
+
+func TestEquivalentExhaustiveFindsDifference(t *testing.T) {
+	a := mux("a")
+	b := mux("b")
+	// Corrupt b: swap the AND inputs of t1 with t2's select polarity.
+	t1 := b.FindGate("t1")
+	b.ReplaceFanin(t1, 0, b.FindGate("sn"))
+	ce, err := EquivalentExhaustive(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ce == nil {
+		t.Fatal("expected a counterexample")
+	}
+	// The counterexample must actually witness the difference.
+	outA := Eval(a, ce.Inputs)
+	outB := Eval(b, ce.Inputs)
+	if outA[ce.Output] == outB[ce.Output] {
+		t.Fatalf("counterexample %v does not distinguish the networks", ce)
+	}
+	if ce.String() == "" {
+		t.Fatal("empty counterexample string")
+	}
+}
+
+func TestEquivalentRandomFindsDifference(t *testing.T) {
+	a := mux("a")
+	b := mux("b")
+	f := b.FindGate("f")
+	b.ReplaceFanin(f, 0, b.FindGate("sn")) // corrupt
+	ce, err := EquivalentRandom(a, b, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ce == nil {
+		t.Fatal("random check missed an easy difference")
+	}
+}
+
+func TestInterfaceMismatchErrors(t *testing.T) {
+	a := mux("a")
+	b := mux("b")
+	extra := b.AddInput("zz")
+	g := b.AddGate("gz", logic.Buf, extra)
+	b.MarkOutput(g)
+	if _, err := EquivalentExhaustive(a, b); err == nil {
+		t.Fatal("expected interface mismatch error")
+	}
+	if _, err := EquivalentRandom(a, b, 1, 1); err == nil {
+		t.Fatal("expected interface mismatch error")
+	}
+}
+
+func TestEquivalentDispatch(t *testing.T) {
+	ce, err := Equivalent(mux("a"), muxNand("b"), 4, 7)
+	if err != nil || ce != nil {
+		t.Fatalf("Equivalent: ce=%v err=%v", ce, err)
+	}
+}
+
+func TestExhaustiveLimit(t *testing.T) {
+	n := network.New("wide")
+	var ins []*network.Gate
+	for i := 0; i < MaxExhaustiveInputs+1; i++ {
+		ins = append(ins, n.AddInput(fiName(i)))
+	}
+	g := n.AddGate("g", logic.And, ins...)
+	n.MarkOutput(g)
+	m, _ := n.Clone()
+	if _, err := EquivalentExhaustive(n, m); err == nil {
+		t.Fatal("expected limit error")
+	}
+}
+
+func fiName(i int) string { return "x" + string(rune('a'+i%26)) + string(rune('0'+i/26)) }
+
+func TestSignatureStableAndDiscriminating(t *testing.T) {
+	a := mux("a")
+	if Signature(a, 8, 42) != Signature(a, 8, 42) {
+		t.Fatal("signature not deterministic")
+	}
+	clone, _ := a.Clone()
+	if Signature(a, 8, 42) != Signature(clone, 8, 42) {
+		t.Fatal("clone signature differs")
+	}
+	b := mux("b")
+	fb := b.FindGate("f")
+	b.ReplaceFanin(fb, 1, b.FindGate("sn"))
+	if Signature(a, 8, 42) == Signature(b, 8, 42) {
+		t.Fatal("corrupted network has same signature")
+	}
+}
+
+// Property: a clone is always exhaustively equivalent to its original, for
+// random 4-input circuits assembled from a seed.
+func TestCloneEquivalenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		n := randomCircuit(seed, 4, 12)
+		c, _ := n.Clone()
+		ce, err := EquivalentExhaustive(n, c)
+		return err == nil && ce == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomCircuit builds a deterministic pseudo-random circuit for property
+// tests: numIn inputs, numGates gates drawn from a simple LCG.
+func randomCircuit(seed int64, numIn, numGates int) *network.Network {
+	n := network.New("rand")
+	state := uint64(seed)*2862933555777941757 + 3037000493
+	next := func(mod int) int {
+		state = state*6364136223846793005 + 1442695040888963407
+		return int(state>>33) % mod
+	}
+	pool := make([]*network.Gate, 0, numIn+numGates)
+	for i := 0; i < numIn; i++ {
+		pool = append(pool, n.AddInput(fiName(i)))
+	}
+	types := []logic.GateType{logic.And, logic.Or, logic.Xor, logic.Nand, logic.Nor, logic.Xnor}
+	for i := 0; i < numGates; i++ {
+		a := pool[next(len(pool))]
+		b := pool[next(len(pool))]
+		g := n.AddGate(n.FreshName("g"), types[next(len(types))], a, b)
+		pool = append(pool, g)
+	}
+	n.MarkOutput(pool[len(pool)-1])
+	return n
+}

@@ -1,0 +1,324 @@
+// Package sizing implements the gate-sizing algorithm the paper adopts
+// from Coudert (§5, their reference [2]): maximize the minimum slack
+// through iterative neighborhood search, followed by a relaxation phase
+// that maximizes the sum of slacks to escape local minima, the two phases
+// iterating until no further improvement.
+//
+// Every candidate resize is evaluated *locally*: the arrival times of the
+// resized gate's fanin drivers and of all their sinks are recomputed with
+// upstream arrivals and downstream required times frozen from the last
+// full analysis. This is what makes the optimizer cheap — a full timing
+// analysis runs once per pass, not once per candidate.
+package sizing
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/library"
+	"repro/internal/network"
+	"repro/internal/sta"
+)
+
+const eps = 1e-9
+
+// Objective selects the neighborhood objective of a phase.
+type Objective int
+
+const (
+	// MinSlack maximizes the minimum slack in the neighborhood (phase 1).
+	MinSlack Objective = iota
+	// SumSlack maximizes the sum of slacks in the neighborhood (the
+	// relaxation phase).
+	SumSlack
+)
+
+// neighborhood collects the gates whose timing a resize of g can change
+// locally: g's fanin drivers and every sink of those drivers (g itself
+// among them).
+func neighborhood(g *network.Gate) []*network.Gate {
+	seen := map[*network.Gate]bool{}
+	var out []*network.Gate
+	add := func(x *network.Gate) {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	for _, d := range g.Fanins() {
+		add(d)
+		for _, s := range d.Fanouts() {
+			add(s)
+		}
+	}
+	add(g)
+	return out
+}
+
+// Score reduces a set of neighborhood slacks to the objective value:
+// the minimum for MinSlack, the clock-clipped sum for SumSlack.
+func Score(obj Objective, slacks []float64, clock float64) float64 {
+	switch obj {
+	case MinSlack:
+		min := math.MaxFloat64
+		for _, s := range slacks {
+			if s < min {
+				min = s
+			}
+		}
+		return min
+	default:
+		sum := 0.0
+		for _, s := range slacks {
+			if s > clock {
+				s = clock
+			}
+			sum += s
+		}
+		return sum
+	}
+}
+
+// localSlacks computes the per-gate slacks of the neighborhood under the
+// current gate sizes, with upstream arrivals and required times frozen
+// from tm. The resized gate's SizeIdx must already be set by the caller.
+func localSlacks(tm *sta.Timing, g *network.Gate) []float64 {
+	// Recompute the nets of g's fanin drivers (their loads and sink wire
+	// delays change with g's pin capacitance).
+	newNet := map[*network.Gate]sta.NetInfo{}
+	newArr := map[*network.Gate]sta.Edge{}
+	for _, d := range g.Fanins() {
+		if _, done := newNet[d]; done {
+			continue
+		}
+		info := tm.ComputeNet(d, d.Fanouts())
+		if d.PO {
+			info.Load += sta.POLoadPF
+		}
+		newNet[d] = info
+		if d.IsInput() {
+			newArr[d] = sta.Edge{}
+			continue
+		}
+		newArr[d] = tm.GateOutput(d, pinArrivals(tm, d, newNet, newArr), info.Load)
+	}
+	// Then every sink of those drivers, g included.
+	var slacks []float64
+	appendSlack := func(x *network.Gate, arr sta.Edge) {
+		r := tm.Required(x)
+		slacks = append(slacks, math.Min(r.Rise-arr.Rise, r.Fall-arr.Fall))
+	}
+	for _, x := range neighborhood(g) {
+		if x.IsInput() {
+			continue
+		}
+		if arr, isDriver := newArr[x]; isDriver {
+			appendSlack(x, arr)
+			continue
+		}
+		// A sink's load is unchanged (same sinks; for g itself the cell
+		// changed but not the net), so tm.Load is still valid.
+		arr := tm.GateOutput(x, pinArrivals(tm, x, newNet, newArr), tm.Load(x))
+		appendSlack(x, arr)
+	}
+	return slacks
+}
+
+// pinArrivals assembles the in-pin arrival edges of gate x, preferring
+// hypothetical driver arrivals and net models where available.
+func pinArrivals(tm *sta.Timing, x *network.Gate, newNet map[*network.Gate]sta.NetInfo, newArr map[*network.Gate]sta.Edge) []sta.Edge {
+	pins := make([]sta.Edge, x.NumFanins())
+	for i, d := range x.Fanins() {
+		arr, ok := newArr[d]
+		if !ok {
+			arr = tm.Arrival(d)
+		}
+		var w float64
+		if info, ok := newNet[d]; ok {
+			w = info.SinkDelay[x]
+		} else {
+			w = tm.WireDelay(d, x)
+		}
+		pins[i] = sta.Edge{Rise: arr.Rise + w, Fall: arr.Fall + w}
+	}
+	return pins
+}
+
+// EvalResize returns the objective gain of switching g to newSize, locally
+// evaluated against tm. Positive is better. g is left unchanged.
+func EvalResize(tm *sta.Timing, g *network.Gate, newSize int, obj Objective) float64 {
+	if g.IsInput() || newSize == g.SizeIdx {
+		return 0
+	}
+	before := Score(obj, localSlacks(tm, g), tm.Clock)
+	old := g.SizeIdx
+	g.SizeIdx = newSize
+	after := Score(obj, localSlacks(tm, g), tm.Clock)
+	g.SizeIdx = old
+	return after - before
+}
+
+// BestResize returns the best alternative size for g and its gain.
+// A non-positive gain means the current size is locally optimal.
+func BestResize(tm *sta.Timing, g *network.Gate, obj Objective) (int, float64) {
+	bestSize, bestGain := g.SizeIdx, 0.0
+	for s := 0; s < library.NumSizes; s++ {
+		if s == g.SizeIdx {
+			continue
+		}
+		if gain := EvalResize(tm, g, s, obj); gain > bestGain+eps {
+			bestGain = gain
+			bestSize = s
+		}
+	}
+	return bestSize, bestGain
+}
+
+// DefaultStageTargetNS is the load-delay budget per stage used by
+// SeedForLoad when none is given.
+const DefaultStageTargetNS = 0.3
+
+// SeedForLoad assigns initial implementations from actual post-placement
+// loads: the smallest size whose drive resistance keeps the load-dependent
+// delay term R × C_load within the per-stage target. This emulates what
+// the paper's timing-driven mapper delivers — a netlist already sized for
+// the loads it drives — and is the baseline all three optimizers start
+// from. Because input capacitances feed back into loads, the fixed point
+// is approached with two passes.
+func SeedForLoad(n *network.Network, lib *library.Library, targetNS float64) {
+	if targetNS <= 0 {
+		targetNS = DefaultStageTargetNS
+	}
+	for pass := 0; pass < 2; pass++ {
+		tm := sta.Analyze(n, lib, 0)
+		n.Gates(func(g *network.Gate) {
+			if g.IsInput() {
+				return
+			}
+			load := tm.Load(g)
+			for s := 0; s < library.NumSizes; s++ {
+				c := lib.MustCell(g.Type, g.NumFanins(), s)
+				r := math.Max(c.ResRise, c.ResFall)
+				if r*load <= targetNS || s == library.NumSizes-1 {
+					g.SizeIdx = s
+					break
+				}
+			}
+		})
+	}
+}
+
+// Options controls the standalone GS optimizer.
+type Options struct {
+	// Clock is the required time at primary outputs; <= 0 freezes the
+	// initial critical delay as the target, making slack maximization
+	// equivalent to delay minimization.
+	Clock float64
+	// MaxPasses bounds the phase-1/phase-2 iterations (default 8).
+	MaxPasses int
+	// Allowed filters which gates may be resized; nil allows all.
+	Allowed func(*network.Gate) bool
+}
+
+// Stats reports a sizing run.
+type Stats struct {
+	Passes       int
+	Resizes      int
+	InitialDelay float64
+	FinalDelay   float64
+}
+
+// Optimize runs Coudert-style sizing on the whole network (or the Allowed
+// subset) in place and returns statistics. Placement is never modified.
+func Optimize(n *network.Network, lib *library.Library, o Options) Stats {
+	if o.MaxPasses <= 0 {
+		o.MaxPasses = 8
+	}
+	allowed := o.Allowed
+	if allowed == nil {
+		allowed = func(*network.Gate) bool { return true }
+	}
+	tm := sta.Analyze(n, lib, o.Clock)
+	clock := tm.Clock
+	st := Stats{InitialDelay: tm.CriticalDelay, FinalDelay: tm.CriticalDelay}
+
+	// Relaxation may temporarily worsen the critical delay; remember the
+	// best sizing seen and restore it at the end.
+	bestDelay := tm.CriticalDelay
+	bestSizes := snapshotSizes(n)
+	for pass := 0; pass < o.MaxPasses; pass++ {
+		improved := false
+		for _, obj := range []Objective{MinSlack, SumSlack} {
+			tm = sta.Analyze(n, lib, clock)
+			applied := applyPhase(n, tm, obj, allowed, &st)
+			if applied == 0 {
+				continue
+			}
+			after := sta.Analyze(n, lib, clock)
+			if after.CriticalDelay < bestDelay-eps {
+				bestDelay = after.CriticalDelay
+				bestSizes = snapshotSizes(n)
+				improved = true
+			}
+		}
+		st.Passes = pass + 1
+		if !improved {
+			break
+		}
+	}
+	restoreSizes(n, bestSizes)
+	final := sta.Analyze(n, lib, clock)
+	st.FinalDelay = final.CriticalDelay
+	return st
+}
+
+func snapshotSizes(n *network.Network) map[*network.Gate]int {
+	m := make(map[*network.Gate]int, n.NumGates())
+	n.Gates(func(g *network.Gate) { m[g] = g.SizeIdx })
+	return m
+}
+
+func restoreSizes(n *network.Network, sizes map[*network.Gate]int) {
+	n.Gates(func(g *network.Gate) {
+		if s, ok := sizes[g]; ok {
+			g.SizeIdx = s
+		}
+	})
+}
+
+type resizeMove struct {
+	g    *network.Gate
+	size int
+	gain float64
+}
+
+// applyPhase finds the best resize per gate, sorts by gain, and applies
+// them in order, revalidating each against the mutated state. It returns
+// the number of resizes applied.
+func applyPhase(n *network.Network, tm *sta.Timing, obj Objective, allowed func(*network.Gate) bool, st *Stats) int {
+	var moves []resizeMove
+	n.Gates(func(g *network.Gate) {
+		if g.IsInput() || !allowed(g) {
+			return
+		}
+		if size, gain := BestResize(tm, g, obj); gain > eps {
+			moves = append(moves, resizeMove{g, size, gain})
+		}
+	})
+	sortMoves(moves)
+	applied := 0
+	for _, m := range moves {
+		// Earlier applications change the local picture; re-evaluate
+		// before committing (the "best sequence" selection of §5).
+		if gain := EvalResize(tm, m.g, m.size, obj); gain > eps {
+			m.g.SizeIdx = m.size
+			applied++
+			st.Resizes++
+		}
+	}
+	return applied
+}
+
+func sortMoves(moves []resizeMove) {
+	sort.SliceStable(moves, func(i, j int) bool { return moves[i].gain > moves[j].gain })
+}

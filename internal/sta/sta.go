@@ -1,0 +1,362 @@
+// Package sta is the static timing analyzer of the post-placement flow.
+// It combines the library's pin-to-pin load-dependent gate delay model
+// (separate rise and fall, §6) with the star-model Elmore interconnect
+// delays of the wire package, and produces per-gate arrival times,
+// required times, and slacks.
+//
+// Conventions: a gate's "arrival" is at its out-pin; primary inputs arrive
+// at time 0; the required time at every primary output is the clock
+// constraint (or, when no clock is given, the critical delay itself, which
+// makes the worst slack exactly zero and turns slack maximization into
+// delay minimization, as in the paper's optimizer).
+package sta
+
+import (
+	"math"
+
+	"repro/internal/library"
+	"repro/internal/logic"
+	"repro/internal/network"
+	"repro/internal/wire"
+)
+
+// POLoadPF is the fixed capacitive load presented by a primary-output pad
+// in pF.
+const POLoadPF = 0.03
+
+// Edge carries separate rise and fall times in ns.
+type Edge struct{ Rise, Fall float64 }
+
+// Max returns the worse of the two edges.
+func (e Edge) Max() float64 {
+	if e.Rise > e.Fall {
+		return e.Rise
+	}
+	return e.Fall
+}
+
+// Min returns the better of the two edges.
+func (e Edge) Min() float64 {
+	if e.Rise < e.Fall {
+		return e.Rise
+	}
+	return e.Fall
+}
+
+func (e Edge) add(d float64) Edge { return Edge{e.Rise + d, e.Fall + d} }
+
+const inf = math.MaxFloat64
+
+// Timing holds the results of one full analysis. It is invalidated by any
+// structural, sizing, or placement change; run Analyze again (the
+// optimizers use ComputeNet/GateOutput for hypothetical local evaluation
+// in between).
+type Timing struct {
+	n   *network.Network
+	lib *library.Library
+
+	arrival   map[*network.Gate]Edge
+	required  map[*network.Gate]Edge
+	load      map[*network.Gate]float64
+	wireCache map[*network.Gate]NetInfo
+
+	// Clock is the PO required time used; equals CriticalDelay when
+	// Analyze was called without a positive clock.
+	Clock float64
+	// CriticalDelay is the maximum PO arrival.
+	CriticalDelay float64
+}
+
+// Analyze runs a full timing analysis of the mapped, placed network. If
+// clock <= 0 the PO required time is set to the measured critical delay.
+func Analyze(n *network.Network, lib *library.Library, clock float64) *Timing {
+	t := &Timing{
+		n:        n,
+		lib:      lib,
+		arrival:  make(map[*network.Gate]Edge, n.NumGates()),
+		required: make(map[*network.Gate]Edge, n.NumGates()),
+		load:     make(map[*network.Gate]float64, n.NumGates()),
+	}
+	order := n.TopoOrder()
+
+	// Pass 1: driver loads (wire + sink pins + PO pad).
+	for _, g := range order {
+		net := t.ComputeNet(g, g.Fanouts())
+		t.load[g] = net.Load
+		if g.PO {
+			t.load[g] += POLoadPF
+		}
+	}
+
+	// Pass 2: arrivals.
+	var pinArr []Edge
+	for _, g := range order {
+		if g.IsInput() {
+			t.arrival[g] = Edge{}
+			continue
+		}
+		pinArr = pinArr[:0]
+		for _, d := range g.Fanins() {
+			pinArr = append(pinArr, t.arrival[d].add(t.WireDelay(d, g)))
+		}
+		t.arrival[g] = t.GateOutput(g, pinArr, t.load[g])
+	}
+	for _, po := range n.Outputs() {
+		if a := t.arrival[po].Max(); a > t.CriticalDelay {
+			t.CriticalDelay = a
+		}
+	}
+	t.Clock = clock
+	if t.Clock <= 0 {
+		t.Clock = t.CriticalDelay
+	}
+
+	// Pass 3: required times, walking in reverse topological order.
+	for _, g := range order {
+		t.required[g] = Edge{inf, inf}
+	}
+	for _, po := range n.Outputs() {
+		t.required[po] = Edge{t.Clock, t.Clock}
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		s := order[i]
+		if s.IsInput() {
+			continue
+		}
+		cell := t.cellOf(s)
+		dRise, dFall := cell.Delay(t.load[s])
+		reqS := t.required[s]
+		for _, d := range s.Fanins() {
+			w := t.WireDelay(d, s)
+			var cand Edge
+			switch edgeBehavior(s.Type) {
+			case inverting:
+				cand = Edge{Rise: reqS.Fall - dFall - w, Fall: reqS.Rise - dRise - w}
+			case nonInverting:
+				cand = Edge{Rise: reqS.Rise - dRise - w, Fall: reqS.Fall - dFall - w}
+			default: // nonUnate: either input edge can cause either output edge
+				m := math.Min(reqS.Rise-dRise, reqS.Fall-dFall) - w
+				cand = Edge{m, m}
+			}
+			cur := t.required[d]
+			if cand.Rise < cur.Rise {
+				cur.Rise = cand.Rise
+			}
+			if cand.Fall < cur.Fall {
+				cur.Fall = cand.Fall
+			}
+			t.required[d] = cur
+		}
+	}
+	return t
+}
+
+type unateness int
+
+const (
+	inverting unateness = iota
+	nonInverting
+	nonUnate
+)
+
+func edgeBehavior(t logic.GateType) unateness {
+	switch t {
+	case logic.Inv, logic.Nand, logic.Nor:
+		return inverting
+	case logic.Buf, logic.And, logic.Or:
+		return nonInverting
+	default: // XOR family
+		return nonUnate
+	}
+}
+
+func (t *Timing) cellOf(g *network.Gate) *library.Cell {
+	return t.lib.MustCell(g.Type, g.NumFanins(), g.SizeIdx)
+}
+
+// pinCap returns the input capacitance of one in-pin of sink s.
+func (t *Timing) pinCap(s *network.Gate) float64 {
+	if s.IsInput() {
+		return 0
+	}
+	return t.cellOf(s).InputCap
+}
+
+// NetInfo describes one (possibly hypothetical) net: the total load seen
+// by the driver and the wire delay to each sink gate.
+type NetInfo struct {
+	Load      float64
+	SinkDelay map[*network.Gate]float64
+}
+
+// ComputeNet builds the star model for driver d over an explicit sink
+// list, which need not be d's current fanouts — optimizers pass
+// hypothetical sink sets to evaluate rewiring moves before committing
+// them. Unplaced terminals contribute no wire parasitics.
+func (t *Timing) ComputeNet(d *network.Gate, sinks []*network.Gate) NetInfo {
+	info := NetInfo{SinkDelay: make(map[*network.Gate]float64, len(sinks))}
+	if len(sinks) == 0 {
+		return info
+	}
+	pts := make([]wire.Point, len(sinks))
+	caps := make([]float64, len(sinks))
+	placed := d.Placed
+	for i, s := range sinks {
+		pts[i] = wire.Point{X: s.X, Y: s.Y}
+		caps[i] = t.pinCap(s)
+		if !s.Placed {
+			placed = false
+		}
+	}
+	if !placed {
+		// Pre-placement: pin caps only, zero wire.
+		for i, s := range sinks {
+			info.Load += caps[i]
+			info.SinkDelay[s] = 0
+		}
+		return info
+	}
+	star := wire.Build(wire.Point{X: d.X, Y: d.Y}, pts)
+	info.Load = star.TotalLoad(caps)
+	for i, s := range sinks {
+		delay := star.ElmoreToSink(i, caps)
+		if cur, ok := info.SinkDelay[s]; !ok || delay > cur {
+			info.SinkDelay[s] = delay
+		}
+	}
+	return info
+}
+
+// WireDelay returns the interconnect delay from driver d's out-pin to sink
+// s under the current (committed) netlist.
+func (t *Timing) WireDelay(d, s *network.Gate) float64 {
+	// Nets are short (average fanout is small); recomputing the star on
+	// demand would be wasteful, so cache per driver.
+	if t.wireCache == nil {
+		t.wireCache = make(map[*network.Gate]NetInfo, t.n.NumGates())
+	}
+	info, ok := t.wireCache[d]
+	if !ok {
+		info = t.ComputeNet(d, d.Fanouts())
+		t.wireCache[d] = info
+	}
+	return info.SinkDelay[s]
+}
+
+// GateOutput computes the out-pin arrival of g from explicit per-pin input
+// arrivals and an explicit output load, using g's current cell. It is pure
+// with respect to the committed analysis, so optimizers can call it with
+// hypothetical values.
+func (t *Timing) GateOutput(g *network.Gate, pinArr []Edge, load float64) Edge {
+	cell := t.cellOf(g)
+	dRise, dFall := cell.Delay(load)
+	var worstRise, worstFall float64 // worst causing-input times
+	for _, pa := range pinArr {
+		switch edgeBehavior(g.Type) {
+		case inverting:
+			// Output rise is caused by input fall and vice versa.
+			if pa.Fall > worstRise {
+				worstRise = pa.Fall
+			}
+			if pa.Rise > worstFall {
+				worstFall = pa.Rise
+			}
+		case nonInverting:
+			if pa.Rise > worstRise {
+				worstRise = pa.Rise
+			}
+			if pa.Fall > worstFall {
+				worstFall = pa.Fall
+			}
+		default:
+			m := pa.Max()
+			if m > worstRise {
+				worstRise = m
+			}
+			if m > worstFall {
+				worstFall = m
+			}
+		}
+	}
+	return Edge{Rise: worstRise + dRise, Fall: worstFall + dFall}
+}
+
+// Arrival returns the out-pin arrival time of g.
+func (t *Timing) Arrival(g *network.Gate) Edge { return t.arrival[g] }
+
+// Required returns the out-pin required time of g. Gates that reach no
+// primary output have +inf required time.
+func (t *Timing) Required(g *network.Gate) Edge { return t.required[g] }
+
+// Load returns the total output load of g in pF.
+func (t *Timing) Load(g *network.Gate) float64 { return t.load[g] }
+
+// Slack returns the worst-edge slack of g.
+func (t *Timing) Slack(g *network.Gate) float64 {
+	a, r := t.arrival[g], t.required[g]
+	return math.Min(r.Rise-a.Rise, r.Fall-a.Fall)
+}
+
+// WorstSlack returns the minimum slack over all gates.
+func (t *Timing) WorstSlack() float64 {
+	worst := inf
+	t.n.Gates(func(g *network.Gate) {
+		if s := t.Slack(g); s < worst {
+			worst = s
+		}
+	})
+	return worst
+}
+
+// SlackSum returns the sum of gate slacks, with each slack clipped to the
+// clock period to keep far-off-critical gates from dominating. This is the
+// relaxation objective of the optimizer's second phase.
+func (t *Timing) SlackSum() float64 {
+	sum := 0.0
+	t.n.Gates(func(g *network.Gate) {
+		s := t.Slack(g)
+		if s > t.Clock {
+			s = t.Clock
+		}
+		sum += s
+	})
+	return sum
+}
+
+// CriticalPath returns the gates of one critical path, from a primary
+// input to the worst primary output.
+func (t *Timing) CriticalPath() []*network.Gate {
+	var worst *network.Gate
+	for _, po := range t.n.Outputs() {
+		if worst == nil || t.arrival[po].Max() > t.arrival[worst].Max() {
+			worst = po
+		}
+	}
+	if worst == nil {
+		return nil
+	}
+	var path []*network.Gate
+	g := worst
+	for {
+		path = append(path, g)
+		if g.IsInput() || g.NumFanins() == 0 {
+			break
+		}
+		// Follow the fanin whose pin arrival dominates.
+		var best *network.Gate
+		bestArr := -inf
+		for _, d := range g.Fanins() {
+			a := t.arrival[d].Max() + t.WireDelay(d, g)
+			if a > bestArr {
+				bestArr = a
+				best = d
+			}
+		}
+		g = best
+	}
+	// Reverse to PI→PO order.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}

@@ -1,0 +1,34 @@
+package supergate_test
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+	"repro/internal/network"
+	"repro/internal/supergate"
+)
+
+// ExampleExtract shows the decomposition of a two-level NAND/NOR structure
+// into a single and-or supergate with implied leaf values.
+func ExampleExtract() {
+	n := network.New("example")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	c := n.AddInput("c")
+	inner := n.AddGate("inner", logic.Nor, a, b)
+	f := n.AddGate("f", logic.Nand, inner, c)
+	n.MarkOutput(f)
+
+	ext := supergate.Extract(n)
+	for _, sg := range ext.Supergates {
+		fmt.Println(sg)
+		for _, l := range sg.Leaves {
+			fmt.Printf("leaf %s imp=%d depth=%d\n", l.Driver.Name(), l.Imp, l.Depth)
+		}
+	}
+	// Output:
+	// SG(and-or@f: 2 gates, 3 leaves)
+	// leaf a imp=0 depth=2
+	// leaf b imp=0 depth=2
+	// leaf c imp=1 depth=1
+}

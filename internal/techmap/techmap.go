@@ -1,0 +1,182 @@
+// Package techmap maps a structurally arbitrary Boolean network (AND, OR,
+// XOR, NAND, NOR, XNOR, INV, BUF of any fanin) onto the paper's cell
+// library: INV, BUF, and 2–4-input NAND, NOR, XOR, XNOR. This stands in
+// for the SIS flow the paper uses (script.rugged followed by timing-driven
+// mapping, §6); the rewiring theory only requires a mapped network over
+// that inverting cell set.
+//
+// The mapping is semantics-preserving and proceeds in three passes:
+//
+//  1. Wide gates are decomposed into balanced trees of cells with at most
+//     library.MaxFanin inputs (legal because AND, OR, and XOR are
+//     associative; the inversion of NAND/NOR/XNOR is kept at the tree
+//     root).
+//  2. AND and OR gates are rewritten as NAND/NOR followed by an inverter;
+//     the inverter inherits the original gate's name so primary-output
+//     names survive.
+//  3. Double inverters are collapsed and dead gates swept.
+//
+// Gates end with fanout-proportional initial sizes (see SeedSizes), the
+// starting point of the sizing algorithms.
+package techmap
+
+import (
+	"fmt"
+
+	"repro/internal/library"
+	"repro/internal/logic"
+	"repro/internal/network"
+)
+
+// Map rewrites n in place into a library-mapped network. It returns an
+// error only when a gate has a function the library cannot express, which
+// indicates a malformed input network.
+func Map(n *network.Network, lib *library.Library) error {
+	decomposeWide(n, lib)
+	if err := lowerAndOr(n, lib); err != nil {
+		return err
+	}
+	CollapseInverterPairs(n)
+	n.Sweep()
+	SeedSizes(n)
+	return Check(n, lib)
+}
+
+// decomposeWide splits every gate with more than MaxFanin inputs into a
+// balanced tree of base-type gates, keeping any inversion at the root.
+func decomposeWide(n *network.Network, lib *library.Library) {
+	for _, g := range n.TopoOrder() {
+		if g.IsInput() || g.NumFanins() <= library.MaxFanin {
+			continue
+		}
+		base, _ := g.Type.Base()
+		fanins := append([]*network.Gate(nil), g.Fanins()...)
+		// Repeatedly combine chunks of MaxFanin signals until at most
+		// MaxFanin remain; those become the root's fanins.
+		for len(fanins) > library.MaxFanin {
+			var next []*network.Gate
+			for i := 0; i < len(fanins); i += library.MaxFanin {
+				end := i + library.MaxFanin
+				if end > len(fanins) {
+					end = len(fanins)
+				}
+				chunk := fanins[i:end]
+				if len(chunk) == 1 {
+					next = append(next, chunk[0])
+					continue
+				}
+				sub := n.AddGate(n.FreshName(g.Name()+"_t"), base, chunk...)
+				next = append(next, sub)
+			}
+			fanins = next
+		}
+		n.SetFanins(g, fanins)
+	}
+}
+
+// lowerAndOr rewrites AND → INV(NAND) and OR → INV(NOR). The inverter
+// takes over the original gate's name (and PO flag), so the visible
+// interface of the network is unchanged.
+func lowerAndOr(n *network.Network, lib *library.Library) error {
+	for _, g := range n.TopoOrder() {
+		switch g.Type {
+		case logic.And, logic.Or:
+			inverted := logic.Nand
+			if g.Type == logic.Or {
+				inverted = logic.Nor
+			}
+			origName := g.Name()
+			n.Rename(g, n.FreshName(origName+"_m"))
+			g.Type = inverted
+			inv := n.AddGate(origName, logic.Inv, g)
+			n.TransferFanouts(g, inv)
+		case logic.Buf:
+			// Single-input buffers are legal library cells; keep.
+		case logic.Input, logic.Inv, logic.Nand, logic.Nor, logic.Xor, logic.Xnor:
+			// Already library functions.
+		default:
+			return fmt.Errorf("techmap: cannot map gate type %s", g.Type)
+		}
+	}
+	return nil
+}
+
+// CollapseInverterPairs rewires every in-pin driven by INV(INV(x)) to x
+// directly and sweeps the dead inverters. Primary-output gates are never
+// bypassed (their names define the network interface). Returns the number
+// of pins rewired.
+func CollapseInverterPairs(n *network.Network) int {
+	rewired := 0
+	for _, g := range n.TopoOrder() {
+		for i := 0; i < g.NumFanins(); i++ {
+			d := g.Fanin(i)
+			if d.Type != logic.Inv || d.PO {
+				continue
+			}
+			inner := d.Fanin(0)
+			if inner.Type != logic.Inv {
+				continue
+			}
+			n.ReplaceFanin(g, i, inner.Fanin(0))
+			rewired++
+		}
+	}
+	n.Sweep()
+	return rewired
+}
+
+// SeedSizes assigns each gate an initial implementation by fanout load,
+// emulating the timing-driven mapper of the paper's flow ("map -n 1
+// -AFG"): drive strength grows with the number of sink pins, so heavily
+// loaded gates do not start at the weakest cell. This is the baseline the
+// GS optimizer refines — without it, sizing would begin from an
+// unrealistically weak netlist and report inflated gains.
+func SeedSizes(n *network.Network) {
+	n.Gates(func(g *network.Gate) {
+		if g.IsInput() {
+			return
+		}
+		switch f := g.FanoutBranches(); {
+		case f <= 2:
+			g.SizeIdx = 0
+		case f <= 4:
+			g.SizeIdx = 1
+		case f <= 8:
+			g.SizeIdx = 2
+		default:
+			g.SizeIdx = library.NumSizes - 1
+		}
+	})
+}
+
+// Check verifies that every non-input gate of n is realizable by a library
+// cell, returning the first violation.
+func Check(n *network.Network, lib *library.Library) error {
+	var err error
+	n.Gates(func(g *network.Gate) {
+		if err != nil || g.IsInput() {
+			return
+		}
+		if !lib.Supports(g.Type, g.NumFanins()) {
+			err = fmt.Errorf("techmap: gate %s (%s, %d inputs) not in library",
+				g.Name(), g.Type, g.NumFanins())
+			return
+		}
+		if g.SizeIdx < 0 || g.SizeIdx >= library.NumSizes {
+			err = fmt.Errorf("techmap: gate %s has size index %d", g.Name(), g.SizeIdx)
+		}
+	})
+	return err
+}
+
+// Area returns the total cell area of the mapped network in µm².
+func Area(n *network.Network, lib *library.Library) float64 {
+	total := 0.0
+	n.Gates(func(g *network.Gate) {
+		if g.IsInput() {
+			return
+		}
+		total += lib.MustCell(g.Type, g.NumFanins(), g.SizeIdx).Area
+	})
+	return total
+}

@@ -1,0 +1,267 @@
+package techmap
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/library"
+	"repro/internal/logic"
+	"repro/internal/network"
+	"repro/internal/sim"
+)
+
+func lib() *library.Library { return library.Default035() }
+
+func TestMapSmallAndOr(t *testing.T) {
+	n := network.New("m")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	c := n.AddInput("c")
+	g1 := n.AddGate("g1", logic.And, a, b)
+	f := n.AddGate("f", logic.Or, g1, c)
+	n.MarkOutput(f)
+	orig, _ := n.Clone()
+
+	if err := Map(n, lib()); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(n, lib()); err != nil {
+		t.Fatal(err)
+	}
+	// Interface preserved: PO still named f.
+	if len(n.Outputs()) != 1 || n.Outputs()[0].Name() != "f" {
+		t.Fatal("PO name lost")
+	}
+	ce, err := sim.EquivalentExhaustive(orig, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ce != nil {
+		t.Fatalf("mapping changed function: %v", ce)
+	}
+	// No AND/OR left.
+	n.Gates(func(g *network.Gate) {
+		if g.Type == logic.And || g.Type == logic.Or {
+			t.Errorf("unmapped gate %s", g)
+		}
+	})
+}
+
+func TestDecomposeWideGate(t *testing.T) {
+	n := network.New("wide")
+	var ins []*network.Gate
+	for i := 0; i < 11; i++ {
+		ins = append(ins, n.AddInput(fmt.Sprintf("x%d", i)))
+	}
+	f := n.AddGate("f", logic.Nand, ins...)
+	n.MarkOutput(f)
+	orig, _ := n.Clone()
+
+	if err := Map(n, lib()); err != nil {
+		t.Fatal(err)
+	}
+	n.Gates(func(g *network.Gate) {
+		if !g.IsInput() && g.NumFanins() > library.MaxFanin {
+			t.Errorf("gate %s still has %d fanins", g, g.NumFanins())
+		}
+	})
+	ce, err := sim.EquivalentExhaustive(orig, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ce != nil {
+		t.Fatalf("wide decomposition changed function: %v", ce)
+	}
+	// Root keeps the inversion: f must still be NAND-rooted... after
+	// mapping, PO gate f is the NAND root itself (no AND/OR lowering).
+	if n.FindGate("f").Type != logic.Nand {
+		t.Fatalf("root type = %v", n.FindGate("f").Type)
+	}
+}
+
+func TestWideXorAndWideOr(t *testing.T) {
+	for _, tt := range []logic.GateType{logic.Xor, logic.Xnor, logic.Or, logic.And, logic.Nor} {
+		n := network.New("wide")
+		var ins []*network.Gate
+		for i := 0; i < 9; i++ {
+			ins = append(ins, n.AddInput(fmt.Sprintf("x%d", i)))
+		}
+		f := n.AddGate("f", tt, ins...)
+		n.MarkOutput(f)
+		orig, _ := n.Clone()
+		if err := Map(n, lib()); err != nil {
+			t.Fatalf("%v: %v", tt, err)
+		}
+		if err := Check(n, lib()); err != nil {
+			t.Fatalf("%v: %v", tt, err)
+		}
+		ce, err := sim.EquivalentExhaustive(orig, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ce != nil {
+			t.Fatalf("%v: mapping changed function: %v", tt, ce)
+		}
+	}
+}
+
+func TestCollapseInverterPairs(t *testing.T) {
+	n := network.New("ii")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	i1 := n.AddGate("i1", logic.Inv, a)
+	i2 := n.AddGate("i2", logic.Inv, i1)
+	f := n.AddGate("f", logic.Nand, i2, b)
+	n.MarkOutput(f)
+	orig, _ := n.Clone()
+
+	if got := CollapseInverterPairs(n); got != 1 {
+		t.Fatalf("rewired %d pins, want 1", got)
+	}
+	if f.Fanin(0) != a {
+		t.Fatal("pin not rewired to a")
+	}
+	if n.FindGate("i1") != nil || n.FindGate("i2") != nil {
+		t.Fatal("dead inverters not swept")
+	}
+	ce, err := sim.EquivalentExhaustive(orig, n)
+	if err != nil || ce != nil {
+		t.Fatalf("collapse changed function: %v %v", ce, err)
+	}
+}
+
+func TestCollapseKeepsPOInverters(t *testing.T) {
+	// PO gate is itself INV(INV(a)) — it must survive because its name is
+	// the interface.
+	n := network.New("po")
+	a := n.AddInput("a")
+	i1 := n.AddGate("i1", logic.Inv, a)
+	f := n.AddGate("f", logic.Inv, i1)
+	n.MarkOutput(f)
+	CollapseInverterPairs(n)
+	if n.FindGate("f") == nil {
+		t.Fatal("PO inverter removed")
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckRejectsUnmapped(t *testing.T) {
+	n := network.New("bad")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	f := n.AddGate("f", logic.And, a, b)
+	n.MarkOutput(f)
+	if err := Check(n, lib()); err == nil {
+		t.Fatal("Check accepted AND gate")
+	}
+}
+
+func TestArea(t *testing.T) {
+	n := network.New("area")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	f := n.AddGate("f", logic.Nand, a, b)
+	n.MarkOutput(f)
+	l := lib()
+	want := l.MustCell(logic.Nand, 2, 0).Area
+	if got := Area(n, l); got != want {
+		t.Fatalf("Area = %v want %v", got, want)
+	}
+	f.SizeIdx = 3
+	if Area(n, l) <= want {
+		t.Fatal("area should grow with size")
+	}
+}
+
+// Property: mapping random circuits preserves function and always yields a
+// library-legal netlist.
+func TestMapRandomProperty(t *testing.T) {
+	l := lib()
+	f := func(seed int64) bool {
+		n := randomCircuit(seed, 5, 15)
+		orig, _ := n.Clone()
+		if err := Map(n, l); err != nil {
+			return false
+		}
+		if err := n.Validate(); err != nil {
+			return false
+		}
+		if err := Check(n, l); err != nil {
+			return false
+		}
+		ce, err := sim.EquivalentExhaustive(orig, n)
+		return err == nil && ce == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomCircuit(seed int64, numIn, numGates int) *network.Network {
+	n := network.New("rand")
+	state := uint64(seed)*0x9e3779b97f4a7c15 + 1
+	next := func(mod int) int {
+		state = state*6364136223846793005 + 1442695040888963407
+		return int(state>>33) % mod
+	}
+	pool := make([]*network.Gate, 0, numIn+numGates)
+	for i := 0; i < numIn; i++ {
+		pool = append(pool, n.AddInput(fmt.Sprintf("x%d", i)))
+	}
+	types := []logic.GateType{logic.And, logic.Or, logic.Xor, logic.Nand,
+		logic.Nor, logic.Xnor, logic.Inv}
+	for i := 0; i < numGates; i++ {
+		tt := types[next(len(types))]
+		var fanins []*network.Gate
+		k := 2 + next(5) // 2..6 inputs to exercise decomposition
+		if tt == logic.Inv {
+			k = 1
+		}
+		for j := 0; j < k; j++ {
+			fanins = append(fanins, pool[next(len(pool))])
+		}
+		pool = append(pool, n.AddGate(fmt.Sprintf("g%d", i), tt, fanins...))
+	}
+	n.MarkOutput(pool[len(pool)-1])
+	n.MarkOutput(pool[len(pool)/2])
+	return n
+}
+
+func TestSeedSizesThresholds(t *testing.T) {
+	n := network.New("seed")
+	a, b := n.AddInput("a"), n.AddInput("b")
+	low := n.AddGate("low", logic.Nand, a, b) // 1 sink
+	mid := n.AddGate("mid", logic.Nand, a, b) // 3 sinks
+	big := n.AddGate("big", logic.Nand, a, b) // 9 sinks
+	sink := func(d *network.Gate) {
+		s := n.AddGate(n.FreshName("s"), logic.Inv, d)
+		n.MarkOutput(s)
+	}
+	sink(low)
+	for i := 0; i < 3; i++ {
+		sink(mid)
+	}
+	for i := 0; i < 9; i++ {
+		sink(big)
+	}
+	SeedSizes(n)
+	if low.SizeIdx != 0 {
+		t.Errorf("1-sink gate seeded to %d, want 0", low.SizeIdx)
+	}
+	if mid.SizeIdx != 1 {
+		t.Errorf("3-sink gate seeded to %d, want 1", mid.SizeIdx)
+	}
+	if big.SizeIdx != library.NumSizes-1 {
+		t.Errorf("9-sink gate seeded to %d, want max", big.SizeIdx)
+	}
+	// Inputs are never sized.
+	if a.SizeIdx != 0 {
+		t.Error("input got a size")
+	}
+}
