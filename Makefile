@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: all vet build test bench table1
+
+all: vet build test
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) build ./... && $(GO) test ./...
+
+# One pass over every paper benchmark; see DESIGN.md §4 for the index.
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x .
+
+table1:
+	$(GO) run ./cmd/table1 -quick

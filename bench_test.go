@@ -11,6 +11,7 @@ package repro
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
 	"repro/internal/gen"
@@ -22,6 +23,7 @@ import (
 	"repro/internal/place"
 	"repro/internal/rewire"
 	"repro/internal/sizing"
+	"repro/internal/sta"
 	"repro/internal/supergate"
 )
 
@@ -254,6 +256,87 @@ func BenchmarkAblationSeedSizes(b *testing.B) {
 			b.ReportMetric(imp, "GS-improve%")
 		})
 	}
+}
+
+// --- Incremental vs full STA: the optimizer's per-swap evaluation cost ---
+
+// staSwapBench shares one placed, load-seeded copy of the largest
+// generated Table 1 benchmark (s38417, ~10k gates); each benchmark clones
+// it so toggled swaps never leak across runs.
+var staSwapBench struct {
+	once sync.Once
+	n    *network.Network
+	lib  *library.Library
+}
+
+// staSwapSetup clones the shared network and enumerates a pool of
+// non-inverting swaps (self-inverse, so cycling through the pool toggles
+// wires without growing the netlist).
+func staSwapSetup(b *testing.B) (*network.Network, *library.Library, []rewire.Swap) {
+	b.Helper()
+	staSwapBench.once.Do(func() {
+		staSwapBench.lib = library.Default035()
+		n, err := gen.Generate("s38417")
+		if err != nil {
+			panic(err)
+		}
+		place.Place(n, staSwapBench.lib, place.Options{Seed: 1, MovesPerCell: 5})
+		sizing.SeedForLoad(n, staSwapBench.lib, 0)
+		staSwapBench.n = n
+	})
+	n, _ := staSwapBench.n.Clone()
+	ext := supergate.Extract(n)
+	var swaps []rewire.Swap
+	for _, sg := range ext.NonTrivial() {
+		for _, s := range rewire.Enumerate(sg) {
+			if !s.Inverting {
+				swaps = append(swaps, s)
+			}
+		}
+		if len(swaps) >= 256 {
+			break
+		}
+	}
+	if len(swaps) == 0 {
+		b.Fatal("no non-inverting swaps available")
+	}
+	return n, staSwapBench.lib, swaps
+}
+
+// BenchmarkFullSTA measures the seed's per-move timing cost: one rewiring
+// swap followed by a from-scratch Analyze of all ~10k gates.
+func BenchmarkFullSTA(b *testing.B) {
+	n, lib, swaps := staSwapSetup(b)
+	clock := sta.Analyze(n, lib, 0).Clock
+	var sink float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rewire.Apply(n, swaps[i%len(swaps)])
+		sink = sta.Analyze(n, lib, clock).CriticalDelay
+	}
+	_ = sink
+}
+
+// BenchmarkIncrementalSTA measures the same per-move cost through the
+// mutation-tracked timer: the swap dirties a handful of gates and Update
+// re-propagates timing through that region only. The ratio to
+// BenchmarkFullSTA is the optimizer-loop speedup the incremental engine
+// buys (acceptance floor: 5x).
+func BenchmarkIncrementalSTA(b *testing.B) {
+	n, lib, swaps := staSwapSetup(b)
+	inc := sta.NewIncremental(n, lib, 0)
+	defer inc.Close()
+	var sink float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rewire.Apply(n, swaps[i%len(swaps)])
+		sink = inc.Update().CriticalDelay
+	}
+	b.StopTimer()
+	st := inc.Stats()
+	b.ReportMetric(st.AvgDirty(), "dirty/op")
+	b.ReportMetric(float64(st.ArrivalRecomputes)/float64(max(1, st.IncrementalUpdates)), "arr-recomputes/op")
+	_ = sink
 }
 
 // BenchmarkRedundancyRemoval measures the extension built on Fig. 1:

@@ -95,6 +95,10 @@ func main() {
 		res.Strategy, res.InitialDelay, res.FinalDelay,
 		res.ImprovementPct(), res.AreaDeltaPct())
 	fmt.Printf("  %d swaps, %d resizes, %d iterations\n", res.Swaps, res.Resizes, res.Iterations)
+	fmt.Printf("  timing: %d full analyses, %d incremental updates (dirty avg %.1f, max %d; %d arrival + %d required recomputes)\n",
+		res.Timer.FullAnalyses, res.Timer.IncrementalUpdates,
+		res.Timer.AvgDirty(), res.Timer.MaxDirty,
+		res.Timer.ArrivalRecomputes, res.Timer.RequiredRecomputes)
 	fmt.Printf("  supergates: %.1f%% coverage, largest has %d inputs, %d redundancies found\n",
 		100*res.Coverage, res.MaxLeaves, res.Redundancies)
 

@@ -36,7 +36,8 @@ type Config struct {
 	// MaxIters bounds optimizer iterations (default 6).
 	MaxIters int
 	// VerifyRounds is the number of 64-pattern random equivalence rounds
-	// per optimizer (default 16; 0 disables verification).
+	// per optimizer. Zero selects the default of 16; a negative value
+	// disables verification entirely.
 	VerifyRounds int
 	// Progress, when non-nil, receives one line per benchmark stage.
 	Progress io.Writer
@@ -58,6 +59,8 @@ func (c *Config) fill() {
 	if c.VerifyRounds == 0 {
 		c.VerifyRounds = 16
 	}
+	// VerifyRounds < 0 passes through: run() skips verification for any
+	// non-positive round count.
 }
 
 // Row is one line of Table 1.
@@ -119,7 +122,10 @@ func RunBenchmark(name string, cfg Config) (Row, error) {
 				return res, cpu, fmt.Errorf("harness: %s/%v changed function: %v", name, strat, ce)
 			}
 		}
-		progress("  %-7s %-8s %6.2f%%  %7.2fs", name, strat, res.ImprovementPct(), cpu)
+		t := res.Timer
+		progress("  %-7s %-8s %6.2f%%  %7.2fs  sta: %d full, %d incremental, dirty avg %.1f max %d",
+			name, strat, res.ImprovementPct(), cpu,
+			t.FullAnalyses, t.IncrementalUpdates, t.AvgDirty(), t.MaxDirty)
 		return res, cpu, nil
 	}
 

@@ -87,3 +87,28 @@ func TestPaperAverages(t *testing.T) {
 		t.Fatalf("paper constants drifted: %+v", p)
 	}
 }
+
+func TestVerifyRoundsSentinel(t *testing.T) {
+	// Zero means "use the default".
+	c := Config{}
+	c.fill()
+	if c.VerifyRounds != 16 {
+		t.Fatalf("zero VerifyRounds should default to 16, got %d", c.VerifyRounds)
+	}
+	// Negative disables verification and must survive fill().
+	d := Config{VerifyRounds: -1}
+	d.fill()
+	if d.VerifyRounds != -1 {
+		t.Fatalf("negative VerifyRounds must pass through fill, got %d", d.VerifyRounds)
+	}
+}
+
+func TestRunBenchmarkNoVerify(t *testing.T) {
+	row, err := RunBenchmark("c432", Config{PlaceMoves: 5, MaxIters: 1, VerifyRounds: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Gates == 0 {
+		t.Fatalf("row incomplete: %+v", row)
+	}
+}

@@ -1,0 +1,118 @@
+// Mutation events: every structural mutator of Network notifies registered
+// observers with the set of gates it touched, so downstream analyses
+// (incremental timing, and in the future congestion or power) track exactly
+// what changed instead of guessing or re-walking the whole network.
+//
+// The notification contract is *local*: a mutator touches every gate whose
+// locally cached timing inputs may have changed —
+//
+//   - the gate whose fanin connections changed (its in-pin arrivals moved);
+//   - every driver whose fanout multiset changed (its net, and therefore
+//     its load and sink wire delays, moved);
+//   - on a cell-size or cell-type change, the gate itself (delay moved) and
+//     its fanin drivers (the gate's input capacitance feeds their nets).
+//
+// Observers are responsible for propagating the consequences (an arrival
+// change ripples forward; a required-time change ripples backward); the
+// network only reports the epicenters. Direct writes to exported Gate
+// fields (SizeIdx, Type, X/Y/Placed, PO) bypass the event layer — mutate
+// through SetSize, SetGateType, and MarkOutput when observers must see the
+// change. The one sanctioned direct-write pattern is a hypothetical
+// evaluation that flips a field and restores it before the next observer
+// synchronization point (see sizing.EvalResize).
+package network
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+)
+
+// Observer receives mutation notifications from a Network.
+//
+// GateTouched(g) means g's timing-relevant state may have changed: its
+// fanin connections, its fanout multiset, its cell type or size, its PO
+// flag, or (for a freshly created gate) its existence. GateRemoved(g) is
+// called after g has been deleted; g's fanins were already reported as
+// touched. Callbacks run synchronously inside the mutator, so they must
+// not mutate the network themselves.
+type Observer interface {
+	GateTouched(g *Gate)
+	GateRemoved(g *Gate)
+}
+
+// Observe registers o to receive mutation events until Unobserve.
+func (n *Network) Observe(o Observer) {
+	n.observers = append(n.observers, o)
+}
+
+// Unobserve removes a previously registered observer. Unknown observers
+// are ignored.
+func (n *Network) Unobserve(o Observer) {
+	for i, x := range n.observers {
+		if x == o {
+			n.observers = append(n.observers[:i], n.observers[i+1:]...)
+			return
+		}
+	}
+}
+
+// touch notifies every observer that the given gates changed. Nil gates
+// are skipped so call sites can pass optional participants unconditionally.
+func (n *Network) touch(gs ...*Gate) {
+	if len(n.observers) == 0 {
+		return
+	}
+	for _, o := range n.observers {
+		for _, g := range gs {
+			if g != nil {
+				o.GateTouched(g)
+			}
+		}
+	}
+}
+
+// notifyRemoved reports the deletion of g.
+func (n *Network) notifyRemoved(g *Gate) {
+	for _, o := range n.observers {
+		o.GateRemoved(g)
+	}
+}
+
+// SetSize changes the gate's library implementation through the event
+// layer: the gate itself is touched (its cell delay changed) along with
+// its fanin drivers (the gate's input capacitance loads their nets).
+func (n *Network) SetSize(g *Gate, sizeIdx int) {
+	if g.SizeIdx == sizeIdx {
+		return
+	}
+	g.SizeIdx = sizeIdx
+	n.touch(g)
+	n.touch(g.fanins...)
+}
+
+// SetGateType changes the gate's logic function in place, keeping its
+// fanins — the move DeMorgan dualization makes (NAND<->NOR, AND<->OR,
+// equal-arity implementations exist for both). It panics on an invalid
+// type, the Input pseudo-type, or a fanin count the new type cannot
+// accept. Observers see the gate and its fanin drivers touched (delay,
+// unateness, and input capacitance all move with the type).
+func (n *Network) SetGateType(g *Gate, t logic.GateType) {
+	if g.Type == t {
+		return
+	}
+	if !t.Valid() || t == logic.Input {
+		panic("network: SetGateType to " + t.String())
+	}
+	if len(g.fanins) < t.MinFanin() {
+		panic(fmt.Sprintf("network: SetGateType %s on %q with %d fanins, min %d",
+			t, g.name, len(g.fanins), t.MinFanin()))
+	}
+	if t.IsUnary() && len(g.fanins) != 1 {
+		panic(fmt.Sprintf("network: SetGateType unary %s on %q with %d fanins",
+			t, g.name, len(g.fanins)))
+	}
+	g.Type = t
+	n.touch(g)
+	n.touch(g.fanins...)
+}

@@ -127,6 +127,9 @@ type Network struct {
 	byName  map[string]*Gate
 	nextID  int
 	removed int
+
+	// observers receive mutation events; see events.go.
+	observers []Observer
 }
 
 // New creates an empty network with the given name.
@@ -234,11 +237,19 @@ func (n *Network) add(name string, t logic.GateType, fanins []*Gate) *Gate {
 	}
 	n.gates = append(n.gates, g)
 	n.byName[name] = g
+	n.touch(g)
+	n.touch(fanins...)
 	return g
 }
 
 // MarkOutput flags g as a primary output.
-func (n *Network) MarkOutput(g *Gate) { g.PO = true }
+func (n *Network) MarkOutput(g *Gate) {
+	if g.PO {
+		return
+	}
+	g.PO = true
+	n.touch(g)
+}
 
 // FreshName returns a gate name based on prefix that is unused in the
 // network.
@@ -261,6 +272,7 @@ func (n *Network) ReplaceFanin(g *Gate, idx int, nd *Gate) {
 	removeOneFanout(old, g)
 	g.fanins[idx] = nd
 	nd.fanouts = append(nd.fanouts, g)
+	n.touch(old, nd, g)
 }
 
 func removeOneFanout(from, sink *Gate) {
@@ -280,6 +292,7 @@ func removeOneFanout(from, sink *Gate) {
 func (n *Network) SetFanins(g *Gate, fanins []*Gate) {
 	for _, old := range g.fanins {
 		removeOneFanout(old, g)
+		n.touch(old)
 	}
 	g.fanins = append(g.fanins[:0], fanins...)
 	for _, f := range fanins {
@@ -287,7 +300,9 @@ func (n *Network) SetFanins(g *Gate, fanins []*Gate) {
 			panic("network: nil fanin in SetFanins for " + g.name)
 		}
 		f.fanouts = append(f.fanouts, g)
+		n.touch(f)
 	}
+	n.touch(g)
 }
 
 // Rename changes a gate's name. It panics if the new name is taken.
@@ -301,6 +316,7 @@ func (n *Network) Rename(g *Gate, name string) {
 	delete(n.byName, g.name)
 	g.name = name
 	n.byName[name] = g
+	n.touch(g)
 }
 
 // TransferFanouts redirects every sink in-pin currently driven by old to be
@@ -321,6 +337,7 @@ func (n *Network) TransferFanouts(old, nw *Gate) {
 	if old.PO {
 		old.PO = false
 		nw.PO = true
+		n.touch(old, nw)
 	}
 }
 
@@ -350,6 +367,7 @@ func (n *Network) RemoveGate(g *Gate) {
 	}
 	for _, f := range g.fanins {
 		removeOneFanout(f, g)
+		n.touch(f)
 	}
 	g.fanins = nil
 	for i, h := range n.gates {
@@ -360,6 +378,7 @@ func (n *Network) RemoveGate(g *Gate) {
 		}
 	}
 	delete(n.byName, g.name)
+	n.notifyRemoved(g)
 }
 
 // Sweep repeatedly removes non-PO gates with no fanouts (dead logic left by

@@ -13,9 +13,14 @@
 //   - GsgGS: rewiring for gates covered by non-trivial supergates, sizing
 //     for the rest — the paper's minimum-perturbation combination.
 //
-// Every accepted batch of moves is guarded by a full timing analysis, so
-// the critical delay never regresses; local evaluations only *rank*
-// candidates.
+// Every accepted batch of moves is guarded by a network-wide timing
+// check, so the critical delay never regresses; local evaluations only
+// *rank* candidates. The guard itself is cheap: an incremental timer
+// (sta.Incremental) absorbs each batch by re-propagating timing through
+// the mutated region only. From-scratch ground-truth analyses run twice
+// per optimization — once to seed the timer and once at the end for the
+// reported result — plus the timer's own threshold fallbacks when a batch
+// dirties most of a (small) network.
 package opt
 
 import (
@@ -92,6 +97,11 @@ type Result struct {
 	Coverage     float64
 	MaxLeaves    int
 	Redundancies int
+
+	// Timer counts the timing work: full ground-truth analyses versus
+	// incremental dirty-region updates (the final ground-truth Analyze is
+	// not included; it runs after the timer detaches).
+	Timer sta.IncStats
 }
 
 // ImprovementPct returns the delay improvement in percent (positive is
@@ -122,7 +132,9 @@ func Optimize(n *network.Network, lib *library.Library, strat Strategy, o Option
 	if o.MaxSwapLeaves <= 0 {
 		o.MaxSwapLeaves = 48
 	}
-	tm := sta.Analyze(n, lib, o.Clock)
+	inc := sta.NewIncremental(n, lib, o.Clock)
+	defer inc.Close()
+	tm := inc.Timing()
 	clock := tm.Clock
 
 	ext := supergate.Extract(n)
@@ -144,37 +156,39 @@ func Optimize(n *network.Network, lib *library.Library, strat Strategy, o Option
 	for iter := 0; iter < o.MaxIters; iter++ {
 		improved := false
 		for _, obj := range objectives {
-			tm = sta.Analyze(n, lib, clock)
+			tm = inc.Update()
 			before := tm.CriticalDelay
 			applied, undos := runPhase(n, lib, tm, strat, obj, o, &res)
 			if applied == 0 {
 				continue
 			}
-			after := sta.Analyze(n, lib, clock)
-			if after.CriticalDelay > before+eps {
+			after := inc.Update().CriticalDelay
+			if after > before+eps {
 				// The batch regressed globally (a locally-scored move
 				// misled); roll it back and retry with only the single
 				// best move, which is almost always sound.
 				for i := len(undos) - 1; i >= 0; i-- {
 					undos[i]()
 				}
+				tm = inc.Update()
 				applied, undos = runPhaseTop1(n, lib, tm, strat, obj, o, &res)
 				if applied == 0 {
 					continue
 				}
-				after = sta.Analyze(n, lib, clock)
-				if after.CriticalDelay > before+eps {
+				after = inc.Update().CriticalDelay
+				if after > before+eps {
 					for i := len(undos) - 1; i >= 0; i-- {
 						undos[i]()
 					}
+					inc.Update()
 					continue
 				}
 			}
 			// The batch is accepted; gates orphaned by inverter
 			// collapses are now safe to sweep (no pending undos).
 			n.Sweep()
-			if after.CriticalDelay < bestDelay-eps {
-				bestDelay = after.CriticalDelay
+			if after < bestDelay-eps {
+				bestDelay = after
 				improved = true
 			}
 		}
@@ -187,6 +201,7 @@ func Optimize(n *network.Network, lib *library.Library, strat Strategy, o Option
 	// chains often serve as buffers, and stripping them regresses delay;
 	// inverting swaps already collapse onto inverter drivers instead of
 	// stacking (see rewire.Apply), so nothing accretes.
+	res.Timer = inc.Stats()
 	final := sta.Analyze(n, lib, clock)
 	res.FinalDelay = final.CriticalDelay
 	res.FinalArea = techmap.Area(n, lib)
@@ -283,8 +298,8 @@ func runPhaseCapped(n *network.Network, lib *library.Library, tm *sta.Timing, st
 				continue
 			}
 			g, old := m.gate, m.gate.SizeIdx
-			g.SizeIdx = m.size
-			undos = append(undos, func() { g.SizeIdx = old })
+			n.SetSize(g, m.size)
+			undos = append(undos, func() { n.SetSize(g, old) })
 			res.Resizes++
 		}
 		applied++

@@ -305,3 +305,17 @@ func TestEvalSwapInvertingPenalty(t *testing.T) {
 func rewireSwap(sg *supergate.Supergate, i, j int, inverting bool) rewire.Swap {
 	return rewire.Swap{SG: sg, I: i, J: j, Inverting: inverting}
 }
+
+func TestOptimizeUsesIncrementalTimer(t *testing.T) {
+	n := prepBench(t, "c432")
+	r := Optimize(n, lib(), GsgGS, Options{MaxIters: 4})
+	if r.Timer.IncrementalUpdates == 0 {
+		t.Fatalf("optimizer never used the incremental timer: %+v", r.Timer)
+	}
+	// Budget: one full analysis to seed the timer, at most one threshold
+	// fallback per outer iteration; everything else must be incremental.
+	if r.Timer.FullAnalyses > 1+r.Iterations {
+		t.Fatalf("too many full analyses: %d for %d iterations (%+v)",
+			r.Timer.FullAnalyses, r.Iterations, r.Timer)
+	}
+}

@@ -166,7 +166,7 @@ func DeMorgan(n *network.Network, sg *supergate.Supergate) (*network.Gate, error
 		return nil, fmt.Errorf("rewire: DeMorgan requires an and-or supergate, got %v", sg.Kind)
 	}
 	for _, g := range sg.Gates {
-		g.Type = dualType(g.Type)
+		n.SetGateType(g, dualType(g.Type))
 	}
 	for _, l := range sg.Leaves {
 		n.InsertInverter(l.Pin)
@@ -297,7 +297,7 @@ func CrossSwap(n *network.Network, sg1, sg2 *supergate.Supergate) error {
 	if dualize {
 		for _, sg := range []*supergate.Supergate{sg1, sg2} {
 			for _, g := range sg.Gates {
-				g.Type = dualType(g.Type)
+				n.SetGateType(g, dualType(g.Type))
 			}
 		}
 	}

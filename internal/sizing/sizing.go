@@ -7,8 +7,11 @@
 // Every candidate resize is evaluated *locally*: the arrival times of the
 // resized gate's fanin drivers and of all their sinks are recomputed with
 // upstream arrivals and downstream required times frozen from the last
-// full analysis. This is what makes the optimizer cheap — a full timing
-// analysis runs once per pass, not once per candidate.
+// analysis. Committed batches are then absorbed by an incremental timer
+// (sta.Incremental) that re-propagates timing only through the resized
+// region — full ground-truth analyses run once at the start and once at
+// the end of a run (plus the timer's threshold fallbacks on batches that
+// dirty most of a small network), not once per pass.
 package sizing
 
 import (
@@ -145,7 +148,10 @@ func pinArrivals(tm *sta.Timing, x *network.Gate, newNet map[*network.Gate]sta.N
 }
 
 // EvalResize returns the objective gain of switching g to newSize, locally
-// evaluated against tm. Positive is better. g is left unchanged.
+// evaluated against tm. Positive is better. g is left unchanged: the size
+// field is flipped directly (bypassing the network event layer on purpose,
+// so mutation observers never see the hypothetical) and restored before
+// returning.
 func EvalResize(tm *sta.Timing, g *network.Gate, newSize int, obj Objective) float64 {
 	if g.IsInput() || newSize == g.SizeIdx {
 		return 0
@@ -200,7 +206,7 @@ func SeedForLoad(n *network.Network, lib *library.Library, targetNS float64) {
 				c := lib.MustCell(g.Type, g.NumFanins(), s)
 				r := math.Max(c.ResRise, c.ResFall)
 				if r*load <= targetNS || s == library.NumSizes-1 {
-					g.SizeIdx = s
+					n.SetSize(g, s)
 					break
 				}
 			}
@@ -226,10 +232,17 @@ type Stats struct {
 	Resizes      int
 	InitialDelay float64
 	FinalDelay   float64
+	// Timer counts the timing work: full ground-truth analyses versus
+	// incremental dirty-region updates.
+	Timer sta.IncStats
 }
 
 // Optimize runs Coudert-style sizing on the whole network (or the Allowed
 // subset) in place and returns statistics. Placement is never modified.
+//
+// Timing is maintained by an incremental timer: one full analysis seeds
+// the run, every accepted batch is absorbed by dirty-region propagation,
+// and one final full analysis is the ground truth for the reported delay.
 func Optimize(n *network.Network, lib *library.Library, o Options) Stats {
 	if o.MaxPasses <= 0 {
 		o.MaxPasses = 8
@@ -238,7 +251,9 @@ func Optimize(n *network.Network, lib *library.Library, o Options) Stats {
 	if allowed == nil {
 		allowed = func(*network.Gate) bool { return true }
 	}
-	tm := sta.Analyze(n, lib, o.Clock)
+	inc := sta.NewIncremental(n, lib, o.Clock)
+	defer inc.Close()
+	tm := inc.Timing()
 	clock := tm.Clock
 	st := Stats{InitialDelay: tm.CriticalDelay, FinalDelay: tm.CriticalDelay}
 
@@ -249,12 +264,12 @@ func Optimize(n *network.Network, lib *library.Library, o Options) Stats {
 	for pass := 0; pass < o.MaxPasses; pass++ {
 		improved := false
 		for _, obj := range []Objective{MinSlack, SumSlack} {
-			tm = sta.Analyze(n, lib, clock)
+			tm = inc.Update()
 			applied := applyPhase(n, tm, obj, allowed, &st)
 			if applied == 0 {
 				continue
 			}
-			after := sta.Analyze(n, lib, clock)
+			after := inc.Update()
 			if after.CriticalDelay < bestDelay-eps {
 				bestDelay = after.CriticalDelay
 				bestSizes = snapshotSizes(n)
@@ -267,6 +282,7 @@ func Optimize(n *network.Network, lib *library.Library, o Options) Stats {
 		}
 	}
 	restoreSizes(n, bestSizes)
+	st.Timer = inc.Stats()
 	final := sta.Analyze(n, lib, clock)
 	st.FinalDelay = final.CriticalDelay
 	return st
@@ -281,7 +297,7 @@ func snapshotSizes(n *network.Network) map[*network.Gate]int {
 func restoreSizes(n *network.Network, sizes map[*network.Gate]int) {
 	n.Gates(func(g *network.Gate) {
 		if s, ok := sizes[g]; ok {
-			g.SizeIdx = s
+			n.SetSize(g, s)
 		}
 	})
 }
@@ -311,7 +327,7 @@ func applyPhase(n *network.Network, tm *sta.Timing, obj Objective, allowed func(
 		// Earlier applications change the local picture; re-evaluate
 		// before committing (the "best sequence" selection of §5).
 		if gain := EvalResize(tm, m.g, m.size, obj); gain > eps {
-			m.g.SizeIdx = m.size
+			n.SetSize(m.g, m.size)
 			applied++
 			st.Resizes++
 		}

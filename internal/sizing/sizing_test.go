@@ -153,3 +153,20 @@ func TestOptimizeIsDeterministic(t *testing.T) {
 		t.Fatal("GS is not deterministic")
 	}
 }
+
+func TestOptimizeUsesIncrementalTimer(t *testing.T) {
+	n, err := gen.Generate("c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := lib()
+	place.Place(n, l, place.Options{Seed: 1, MovesPerCell: 10})
+	st := Optimize(n, l, Options{MaxPasses: 4})
+	if st.Timer.IncrementalUpdates == 0 {
+		t.Fatalf("sizing never used the incremental timer: %+v", st.Timer)
+	}
+	if st.Timer.FullAnalyses > 1+st.Passes {
+		t.Fatalf("too many full analyses: %d for %d passes (%+v)",
+			st.Timer.FullAnalyses, st.Passes, st.Timer)
+	}
+}

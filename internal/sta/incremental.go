@@ -1,0 +1,403 @@
+// Incremental timing: a persistent timer that subscribes to network
+// mutation events and re-propagates arrivals, required times, loads, and
+// wire models only through the region a batch of mutations actually
+// touched. Full Analyze remains the ground-truth oracle; Incremental is
+// the optimizers' hot path, turning per-candidate timing from O(network)
+// into O(affected region).
+//
+// # Invalidation rules
+//
+// The network reports every mutated gate through the Observer interface
+// (see network/events.go): a gate is "dirty" when its fanin connections,
+// fanout multiset, cell size or type, or PO flag changed, or when it was
+// just created. On Update the timer:
+//
+//  1. Rebuilds the star net model and load of every dirty gate (their
+//     fanout sets, sink pin capacitances, or sink placements moved).
+//  2. Propagates arrivals forward from the dirty set in level order,
+//     stopping wherever a recomputed arrival is bit-identical to the
+//     cached one (reconvergence damping). Logic levels are repaired in the
+//     same sweep.
+//  3. Propagates required times backward from the dirty gates and their
+//     fanin drivers (a dirty gate's cell delay feeds its fanins' required
+//     times), again stopping on unchanged values.
+//  4. Rescans the primary outputs for the critical delay.
+//
+// The clock is frozen at construction (when built with clock <= 0 it locks
+// to the initial critical delay, exactly like the optimizers do), so
+// required times stay comparable across updates.
+//
+// Writes that bypass the event layer invalidate the timer silently. The
+// two sanctioned patterns are: hypothetical evaluations that flip a field
+// and restore it before the next Update (sizing.EvalResize), and placing a
+// gate that is already dirty in the same batch (opt places the inverters a
+// swap creates right after rewire.Apply reports them).
+//
+// When a batch dirties more than FullFraction of the network, Update falls
+// back to a seeded full Analyze — at that size the from-scratch three-pass
+// walk is cheaper than chasing the frontier.
+package sta
+
+import (
+	"container/heap"
+
+	"repro/internal/library"
+	"repro/internal/network"
+)
+
+// DefaultFullFraction is the dirty-set fraction of the network above which
+// Update abandons incremental propagation for a full Analyze. Incremental
+// updates skip the expensive star-model rebuild for every clean gate, so
+// they stay ahead of a full analysis well past half the network; the
+// fallback only guards the pathological near-everything-moved batch.
+const DefaultFullFraction = 0.5
+
+// IncStats counts the work an Incremental timer performed, for the
+// harness's full-vs-incremental reporting.
+type IncStats struct {
+	// FullAnalyses counts from-scratch analyses: the initial one at
+	// construction plus every threshold fallback.
+	FullAnalyses int
+	// IncrementalUpdates counts Update calls that ran dirty-region
+	// propagation (calls with an empty dirty set are free and not counted).
+	IncrementalUpdates int
+	// DirtyGates is the total dirty-set size consumed across incremental
+	// updates; MaxDirty is the largest single batch.
+	DirtyGates int
+	MaxDirty   int
+	// ArrivalRecomputes and RequiredRecomputes count gate evaluations
+	// during propagation — the true measure of region size, since a change
+	// ripples beyond the dirty epicenters.
+	ArrivalRecomputes  int
+	RequiredRecomputes int
+}
+
+// AvgDirty returns the mean dirty-set size per incremental update.
+func (s IncStats) AvgDirty() float64 {
+	if s.IncrementalUpdates == 0 {
+		return 0
+	}
+	return float64(s.DirtyGates) / float64(s.IncrementalUpdates)
+}
+
+// Incremental is a mutation-tracked timer over one network. Create it with
+// NewIncremental, mutate the network through Network methods (which feed
+// the event layer), and call Update to bring timing current. Close it when
+// done so the network stops notifying it.
+type Incremental struct {
+	t     *Timing
+	n     *network.Network
+	lib   *library.Library
+	clock float64 // frozen PO required time, always > 0
+
+	// FullFraction overrides the fallback threshold; settable before the
+	// first Update after construction.
+	FullFraction float64
+
+	dirty  map[*network.Gate]struct{}
+	levels map[*network.Gate]int
+	pos    map[*network.Gate]struct{} // current primary outputs
+	stats  IncStats
+}
+
+// NewIncremental builds the timer with one full ground-truth Analyze and
+// registers it as a network observer. A clock <= 0 freezes the initial
+// critical delay as the required time, as the optimizers do.
+func NewIncremental(n *network.Network, lib *library.Library, clock float64) *Incremental {
+	it := &Incremental{
+		n:            n,
+		lib:          lib,
+		FullFraction: DefaultFullFraction,
+		dirty:        make(map[*network.Gate]struct{}),
+	}
+	it.t = Analyze(n, lib, clock)
+	it.clock = it.t.Clock
+	it.levels = n.Levels()
+	it.rebuildPOs()
+	it.stats.FullAnalyses++
+	n.Observe(it)
+	return it
+}
+
+func (it *Incremental) rebuildPOs() {
+	it.pos = make(map[*network.Gate]struct{})
+	for _, po := range it.n.Outputs() {
+		it.pos[po] = struct{}{}
+	}
+}
+
+// Close unregisters the timer from the network. The last Timing stays
+// readable but no longer tracks mutations.
+func (it *Incremental) Close() { it.n.Unobserve(it) }
+
+// Timing returns the current timing view, valid as of the last Update (or
+// construction). The view is updated in place — and replaced wholesale by
+// a fallback full analysis — so always read through the pointer returned
+// by the most recent Update.
+func (it *Incremental) Timing() *Timing { return it.t }
+
+// Stats returns the accumulated work counters.
+func (it *Incremental) Stats() IncStats { return it.stats }
+
+// Pending returns the number of gates currently awaiting propagation.
+func (it *Incremental) Pending() int { return len(it.dirty) }
+
+// GateTouched records a mutated gate; part of network.Observer. PO-flag
+// changes only ever arrive through evented mutators (MarkOutput,
+// TransferFanouts), so the PO set can be maintained here.
+func (it *Incremental) GateTouched(g *network.Gate) {
+	it.dirty[g] = struct{}{}
+	if g.PO {
+		it.pos[g] = struct{}{}
+	} else {
+		delete(it.pos, g)
+	}
+}
+
+// GateRemoved drops a deleted gate from every map; part of
+// network.Observer. The gate's former fanins were reported touched by the
+// removal itself.
+func (it *Incremental) GateRemoved(g *network.Gate) {
+	delete(it.dirty, g)
+	delete(it.pos, g)
+	delete(it.levels, g)
+	delete(it.t.arrival, g)
+	delete(it.t.required, g)
+	delete(it.t.load, g)
+	delete(it.t.wireCache, g)
+}
+
+// Update brings the timing current with the network and returns the view.
+// With no pending mutations it is free; with a small dirty set it
+// propagates through the affected region only; past the FullFraction
+// threshold it falls back to a full Analyze.
+func (it *Incremental) Update() *Timing {
+	if len(it.dirty) == 0 {
+		return it.t
+	}
+	if float64(len(it.dirty)) > it.FullFraction*float64(it.n.NumGates()) {
+		it.full()
+		return it.t
+	}
+	it.incremental()
+	return it.t
+}
+
+// full re-runs the ground-truth analysis under the frozen clock.
+func (it *Incremental) full() {
+	it.t = Analyze(it.n, it.lib, it.clock)
+	it.levels = it.n.Levels()
+	it.rebuildPOs()
+	it.dirty = make(map[*network.Gate]struct{})
+	it.stats.FullAnalyses++
+}
+
+func (it *Incremental) incremental() {
+	it.stats.IncrementalUpdates++
+	it.stats.DirtyGates += len(it.dirty)
+	if len(it.dirty) > it.stats.MaxDirty {
+		it.stats.MaxDirty = len(it.dirty)
+	}
+
+	// Backward seeds: every dirty gate (its sink set or wire model moved)
+	// plus its fanin drivers (the dirty gate's cell delay and load feed its
+	// fanins' required times). The dirty snapshot is kept separately: a
+	// dirty gate must push its fanins even when its own required time lands
+	// unchanged, because its delay still moved. Both sets are collected
+	// before the forward pass consumes the dirty set.
+	forced := make(map[*network.Gate]struct{}, len(it.dirty))
+	backSeeds := make(map[*network.Gate]struct{}, 2*len(it.dirty))
+	for g := range it.dirty {
+		forced[g] = struct{}{}
+		backSeeds[g] = struct{}{}
+		for _, f := range g.Fanins() {
+			backSeeds[f] = struct{}{}
+		}
+	}
+
+	it.propagateArrivals()
+	it.propagateRequired(backSeeds, forced)
+
+	// Rescan the tracked primary outputs for the critical delay — O(#POs),
+	// not O(network).
+	cd := 0.0
+	for po := range it.pos {
+		if a := it.t.arrival[po].Max(); a > cd {
+			cd = a
+		}
+	}
+	it.t.CriticalDelay = cd
+}
+
+// propagateArrivals runs the forward sweep: dirty gates rebuild their net
+// model and load, every reached gate recomputes its level and arrival, and
+// fanouts are enqueued when anything observable changed. Processing is
+// level-ordered; a gate popped ahead of a still-pending fanin (possible
+// only while levels are being repaired) is simply re-enqueued when that
+// fanin's value settles, so the sweep converges on exact values.
+func (it *Incremental) propagateArrivals() {
+	q := newLevelQueue(it.levels, false)
+	for g := range it.dirty {
+		q.push(g)
+	}
+	var pinArr []Edge
+	for q.Len() > 0 {
+		g := q.pop()
+		lv := 0
+		for _, f := range g.Fanins() {
+			if l := it.levels[f] + 1; l > lv {
+				lv = l
+			}
+		}
+		levelChanged := it.levels[g] != lv
+		it.levels[g] = lv
+
+		_, isDirty := it.dirty[g]
+		if isDirty {
+			delete(it.dirty, g)
+			info := it.t.ComputeNet(g, g.Fanouts())
+			it.t.wireCache[g] = info
+			load := info.Load
+			if g.PO {
+				load += POLoadPF
+			}
+			it.t.load[g] = load
+		}
+
+		var arr Edge
+		if !g.IsInput() {
+			pinArr = pinArr[:0]
+			for _, d := range g.Fanins() {
+				w := it.t.wireCache[d].SinkDelay[g]
+				pinArr = append(pinArr, it.t.arrival[d].add(w))
+			}
+			arr = it.t.GateOutput(g, pinArr, it.t.load[g])
+		}
+		it.stats.ArrivalRecomputes++
+		old, had := it.t.arrival[g]
+		it.t.arrival[g] = arr
+		if isDirty || levelChanged || !had || old != arr {
+			for _, s := range g.Fanouts() {
+				q.push(s)
+			}
+		}
+	}
+}
+
+// propagateRequired runs the backward sweep from the seeds, recomputing
+// each reached gate's required time from its sinks' (already current)
+// required times, delays, and wire models, and enqueuing fanins whenever
+// the value moved — or unconditionally for gates in forced, whose own
+// delay changed.
+func (it *Incremental) propagateRequired(seeds, forced map[*network.Gate]struct{}) {
+	q := newLevelQueue(it.levels, true)
+	for g := range seeds {
+		q.push(g)
+	}
+	for q.Len() > 0 {
+		g := q.pop()
+		req := Edge{inf, inf}
+		if g.PO {
+			req = Edge{it.t.Clock, it.t.Clock}
+		}
+		net := it.t.wireCache[g]
+		for _, s := range g.Fanouts() {
+			cand := requiredCandidate(it.t, s, net.SinkDelay[s])
+			if cand.Rise < req.Rise {
+				req.Rise = cand.Rise
+			}
+			if cand.Fall < req.Fall {
+				req.Fall = cand.Fall
+			}
+		}
+		it.stats.RequiredRecomputes++
+		old, had := it.t.required[g]
+		it.t.required[g] = req
+		_, isForced := forced[g]
+		if isForced || !had || old != req {
+			for _, f := range g.Fanins() {
+				q.push(f)
+			}
+		}
+	}
+}
+
+// requiredCandidate is the required time sink s imposes on a fanin driver
+// reached through wire delay w — the same arc equation Analyze's pass 3
+// applies.
+func requiredCandidate(t *Timing, s *network.Gate, w float64) Edge {
+	cell := t.cellOf(s)
+	dRise, dFall := cell.Delay(t.load[s])
+	reqS := t.required[s]
+	switch edgeBehavior(s.Type) {
+	case inverting:
+		return Edge{Rise: reqS.Fall - dFall - w, Fall: reqS.Rise - dRise - w}
+	case nonInverting:
+		return Edge{Rise: reqS.Rise - dRise - w, Fall: reqS.Fall - dFall - w}
+	default: // nonUnate
+		m := reqS.Rise - dRise
+		if v := reqS.Fall - dFall; v < m {
+			m = v
+		}
+		m -= w
+		return Edge{m, m}
+	}
+}
+
+// levelQueue is a deduplicating priority queue of gates ordered by logic
+// level — ascending for the forward sweep, descending for the backward
+// sweep. Levels are read through the shared map at comparison time, so
+// repairs made mid-sweep take effect on the next push.
+type levelQueue struct {
+	h levelHeap
+}
+
+type levelHeap struct {
+	gates  []*network.Gate
+	levels map[*network.Gate]int
+	desc   bool
+	queued map[*network.Gate]bool
+}
+
+func newLevelQueue(levels map[*network.Gate]int, desc bool) *levelQueue {
+	return &levelQueue{h: levelHeap{
+		levels: levels,
+		desc:   desc,
+		queued: make(map[*network.Gate]bool),
+	}}
+}
+
+func (q *levelQueue) Len() int { return len(q.h.gates) }
+
+func (q *levelQueue) push(g *network.Gate) {
+	if q.h.queued[g] {
+		return
+	}
+	q.h.queued[g] = true
+	heap.Push(&q.h, g)
+}
+
+func (q *levelQueue) pop() *network.Gate {
+	g := heap.Pop(&q.h).(*network.Gate)
+	delete(q.h.queued, g)
+	return g
+}
+
+func (h levelHeap) Len() int { return len(h.gates) }
+func (h levelHeap) Less(i, j int) bool {
+	li, lj := h.levels[h.gates[i]], h.levels[h.gates[j]]
+	if h.desc {
+		return li > lj
+	}
+	return li < lj
+}
+func (h levelHeap) Swap(i, j int) { h.gates[i], h.gates[j] = h.gates[j], h.gates[i] }
+func (h *levelHeap) Push(x interface{}) {
+	h.gates = append(h.gates, x.(*network.Gate))
+}
+func (h *levelHeap) Pop() interface{} {
+	old := h.gates
+	g := old[len(old)-1]
+	h.gates = old[:len(old)-1]
+	return g
+}

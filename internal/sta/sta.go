@@ -9,6 +9,12 @@
 // constraint (or, when no clock is given, the critical delay itself, which
 // makes the worst slack exactly zero and turns slack maximization into
 // delay minimization, as in the paper's optimizer).
+//
+// Two timers share the delay model. Analyze is the ground-truth oracle: a
+// from-scratch three-pass analysis of the whole network. Incremental
+// subscribes to network mutation events and, on Update, re-propagates
+// timing only through the dirty region — the optimizers' hot path. See
+// incremental.go for the invalidation rules.
 package sta
 
 import (
@@ -47,10 +53,10 @@ func (e Edge) add(d float64) Edge { return Edge{e.Rise + d, e.Fall + d} }
 
 const inf = math.MaxFloat64
 
-// Timing holds the results of one full analysis. It is invalidated by any
-// structural, sizing, or placement change; run Analyze again (the
-// optimizers use ComputeNet/GateOutput for hypothetical local evaluation
-// in between).
+// Timing holds the results of one analysis. It is invalidated by any
+// structural, sizing, or placement change; run Analyze again, or keep it
+// live through an Incremental timer (the optimizers use
+// ComputeNet/GateOutput for hypothetical local evaluation in between).
 type Timing struct {
 	n   *network.Network
 	lib *library.Library
@@ -71,17 +77,21 @@ type Timing struct {
 // clock <= 0 the PO required time is set to the measured critical delay.
 func Analyze(n *network.Network, lib *library.Library, clock float64) *Timing {
 	t := &Timing{
-		n:        n,
-		lib:      lib,
-		arrival:  make(map[*network.Gate]Edge, n.NumGates()),
-		required: make(map[*network.Gate]Edge, n.NumGates()),
-		load:     make(map[*network.Gate]float64, n.NumGates()),
+		n:         n,
+		lib:       lib,
+		arrival:   make(map[*network.Gate]Edge, n.NumGates()),
+		required:  make(map[*network.Gate]Edge, n.NumGates()),
+		load:      make(map[*network.Gate]float64, n.NumGates()),
+		wireCache: make(map[*network.Gate]NetInfo, n.NumGates()),
 	}
 	order := n.TopoOrder()
 
-	// Pass 1: driver loads (wire + sink pins + PO pad).
+	// Pass 1: driver loads (wire + sink pins + PO pad). The star models are
+	// kept in the wire cache so passes 2-3 (and the incremental timer) never
+	// rebuild them.
 	for _, g := range order {
 		net := t.ComputeNet(g, g.Fanouts())
+		t.wireCache[g] = net
 		t.load[g] = net.Load
 		if g.PO {
 			t.load[g] += POLoadPF
@@ -123,21 +133,10 @@ func Analyze(n *network.Network, lib *library.Library, clock float64) *Timing {
 		if s.IsInput() {
 			continue
 		}
-		cell := t.cellOf(s)
-		dRise, dFall := cell.Delay(t.load[s])
-		reqS := t.required[s]
 		for _, d := range s.Fanins() {
-			w := t.WireDelay(d, s)
-			var cand Edge
-			switch edgeBehavior(s.Type) {
-			case inverting:
-				cand = Edge{Rise: reqS.Fall - dFall - w, Fall: reqS.Rise - dRise - w}
-			case nonInverting:
-				cand = Edge{Rise: reqS.Rise - dRise - w, Fall: reqS.Fall - dFall - w}
-			default: // nonUnate: either input edge can cause either output edge
-				m := math.Min(reqS.Rise-dRise, reqS.Fall-dFall) - w
-				cand = Edge{m, m}
-			}
+			// requiredCandidate is the single source of the arc equation,
+			// shared with the incremental timer's backward sweep.
+			cand := requiredCandidate(t, s, t.WireDelay(d, s))
 			cur := t.required[d]
 			if cand.Rise < cur.Rise {
 				cur.Rise = cand.Rise
