@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test bench table1
+.PHONY: all vet build test race bench bench-smoke table1
 
 all: vet build test
 
@@ -13,9 +13,19 @@ build:
 test:
 	$(GO) build ./... && $(GO) test ./...
 
+# Short-mode race run: exercises the scoring worker pool and the
+# extraction cache under the race detector.
+race:
+	$(GO) test -race -short ./...
+
 # One pass over every paper benchmark; see DESIGN.md §4 for the index.
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .
+
+# Fast subset for CI: the PR-2 engine benchmarks plus the incremental STA
+# pair, one iteration each.
+bench-smoke:
+	$(GO) test -run xxx -bench 'BenchmarkMoveGen|BenchmarkExtractIncremental|BenchmarkFig2Swap|BenchmarkIncrementalSTA' -benchtime 1x .
 
 table1:
 	$(GO) run ./cmd/table1 -quick

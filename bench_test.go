@@ -339,6 +339,98 @@ func BenchmarkIncrementalSTA(b *testing.B) {
 	_ = sink
 }
 
+// --- PR 2: the move-evaluation engine ---
+
+// BenchmarkMoveGen measures one phase of candidate generation + scoring
+// on s38417 (~10k gates) — the optimizer's inner loop once timing is
+// incremental — sequential versus parallel. The engine scores every
+// critical supergate's best swap and every sizable gate's best resize
+// against the frozen timing view; allocations are reported because the
+// scoring path is designed to be allocation-free (per-worker arenas).
+// Both arms produce bit-identical move lists.
+func BenchmarkMoveGen(b *testing.B) {
+	n, l, _ := staSwapSetup(b)
+	tm := sta.Analyze(n, l, 0)
+	ext := supergate.Extract(n)
+	o := opt.Options{MaxIters: 1, MaxSwapLeaves: 48}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			eng := opt.NewEngine(workers)
+			b.ReportAllocs()
+			var moves int
+			for i := 0; i < b.N; i++ {
+				moves = len(eng.Moves(tm, opt.GsgGS, sizing.MinSlack, o, ext))
+			}
+			b.ReportMetric(float64(moves), "moves")
+		})
+	}
+}
+
+// BenchmarkExtractIncremental measures re-extraction after a small
+// committed batch (the optimizer's steady state): a k-gate toggle batch
+// followed by either a cached flush (invalidate + re-extract the touched
+// supergates only) or a from-scratch Extract of all ~10k gates. The
+// ratio is the candidate-generation speedup the cache buys per phase.
+func BenchmarkExtractIncremental(b *testing.B) {
+	const gates = 10000
+	build := func() *network.Network {
+		return gen.FromProfile(gen.Profile{
+			Name: "extract10k", Seed: 42,
+			NumPI: 64, TargetGates: gates,
+			XorFrac: 0.1, NorFrac: 0.4, InvFrac: 0.12,
+			Locality: 0.6, MaxFanin: 3,
+		})
+	}
+	// A pool of non-inverting swaps: self-inverse, so cycling through
+	// them toggles wires without growing the netlist.
+	swapPool := func(n *network.Network) []rewire.Swap {
+		var swaps []rewire.Swap
+		for _, sg := range supergate.Extract(n).NonTrivial() {
+			for _, s := range rewire.Enumerate(sg) {
+				if !s.Inverting {
+					swaps = append(swaps, s)
+				}
+			}
+			if len(swaps) >= 256 {
+				break
+			}
+		}
+		return swaps
+	}
+	const batch = 8 // gates touched per committed batch ≈ 4 per swap
+	b.Run("cached", func(b *testing.B) {
+		n := build()
+		swaps := swapPool(n)
+		cache := supergate.NewCache(n)
+		defer cache.Close()
+		cache.Extraction()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for k := 0; k < batch/4; k++ {
+				rewire.Apply(n, swaps[(i*2+k)%len(swaps)])
+			}
+			cache.Extraction()
+		}
+		b.StopTimer()
+		st := cache.Stats()
+		b.ReportMetric(float64(st.Reextracted)/float64(max(1, st.IncrementalFlushes)), "resg/op")
+		if st.FullExtractions > 1 {
+			b.Fatalf("cache fell back to full extraction %d times", st.FullExtractions-1)
+		}
+	})
+	b.Run("full", func(b *testing.B) {
+		n := build()
+		swaps := swapPool(n)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for k := 0; k < batch/4; k++ {
+				rewire.Apply(n, swaps[(i*2+k)%len(swaps)])
+			}
+			supergate.Extract(n)
+		}
+	})
+}
+
 // BenchmarkRedundancyRemoval measures the extension built on Fig. 1:
 // removing every detected case-2 redundancy from the i8 stand-in.
 func BenchmarkRedundancyRemoval(b *testing.B) {

@@ -40,6 +40,7 @@ func main() {
 		strategy  = flag.String("strategy", "gsg+GS", "optimizer: gsg, GS, or gsg+GS")
 		iters     = flag.Int("iters", 8, "optimizer iterations")
 		clock     = flag.Float64("clock", 0, "required time at outputs in ns (0 = critical delay)")
+		workers   = flag.Int("workers", 0, "move-scoring workers (0 = GOMAXPROCS, 1 = sequential; results identical)")
 		moves     = flag.Int("moves", 30, "placement annealing moves per cell")
 		seed      = flag.Int64("seed", 1, "placement seed")
 		list      = flag.Bool("list", false, "list generated benchmark names and exit")
@@ -89,7 +90,7 @@ func main() {
 	before := sta.Analyze(n, lib, *clock)
 	fmt.Printf("initial: critical delay %.3f ns, area %.0f um^2\n",
 		before.CriticalDelay, techmap.Area(n, lib))
-	res := opt.Optimize(n, lib, strat, opt.Options{Clock: *clock, MaxIters: *iters})
+	res := opt.Optimize(n, lib, strat, opt.Options{Clock: *clock, MaxIters: *iters, Workers: *workers})
 
 	fmt.Printf("%s: delay %.3f -> %.3f ns (%.1f%% better), area %+.1f%%\n",
 		res.Strategy, res.InitialDelay, res.FinalDelay,
@@ -101,6 +102,8 @@ func main() {
 		res.Timer.ArrivalRecomputes, res.Timer.RequiredRecomputes)
 	fmt.Printf("  supergates: %.1f%% coverage, largest has %d inputs, %d redundancies found\n",
 		100*res.Coverage, res.MaxLeaves, res.Redundancies)
+	fmt.Printf("  extraction: %d full, %d incremental flushes (%d supergates re-extracted)\n",
+		res.Extractor.FullExtractions, res.Extractor.IncrementalFlushes, res.Extractor.Reextracted)
 
 	if *buffer {
 		bst := fanout.Optimize(n, lib, fanout.Options{Clock: *clock})

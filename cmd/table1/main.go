@@ -25,6 +25,7 @@ func main() {
 		iters      = flag.Int("iters", 8, "optimizer iterations")
 		moves      = flag.Int("moves", 30, "placement annealing moves per cell")
 		seed       = flag.Int64("seed", 1, "placement seed")
+		workers    = flag.Int("workers", 0, "move-scoring workers (0 = GOMAXPROCS, 1 = sequential; results identical)")
 		quick      = flag.Bool("quick", false, "small/fast subset with reduced effort")
 		summary    = flag.Bool("summary", false, "print only the averages against the paper's")
 		verbose    = flag.Bool("v", false, "progress output per optimizer run")
@@ -35,6 +36,7 @@ func main() {
 		PlaceSeed:  *seed,
 		PlaceMoves: *moves,
 		MaxIters:   *iters,
+		Workers:    *workers,
 	}
 	if *benchmarks != "" {
 		cfg.Benchmarks = strings.Split(*benchmarks, ",")

@@ -39,6 +39,10 @@ type Config struct {
 	// per optimizer. Zero selects the default of 16; a negative value
 	// disables verification entirely.
 	VerifyRounds int
+	// Workers is the move-scoring parallelism passed to every optimizer
+	// run: 0 uses GOMAXPROCS, 1 forces sequential scoring. Results are
+	// bit-identical at every setting; only CPU time changes.
+	Workers int
 	// Progress, when non-nil, receives one line per benchmark stage.
 	Progress io.Writer
 }
@@ -111,7 +115,7 @@ func RunBenchmark(name string, cfg Config) (Row, error) {
 	run := func(strat opt.Strategy) (opt.Result, float64, error) {
 		n, _ := base.Clone()
 		start := time.Now()
-		res := opt.Optimize(n, lib, strat, opt.Options{MaxIters: cfg.MaxIters})
+		res := opt.Optimize(n, lib, strat, opt.Options{MaxIters: cfg.MaxIters, Workers: cfg.Workers})
 		cpu := time.Since(start).Seconds()
 		if cfg.VerifyRounds > 0 {
 			ce, err := sim.EquivalentRandom(base, n, cfg.VerifyRounds, 12345)
@@ -123,9 +127,11 @@ func RunBenchmark(name string, cfg Config) (Row, error) {
 			}
 		}
 		t := res.Timer
-		progress("  %-7s %-8s %6.2f%%  %7.2fs  sta: %d full, %d incremental, dirty avg %.1f max %d",
+		x := res.Extractor
+		progress("  %-7s %-8s %6.2f%%  %7.2fs  sta: %d full, %d incremental, dirty avg %.1f max %d; sg: %d full, %d incremental (%d resg)",
 			name, strat, res.ImprovementPct(), cpu,
-			t.FullAnalyses, t.IncrementalUpdates, t.AvgDirty(), t.MaxDirty)
+			t.FullAnalyses, t.IncrementalUpdates, t.AvgDirty(), t.MaxDirty,
+			x.FullExtractions, x.IncrementalFlushes, x.Reextracted)
 		return res, cpu, nil
 	}
 

@@ -41,6 +41,19 @@ type Observer interface {
 	GateRemoved(g *Gate)
 }
 
+// ResizeObserver is an optional extension of Observer for analyses that
+// depend only on network *structure* (connectivity, gate types, PO flags)
+// and not on cell sizes — supergate extraction being the canonical case.
+// When a mutation changes nothing but a cell size (SetSize), observers
+// implementing this interface receive GateResized for the affected gates
+// instead of GateTouched, letting them skip invalidation entirely. Timing
+// observers, whose delays do move with size, simply do not implement it
+// and keep receiving GateTouched.
+type ResizeObserver interface {
+	Observer
+	GateResized(g *Gate)
+}
+
 // Observe registers o to receive mutation events until Unobserve.
 func (n *Network) Observe(o Observer) {
 	n.observers = append(n.observers, o)
@@ -82,13 +95,26 @@ func (n *Network) notifyRemoved(g *Gate) {
 // SetSize changes the gate's library implementation through the event
 // layer: the gate itself is touched (its cell delay changed) along with
 // its fanin drivers (the gate's input capacitance loads their nets).
+// Structure-only observers (ResizeObserver) see GateResized instead of
+// GateTouched, since a size change never moves connectivity.
 func (n *Network) SetSize(g *Gate, sizeIdx int) {
 	if g.SizeIdx == sizeIdx {
 		return
 	}
 	g.SizeIdx = sizeIdx
-	n.touch(g)
-	n.touch(g.fanins...)
+	for _, o := range n.observers {
+		if ro, ok := o.(ResizeObserver); ok {
+			ro.GateResized(g)
+			for _, f := range g.fanins {
+				ro.GateResized(f)
+			}
+			continue
+		}
+		o.GateTouched(g)
+		for _, f := range g.fanins {
+			o.GateTouched(f)
+		}
+	}
 }
 
 // SetGateType changes the gate's logic function in place, keeping its

@@ -143,6 +143,13 @@ func (n *Network) Name() string { return n.name }
 // NumGates returns the number of live gates, including primary inputs.
 func (n *Network) NumGates() int { return len(n.gates) - n.removed }
 
+// IDBound returns an exclusive upper bound on the IDs of all gates ever
+// created in this network: every live gate g satisfies g.ID() < IDBound().
+// IDs are dense (assigned in creation order, never reused), so scoring
+// arenas index gate-keyed scratch arrays by ID and size them with this
+// bound instead of hashing gate pointers.
+func (n *Network) IDBound() int { return n.nextID }
+
 // NumLogicGates returns the number of live non-input gates.
 func (n *Network) NumLogicGates() int {
 	c := 0

@@ -25,8 +25,6 @@ package opt
 
 import (
 	"fmt"
-	"math"
-	"sort"
 
 	"repro/internal/library"
 	"repro/internal/logic"
@@ -79,6 +77,11 @@ type Options struct {
 	// min-slack neighborhood search. Used by the ablation benchmarks to
 	// isolate the contribution of Coudert's relaxation.
 	DisableRelaxation bool
+	// Workers sets the parallelism of candidate scoring: 0 picks
+	// GOMAXPROCS, 1 forces sequential scoring. Results are bit-identical
+	// at every setting — scoring reads the frozen timing view only, and
+	// the merged move list is ordered by (gain, dense gate ID).
+	Workers int
 }
 
 // Result reports one optimizer run with the Table 1 quantities.
@@ -102,6 +105,9 @@ type Result struct {
 	// incremental dirty-region updates (the final ground-truth Analyze is
 	// not included; it runs after the timer detaches).
 	Timer sta.IncStats
+	// Extractor counts the supergate-extraction work: full extractions
+	// versus incremental flushes of the mutation-tracked cache.
+	Extractor supergate.CacheStats
 }
 
 // ImprovementPct returns the delay improvement in percent (positive is
@@ -137,7 +143,15 @@ func Optimize(n *network.Network, lib *library.Library, strat Strategy, o Option
 	tm := inc.Timing()
 	clock := tm.Clock
 
-	ext := supergate.Extract(n)
+	// The extraction cache subscribes to the same mutation-event layer as
+	// the incremental timer: each phase's supergate decomposition is the
+	// previous one with only the supergates whose cones a batch touched
+	// re-extracted, instead of a from-scratch O(network) Extract.
+	cache := supergate.NewCache(n)
+	defer cache.Close()
+	eng := NewEngine(o.Workers)
+
+	ext := cache.Extraction()
 	res := Result{
 		Strategy:     strat,
 		InitialDelay: tm.CriticalDelay,
@@ -158,7 +172,7 @@ func Optimize(n *network.Network, lib *library.Library, strat Strategy, o Option
 		for _, obj := range objectives {
 			tm = inc.Update()
 			before := tm.CriticalDelay
-			applied, undos := runPhase(n, lib, tm, strat, obj, o, &res)
+			applied, undos := runPhaseCapped(n, tm, strat, obj, o, &res, 0, eng, cache)
 			if applied == 0 {
 				continue
 			}
@@ -171,7 +185,7 @@ func Optimize(n *network.Network, lib *library.Library, strat Strategy, o Option
 					undos[i]()
 				}
 				tm = inc.Update()
-				applied, undos = runPhaseTop1(n, lib, tm, strat, obj, o, &res)
+				applied, undos = runPhaseCapped(n, tm, strat, obj, o, &res, 1, eng, cache)
 				if applied == 0 {
 					continue
 				}
@@ -202,103 +216,45 @@ func Optimize(n *network.Network, lib *library.Library, strat Strategy, o Option
 	// inverting swaps already collapse onto inverter drivers instead of
 	// stacking (see rewire.Apply), so nothing accretes.
 	res.Timer = inc.Stats()
+	res.Extractor = cache.Stats()
 	final := sta.Analyze(n, lib, clock)
 	res.FinalDelay = final.CriticalDelay
 	res.FinalArea = techmap.Area(n, lib)
 	return res
 }
 
-// runPhase computes the best move per site for the strategy, sorts by
-// gain, and applies the best sequence with revalidation. It returns the
-// number of applied moves and their undo functions in application order.
-func runPhase(n *network.Network, lib *library.Library, tm *sta.Timing, strat Strategy, obj sizing.Objective, o Options, res *Result) (int, []Undo) {
-	return runPhaseCapped(n, lib, tm, strat, obj, o, res, 0)
-}
-
-// runPhaseTop1 applies only the single highest-gain move — the fallback
-// when a full batch regresses the critical delay.
-func runPhaseTop1(n *network.Network, lib *library.Library, tm *sta.Timing, strat Strategy, obj sizing.Objective, o Options, res *Result) (int, []Undo) {
-	return runPhaseCapped(n, lib, tm, strat, obj, o, res, 1)
-}
-
-// runPhaseCapped is runPhase with an optional cap on applied moves
-// (0 = unlimited).
-func runPhaseCapped(n *network.Network, lib *library.Library, tm *sta.Timing, strat Strategy, obj sizing.Objective, o Options, res *Result, maxApply int) (int, []Undo) {
-	type move struct {
-		gain float64
-		// Exactly one of swap/resize is set.
-		swap   *rewire.Swap
-		gate   *network.Gate
-		size   int
-		isSwap bool
-	}
-	var moves []move
-
-	// In the min-slack phase only sites touching the critical region are
-	// candidates (Coudert: maximize the *minimum* slack). Moves at
-	// off-critical sites cannot raise the minimum, but their local scores
-	// would still rank positive, flooding the batch with irrelevant —
-	// and collectively harmful — changes. The relaxation phase considers
-	// every site.
-	// The relaxation phase works a wider band around the bottleneck (it
-	// spreads slack to let the next min-slack phase escape the local
-	// minimum), but not the whole network: global sum-of-slacks moves
-	// degenerate into mass downsizing that the guard then rejects.
-	margin := 0.02 * tm.Clock
-	if obj == sizing.SumSlack {
-		margin = 0.10 * tm.Clock
-	}
-	threshold := tm.WorstSlack() + margin
-	critical := func(g *network.Gate) bool { return tm.Slack(g) <= threshold }
-
+// runPhaseCapped computes the best move per site for the strategy through
+// the engine (sorted by gain with dense-ID tie-break) and applies the
+// best sequence with revalidation, with an optional cap on applied moves
+// (0 = unlimited). It returns the number of applied moves and their undo
+// functions in application order.
+func runPhaseCapped(n *network.Network, tm *sta.Timing, strat Strategy, obj sizing.Objective, o Options, res *Result, maxApply int, eng *Engine, cache *supergate.Cache) (int, []Undo) {
 	var ext *supergate.Extraction
 	if strat != GS {
-		ext = supergate.Extract(n)
-		for _, sg := range ext.NonTrivial() {
-			if len(sg.Leaves) > o.MaxSwapLeaves {
-				continue
-			}
-			if !supergateCritical(sg, critical) {
-				continue
-			}
-			if s, gain := bestSwap(tm, sg, obj); gain > eps {
-				sCopy := s
-				moves = append(moves, move{gain: gain, swap: &sCopy, isSwap: true})
-			}
-		}
+		ext = cache.Extraction()
 	}
-	if strat != Gsg {
-		sizable := sizableFilter(strat, ext)
-		n.Gates(func(g *network.Gate) {
-			if g.IsInput() || !sizable(g) || !neighborhoodCritical(g, critical) {
-				return
-			}
-			if size, gain := sizing.BestResize(tm, g, obj); gain > eps {
-				moves = append(moves, move{gain: gain, gate: g, size: size})
-			}
-		})
-	}
-	sort.SliceStable(moves, func(i, j int) bool { return moves[i].gain > moves[j].gain })
+	moves := eng.Moves(tm, strat, obj, o, ext)
 
 	applied := 0
 	var undos []Undo
+	sc := eng.state[0].sc
 	for _, m := range moves {
 		if maxApply > 0 && applied >= maxApply {
 			break
 		}
-		if m.isSwap {
+		if m.IsSwap {
 			// Revalidate against the current (partially mutated) state.
-			if gain := EvalSwap(tm, *m.swap, obj); gain <= eps {
+			if gain := EvalSwapScratch(tm, m.Swap, obj, sc); gain <= eps {
 				continue
 			}
-			undos = append(undos, applySwap(n, *m.swap))
+			undos = append(undos, applySwap(n, m.Swap))
 			res.Swaps++
 		} else {
-			if gain := sizing.EvalResize(tm, m.gate, m.size, obj); gain <= eps {
+			if gain := sizing.EvalResizeScratch(tm, m.Gate, m.Size, obj, sc); gain <= eps {
 				continue
 			}
-			g, old := m.gate, m.gate.SizeIdx
-			n.SetSize(g, m.size)
+			g, old := m.Gate, m.Gate.SizeIdx
+			n.SetSize(g, m.Size)
 			undos = append(undos, func() { n.SetSize(g, old) })
 			res.Resizes++
 		}
@@ -358,21 +314,6 @@ func sizableFilter(strat Strategy, ext *supergate.Extraction) func(*network.Gate
 	}
 }
 
-// bestSwap returns the best-gaining swap of a supergate (§5: "for each
-// supergate, we find the best swap which maximizes the minimum slack in
-// its neighborhood").
-func bestSwap(tm *sta.Timing, sg *supergate.Supergate, obj sizing.Objective) (rewire.Swap, float64) {
-	var best rewire.Swap
-	bestGain := 0.0
-	for _, s := range rewire.Enumerate(sg) {
-		if gain := EvalSwap(tm, s, obj); gain > bestGain+eps {
-			bestGain = gain
-			best = s
-		}
-	}
-	return best, bestGain
-}
-
 // applySwap commits a swap and places any inverter it created at the pin
 // gate it feeds, keeping every pre-existing cell exactly where it was.
 func applySwap(n *network.Network, s rewire.Swap) Undo {
@@ -387,135 +328,3 @@ func applySwap(n *network.Network, s rewire.Swap) Undo {
 	}
 	return Undo(undo)
 }
-
-// EvalSwap locally evaluates the objective gain of a swap against tm: the
-// two affected drivers' nets are rebuilt with the exchanged sink, their
-// arrivals recomputed, and the slacks of every gate they feed rescored
-// with required times frozen. Inverting swaps add the inverter's cell
-// delay at the receiving pin (the committed batch is still guarded by a
-// full analysis).
-func EvalSwap(tm *sta.Timing, s rewire.Swap, obj sizing.Objective) float64 {
-	pa := s.SG.Leaves[s.I].Pin
-	pb := s.SG.Leaves[s.J].Pin
-	ka, kb := pa.Driver(), pb.Driver()
-	if ka == kb {
-		return 0
-	}
-	// Hypothetical sink multisets after the exchange.
-	newSinksA := swapOneSink(ka.Fanouts(), pa.Gate, pb.Gate)
-	newSinksB := swapOneSink(kb.Fanouts(), pb.Gate, pa.Gate)
-	infoA := tm.ComputeNet(ka, newSinksA)
-	infoB := tm.ComputeNet(kb, newSinksB)
-	if ka.PO {
-		infoA.Load += sta.POLoadPF
-	}
-	if kb.PO {
-		infoB.Load += sta.POLoadPF
-	}
-	newArr := map[*network.Gate]sta.Edge{}
-	arrOf := func(k *network.Gate, info sta.NetInfo) sta.Edge {
-		if k.IsInput() {
-			return sta.Edge{}
-		}
-		pins := make([]sta.Edge, k.NumFanins())
-		for i, d := range k.Fanins() {
-			a := tm.Arrival(d)
-			w := tm.WireDelay(d, k)
-			pins[i] = sta.Edge{Rise: a.Rise + w, Fall: a.Fall + w}
-		}
-		return tm.GateOutput(k, pins, info.Load)
-	}
-	newArr[ka] = arrOf(ka, infoA)
-	newArr[kb] = arrOf(kb, infoB)
-
-	// Neighborhood: the two drivers plus every sink either of them
-	// touches before or after the exchange (the same set).
-	seen := map[*network.Gate]bool{ka: true, kb: true}
-	var sinks []*network.Gate
-	for _, lst := range [][]*network.Gate{newSinksA, newSinksB} {
-		for _, t := range lst {
-			if !seen[t] {
-				seen[t] = true
-				sinks = append(sinks, t)
-			}
-		}
-	}
-	invPenalty := 0.0
-	if s.Inverting {
-		// Approximate: one smallest-inverter delay per redirected pin at a
-		// typical ~5 fF load. The committed batch is still validated by a
-		// full analysis, so this only needs to rank candidates sensibly.
-		invPenalty = invDelayEstimatePenalty
-	}
-	var after []float64
-	slackOf := func(x *network.Gate, arr sta.Edge) float64 {
-		r := tm.Required(x)
-		return math.Min(r.Rise-arr.Rise, r.Fall-arr.Fall)
-	}
-	for _, k := range []*network.Gate{ka, kb} {
-		if !k.IsInput() {
-			after = append(after, slackOf(k, newArr[k]))
-		}
-	}
-	for _, t := range sinks {
-		pins := make([]sta.Edge, t.NumFanins())
-		for i := range pins {
-			d := t.Fanin(i)
-			// The hypothetical connection: pin pa is now fed by kb, pin
-			// pb by ka.
-			cur := network.Pin{Gate: t, Index: i}
-			switch {
-			case cur == pa:
-				d = kb
-			case cur == pb:
-				d = ka
-			}
-			var a sta.Edge
-			var w float64
-			switch d {
-			case ka:
-				a, w = newArr[ka], infoA.SinkDelay[t]
-			case kb:
-				a, w = newArr[kb], infoB.SinkDelay[t]
-			default:
-				a, w = tm.Arrival(d), tm.WireDelay(d, t)
-			}
-			pen := 0.0
-			if cur == pa || cur == pb {
-				pen = invPenalty
-			}
-			pins[i] = sta.Edge{Rise: a.Rise + w + pen, Fall: a.Fall + w + pen}
-		}
-		after = append(after, slackOf(t, tm.GateOutput(t, pins, tm.Load(t))))
-	}
-
-	// Baseline: the same gate set under committed timing.
-	var before []float64
-	for x := range seen {
-		if !x.IsInput() {
-			before = append(before, tm.Slack(x))
-		}
-	}
-	return sizing.Score(obj, after, tm.Clock) - sizing.Score(obj, before, tm.Clock)
-}
-
-// swapOneSink returns fanouts with a single occurrence of from replaced by
-// to.
-func swapOneSink(fanouts []*network.Gate, from, to *network.Gate) []*network.Gate {
-	out := make([]*network.Gate, len(fanouts))
-	replaced := false
-	for i, f := range fanouts {
-		if !replaced && f == from {
-			out[i] = to
-			replaced = true
-			continue
-		}
-		out[i] = f
-	}
-	return out
-}
-
-// invDelayEstimatePenalty is a representative smallest-inverter delay
-// (intrinsic + drive resistance × ~5 fF) used to penalize inverting swaps
-// during candidate ranking.
-const invDelayEstimatePenalty = 0.03 + 8.0*0.005

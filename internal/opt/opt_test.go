@@ -75,7 +75,7 @@ func TestEvalSwapAgreesWithSTAOnToyCase(t *testing.T) {
 	if sg.Trivial() {
 		t.Fatal("expected non-trivial supergate")
 	}
-	s, gain := bestSwap(tm, sg, sizing.MinSlack)
+	s, gain := bestSwap(tm, sg, sizing.MinSlack, &workerState{sc: sta.NewScratch()})
 	if gain <= 0 {
 		t.Skip("no locally profitable swap in this placement; toy layout")
 	}
@@ -226,7 +226,7 @@ func TestSwapOneSink(t *testing.T) {
 	a := n.AddInput("a")
 	b := n.AddInput("b")
 	c := n.AddInput("c")
-	got := swapOneSink([]*network.Gate{a, b, a}, a, c)
+	got := swapOneSink(nil, []*network.Gate{a, b, a}, a, c)
 	if got[0] != c || got[1] != b || got[2] != a {
 		t.Fatal("swapOneSink must replace exactly one occurrence")
 	}

@@ -1,0 +1,91 @@
+package opt
+
+// Determinism contract of the move-evaluation engine: Optimize with N
+// scoring workers is *bit-identical* to Workers: 1 — same swaps, same
+// resizes, same final delay, same timer work — because scoring only reads
+// the frozen timing view, every site scores into its own result slot, and
+// the merged move list is ordered by the total (gain, dense gate ID) key.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/network"
+	"repro/internal/place"
+	"repro/internal/sizing"
+)
+
+// netSignature canonically renders structure, sizes, placement flags.
+func netSignature(n *network.Network) string {
+	var b strings.Builder
+	n.Gates(func(g *network.Gate) {
+		fmt.Fprintf(&b, "%s:%v:s%d:po%v:[", g.Name(), g.Type, g.SizeIdx, g.PO)
+		for _, f := range g.Fanins() {
+			b.WriteString(f.Name())
+			b.WriteByte(',')
+		}
+		b.WriteString("]\n")
+	})
+	return b.String()
+}
+
+func parallelProfile(seed int64) gen.Profile {
+	return gen.Profile{
+		Name: fmt.Sprintf("par%d", seed), Seed: seed,
+		NumPI: 20, TargetGates: 250,
+		XorFrac: 0.1, NorFrac: 0.4, InvFrac: 0.12,
+		Locality: 0.5, MaxFanin: 3,
+	}
+}
+
+func TestParallelOptimizeBitIdenticalToSequential(t *testing.T) {
+	seeds := []int64{1, 2, 3}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		base := gen.FromProfile(parallelProfile(seed))
+		place.Place(base, lib(), place.Options{Seed: seed, MovesPerCell: 8})
+		sizing.SeedForLoad(base, lib(), 0)
+		for _, strat := range []Strategy{Gsg, GS, GsgGS} {
+			seq, _ := base.Clone()
+			par, _ := base.Clone()
+			rSeq := Optimize(seq, lib(), strat, Options{MaxIters: 3, Workers: 1})
+			rPar := Optimize(par, lib(), strat, Options{MaxIters: 3, Workers: 8})
+			if rSeq != rPar {
+				t.Fatalf("seed %d %v: results differ\nworkers=1: %+v\nworkers=8: %+v",
+					seed, strat, rSeq, rPar)
+			}
+			if s1, s2 := netSignature(seq), netSignature(par); s1 != s2 {
+				t.Fatalf("seed %d %v: final networks differ\n--- workers=1 ---\n%s--- workers=8 ---\n%s",
+					seed, strat, s1, s2)
+			}
+		}
+	}
+}
+
+// TestWorkerPoolUnderRace exists to give `go test -race` a run that
+// actually exercises concurrent scoring over a shared Timing (the
+// sequential fallback in scoreAll would hide races). Kept small so the
+// race job stays fast.
+func TestWorkerPoolUnderRace(t *testing.T) {
+	base := gen.FromProfile(parallelProfile(42))
+	place.Place(base, lib(), place.Options{Seed: 1, MovesPerCell: 5})
+	sizing.SeedForLoad(base, lib(), 0)
+	res := Optimize(base, lib(), GsgGS, Options{MaxIters: 2, Workers: 4})
+	if res.FinalDelay > res.InitialDelay+1e-9 {
+		t.Fatalf("parallel optimize worsened delay: %+v", res)
+	}
+}
+
+// TestEngineWorkersDefault checks the GOMAXPROCS default.
+func TestEngineWorkersDefault(t *testing.T) {
+	if NewEngine(0).Workers() < 1 {
+		t.Fatal("default engine has no workers")
+	}
+	if w := NewEngine(3).Workers(); w != 3 {
+		t.Fatalf("explicit worker count ignored: %d", w)
+	}
+}

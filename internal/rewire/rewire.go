@@ -69,11 +69,17 @@ func Options(sg *supergate.Supergate, i, j int) (nonInverting, inverting bool) {
 // non-inverting form is emitted (the inverting form is never cheaper — it
 // adds two inverters for the same exchange).
 func Enumerate(sg *supergate.Supergate) []Swap {
+	return EnumerateInto(nil, sg)
+}
+
+// EnumerateInto is Enumerate appending to a caller-owned buffer, so hot
+// loops that enumerate swaps per supergate per phase reuse one slice
+// instead of allocating each time.
+func EnumerateInto(swaps []Swap, sg *supergate.Supergate) []Swap {
 	k := len(sg.Leaves)
 	if k < 2 {
-		return nil
+		return swaps
 	}
-	var swaps []Swap
 	for i := 0; i < k; i++ {
 		for j := i + 1; j < k; j++ {
 			nonInv, inv := Options(sg, i, j)

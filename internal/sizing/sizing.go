@@ -37,15 +37,14 @@ const (
 )
 
 // neighborhood collects the gates whose timing a resize of g can change
-// locally: g's fanin drivers and every sink of those drivers (g itself
-// among them).
-func neighborhood(g *network.Gate) []*network.Gate {
-	seen := map[*network.Gate]bool{}
-	var out []*network.Gate
+// locally — g's fanin drivers and every sink of those drivers (g itself
+// among them) — into the scratch's reusable Hood buffer, in deterministic
+// fanin-then-fanout order.
+func neighborhood(g *network.Gate, sc *sta.Scratch) []*network.Gate {
+	sc.Hood = sc.Hood[:0]
 	add := func(x *network.Gate) {
-		if !seen[x] {
-			seen[x] = true
-			out = append(out, x)
+		if sc.MarkSeen(x) {
+			sc.Hood = append(sc.Hood, x)
 		}
 	}
 	for _, d := range g.Fanins() {
@@ -55,7 +54,7 @@ func neighborhood(g *network.Gate) []*network.Gate {
 		}
 	}
 	add(g)
-	return out
+	return sc.Hood
 }
 
 // Score reduces a set of neighborhood slacks to the objective value:
@@ -83,96 +82,114 @@ func Score(obj Objective, slacks []float64, clock float64) float64 {
 }
 
 // localSlacks computes the per-gate slacks of the neighborhood under the
-// current gate sizes, with upstream arrivals and required times frozen
-// from tm. The resized gate's SizeIdx must already be set by the caller.
-func localSlacks(tm *sta.Timing, g *network.Gate) []float64 {
+// scratch's effective gate sizes (committed SizeIdx plus any override),
+// with upstream arrivals and required times frozen from tm. The caller
+// must have opened the evaluation with sc.Begin; results live in the
+// scratch's Slacks buffer until the next evaluation. Everything is a pure
+// read of tm and the network, so concurrent workers with private
+// scratches can evaluate disjoint candidates in parallel.
+func localSlacks(tm *sta.Timing, g *network.Gate, sc *sta.Scratch) []float64 {
 	// Recompute the nets of g's fanin drivers (their loads and sink wire
 	// delays change with g's pin capacitance).
-	newNet := map[*network.Gate]sta.NetInfo{}
-	newArr := map[*network.Gate]sta.Edge{}
 	for _, d := range g.Fanins() {
-		if _, done := newNet[d]; done {
+		if sc.NetOf(d) != nil {
 			continue
 		}
-		info := tm.ComputeNet(d, d.Fanouts())
-		if d.PO {
-			info.Load += sta.POLoadPF
-		}
-		newNet[d] = info
+		// Scratch.Net already folds in the PO pad load.
+		m := sc.Net(tm, d, d.Fanouts())
 		if d.IsInput() {
-			newArr[d] = sta.Edge{}
+			sc.SetArrival(d, sta.Edge{})
 			continue
 		}
-		newArr[d] = tm.GateOutput(d, pinArrivals(tm, d, newNet, newArr), info.Load)
+		sc.SetArrival(d, tm.GateOutputSc(sc, d, pinArrivals(tm, d, sc), m.Load))
 	}
 	// Then every sink of those drivers, g included.
-	var slacks []float64
+	sc.Slacks = sc.Slacks[:0]
 	appendSlack := func(x *network.Gate, arr sta.Edge) {
 		r := tm.Required(x)
-		slacks = append(slacks, math.Min(r.Rise-arr.Rise, r.Fall-arr.Fall))
+		sc.Slacks = append(sc.Slacks, math.Min(r.Rise-arr.Rise, r.Fall-arr.Fall))
 	}
-	for _, x := range neighborhood(g) {
+	for _, x := range neighborhood(g, sc) {
 		if x.IsInput() {
 			continue
 		}
-		if arr, isDriver := newArr[x]; isDriver {
+		if arr, isDriver := sc.HypArrival(x); isDriver {
 			appendSlack(x, arr)
 			continue
 		}
 		// A sink's load is unchanged (same sinks; for g itself the cell
 		// changed but not the net), so tm.Load is still valid.
-		arr := tm.GateOutput(x, pinArrivals(tm, x, newNet, newArr), tm.Load(x))
+		arr := tm.GateOutputSc(sc, x, pinArrivals(tm, x, sc), tm.Load(x))
 		appendSlack(x, arr)
 	}
-	return slacks
+	return sc.Slacks
 }
 
-// pinArrivals assembles the in-pin arrival edges of gate x, preferring
-// hypothetical driver arrivals and net models where available.
-func pinArrivals(tm *sta.Timing, x *network.Gate, newNet map[*network.Gate]sta.NetInfo, newArr map[*network.Gate]sta.Edge) []sta.Edge {
-	pins := make([]sta.Edge, x.NumFanins())
-	for i, d := range x.Fanins() {
-		arr, ok := newArr[d]
+// pinArrivals assembles the in-pin arrival edges of gate x into the
+// scratch's Pins buffer, preferring hypothetical driver arrivals and net
+// models where the evaluation recorded them.
+func pinArrivals(tm *sta.Timing, x *network.Gate, sc *sta.Scratch) []sta.Edge {
+	sc.Pins = sc.Pins[:0]
+	for _, d := range x.Fanins() {
+		arr, ok := sc.HypArrival(d)
 		if !ok {
 			arr = tm.Arrival(d)
 		}
 		var w float64
-		if info, ok := newNet[d]; ok {
-			w = info.SinkDelay[x]
+		if m := sc.NetOf(d); m != nil {
+			w = m.SinkDelay(x)
 		} else {
 			w = tm.WireDelay(d, x)
 		}
-		pins[i] = sta.Edge{Rise: arr.Rise + w, Fall: arr.Fall + w}
+		sc.Pins = append(sc.Pins, sta.Edge{Rise: arr.Rise + w, Fall: arr.Fall + w})
 	}
-	return pins
+	return sc.Pins
 }
 
 // EvalResize returns the objective gain of switching g to newSize, locally
-// evaluated against tm. Positive is better. g is left unchanged: the size
-// field is flipped directly (bypassing the network event layer on purpose,
-// so mutation observers never see the hypothetical) and restored before
-// returning.
+// evaluated against tm. Positive is better. It is a convenience wrapper
+// over EvalResizeScratch with a pooled arena.
 func EvalResize(tm *sta.Timing, g *network.Gate, newSize int, obj Objective) float64 {
+	sc := sta.GetScratch()
+	gain := EvalResizeScratch(tm, g, newSize, obj, sc)
+	sta.PutScratch(sc)
+	return gain
+}
+
+// EvalResizeScratch is EvalResize evaluating through an explicit arena. g
+// is never written: the hypothetical size lives in the scratch as an
+// override (so mutation observers never see it and concurrent evaluations
+// of neighboring gates never race on SizeIdx).
+func EvalResizeScratch(tm *sta.Timing, g *network.Gate, newSize int, obj Objective, sc *sta.Scratch) float64 {
 	if g.IsInput() || newSize == g.SizeIdx {
 		return 0
 	}
-	before := Score(obj, localSlacks(tm, g), tm.Clock)
-	old := g.SizeIdx
-	g.SizeIdx = newSize
-	after := Score(obj, localSlacks(tm, g), tm.Clock)
-	g.SizeIdx = old
+	sc.Begin(tm)
+	before := Score(obj, localSlacks(tm, g, sc), tm.Clock)
+	sc.Begin(tm)
+	sc.OverrideSize(g, newSize)
+	after := Score(obj, localSlacks(tm, g, sc), tm.Clock)
 	return after - before
 }
 
 // BestResize returns the best alternative size for g and its gain.
 // A non-positive gain means the current size is locally optimal.
 func BestResize(tm *sta.Timing, g *network.Gate, obj Objective) (int, float64) {
+	sc := sta.GetScratch()
+	size, gain := BestResizeScratch(tm, g, obj, sc)
+	sta.PutScratch(sc)
+	return size, gain
+}
+
+// BestResizeScratch is BestResize evaluating through an explicit arena —
+// the scoring engine's per-worker entry point.
+func BestResizeScratch(tm *sta.Timing, g *network.Gate, obj Objective, sc *sta.Scratch) (int, float64) {
 	bestSize, bestGain := g.SizeIdx, 0.0
 	for s := 0; s < library.NumSizes; s++ {
 		if s == g.SizeIdx {
 			continue
 		}
-		if gain := EvalResize(tm, g, s, obj); gain > bestGain+eps {
+		if gain := EvalResizeScratch(tm, g, s, obj, sc); gain > bestGain+eps {
 			bestGain = gain
 			bestSize = s
 		}
@@ -261,11 +278,12 @@ func Optimize(n *network.Network, lib *library.Library, o Options) Stats {
 	// best sizing seen and restore it at the end.
 	bestDelay := tm.CriticalDelay
 	bestSizes := snapshotSizes(n)
+	sc := sta.NewScratch()
 	for pass := 0; pass < o.MaxPasses; pass++ {
 		improved := false
 		for _, obj := range []Objective{MinSlack, SumSlack} {
 			tm = inc.Update()
-			applied := applyPhase(n, tm, obj, allowed, &st)
+			applied := applyPhase(n, tm, obj, allowed, &st, sc)
 			if applied == 0 {
 				continue
 			}
@@ -311,13 +329,13 @@ type resizeMove struct {
 // applyPhase finds the best resize per gate, sorts by gain, and applies
 // them in order, revalidating each against the mutated state. It returns
 // the number of resizes applied.
-func applyPhase(n *network.Network, tm *sta.Timing, obj Objective, allowed func(*network.Gate) bool, st *Stats) int {
+func applyPhase(n *network.Network, tm *sta.Timing, obj Objective, allowed func(*network.Gate) bool, st *Stats, sc *sta.Scratch) int {
 	var moves []resizeMove
 	n.Gates(func(g *network.Gate) {
 		if g.IsInput() || !allowed(g) {
 			return
 		}
-		if size, gain := BestResize(tm, g, obj); gain > eps {
+		if size, gain := BestResizeScratch(tm, g, obj, sc); gain > eps {
 			moves = append(moves, resizeMove{g, size, gain})
 		}
 	})
@@ -326,7 +344,7 @@ func applyPhase(n *network.Network, tm *sta.Timing, obj Objective, allowed func(
 	for _, m := range moves {
 		// Earlier applications change the local picture; re-evaluate
 		// before committing (the "best sequence" selection of §5).
-		if gain := EvalResize(tm, m.g, m.size, obj); gain > eps {
+		if gain := EvalResizeScratch(tm, m.g, m.size, obj, sc); gain > eps {
 			n.SetSize(m.g, m.size)
 			applied++
 			st.Resizes++
@@ -335,6 +353,14 @@ func applyPhase(n *network.Network, tm *sta.Timing, obj Objective, allowed func(
 	return applied
 }
 
+// sortMoves orders by gain with the gates' dense IDs as a stable
+// secondary key, so equal-gain moves apply in a reproducible order no
+// matter how the candidate list was produced.
 func sortMoves(moves []resizeMove) {
-	sort.SliceStable(moves, func(i, j int) bool { return moves[i].gain > moves[j].gain })
+	sort.Slice(moves, func(i, j int) bool {
+		if moves[i].gain != moves[j].gain {
+			return moves[i].gain > moves[j].gain
+		}
+		return moves[i].g.ID() < moves[j].g.ID()
+	})
 }

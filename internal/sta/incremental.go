@@ -386,10 +386,16 @@ func (q *levelQueue) pop() *network.Gate {
 func (h levelHeap) Len() int { return len(h.gates) }
 func (h levelHeap) Less(i, j int) bool {
 	li, lj := h.levels[h.gates[i]], h.levels[h.gates[j]]
-	if h.desc {
-		return li > lj
+	if li != lj {
+		if h.desc {
+			return li > lj
+		}
+		return li < lj
 	}
-	return li < lj
+	// Ties break on dense gate ID so pop order — and with it the exact
+	// propagation work — is deterministic no matter what order the dirty
+	// set (a map) seeded the queue in.
+	return h.gates[i].ID() < h.gates[j].ID()
 }
 func (h levelHeap) Swap(i, j int) { h.gates[i], h.gates[j] = h.gates[j], h.gates[i] }
 func (h *levelHeap) Push(x interface{}) {

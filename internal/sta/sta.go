@@ -23,7 +23,6 @@ import (
 	"repro/internal/library"
 	"repro/internal/logic"
 	"repro/internal/network"
-	"repro/internal/wire"
 )
 
 // POLoadPF is the fixed capacitive load presented by a primary-output pad
@@ -173,14 +172,6 @@ func (t *Timing) cellOf(g *network.Gate) *library.Cell {
 	return t.lib.MustCell(g.Type, g.NumFanins(), g.SizeIdx)
 }
 
-// pinCap returns the input capacitance of one in-pin of sink s.
-func (t *Timing) pinCap(s *network.Gate) float64 {
-	if s.IsInput() {
-		return 0
-	}
-	return t.cellOf(s).InputCap
-}
-
 // NetInfo describes one (possibly hypothetical) net: the total load seen
 // by the driver and the wire delay to each sink gate.
 type NetInfo struct {
@@ -191,55 +182,31 @@ type NetInfo struct {
 // ComputeNet builds the star model for driver d over an explicit sink
 // list, which need not be d's current fanouts — optimizers pass
 // hypothetical sink sets to evaluate rewiring moves before committing
-// them. Unplaced terminals contribute no wire parasitics.
+// them. Unplaced terminals contribute no wire parasitics. The math lives
+// in computeNetInto (scratch.go), shared with the arena path, and the
+// per-sink map keeps the worst delay over duplicate sink entries.
 func (t *Timing) ComputeNet(d *network.Gate, sinks []*network.Gate) NetInfo {
-	info := NetInfo{SinkDelay: make(map[*network.Gate]float64, len(sinks))}
-	if len(sinks) == 0 {
-		return info
-	}
-	pts := make([]wire.Point, len(sinks))
-	caps := make([]float64, len(sinks))
-	placed := d.Placed
-	for i, s := range sinks {
-		pts[i] = wire.Point{X: s.X, Y: s.Y}
-		caps[i] = t.pinCap(s)
-		if !s.Placed {
-			placed = false
-		}
-	}
-	if !placed {
-		// Pre-placement: pin caps only, zero wire.
-		for i, s := range sinks {
-			info.Load += caps[i]
-			info.SinkDelay[s] = 0
-		}
-		return info
-	}
-	star := wire.Build(wire.Point{X: d.X, Y: d.Y}, pts)
-	info.Load = star.TotalLoad(caps)
-	for i, s := range sinks {
-		delay := star.ElmoreToSink(i, caps)
-		if cur, ok := info.SinkDelay[s]; !ok || delay > cur {
-			info.SinkDelay[s] = delay
+	var m NetModel
+	t.computeNetInto(nil, &m, d, sinks)
+	info := NetInfo{Load: m.Load, SinkDelay: make(map[*network.Gate]float64, len(sinks))}
+	for i, s := range m.sinks {
+		if cur, ok := info.SinkDelay[s]; !ok || m.delays[i] > cur {
+			info.SinkDelay[s] = m.delays[i]
 		}
 	}
 	return info
 }
 
 // WireDelay returns the interconnect delay from driver d's out-pin to sink
-// s under the current (committed) netlist.
+// s under the current (committed) netlist. It never mutates the Timing —
+// Analyze and the incremental timer keep the per-driver star cache
+// complete, so concurrent scoring workers can all call it; an uncached
+// driver (possible only on a hand-rolled Timing) recomputes on the fly.
 func (t *Timing) WireDelay(d, s *network.Gate) float64 {
-	// Nets are short (average fanout is small); recomputing the star on
-	// demand would be wasteful, so cache per driver.
-	if t.wireCache == nil {
-		t.wireCache = make(map[*network.Gate]NetInfo, t.n.NumGates())
+	if info, ok := t.wireCache[d]; ok {
+		return info.SinkDelay[s]
 	}
-	info, ok := t.wireCache[d]
-	if !ok {
-		info = t.ComputeNet(d, d.Fanouts())
-		t.wireCache[d] = info
-	}
-	return info.SinkDelay[s]
+	return t.ComputeNet(d, d.Fanouts()).SinkDelay[s]
 }
 
 // GateOutput computes the out-pin arrival of g from explicit per-pin input
@@ -247,7 +214,12 @@ func (t *Timing) WireDelay(d, s *network.Gate) float64 {
 // with respect to the committed analysis, so optimizers can call it with
 // hypothetical values.
 func (t *Timing) GateOutput(g *network.Gate, pinArr []Edge, load float64) Edge {
-	cell := t.cellOf(g)
+	return t.gateOutputCell(t.cellOf(g), g, pinArr, load)
+}
+
+// gateOutputCell is GateOutput with an explicit cell, shared with the
+// scratch-aware size-override path (GateOutputSc).
+func (t *Timing) gateOutputCell(cell *library.Cell, g *network.Gate, pinArr []Edge, load float64) Edge {
 	dRise, dFall := cell.Delay(load)
 	var worstRise, worstFall float64 // worst causing-input times
 	for _, pa := range pinArr {
@@ -279,6 +251,9 @@ func (t *Timing) GateOutput(g *network.Gate, pinArr []Edge, load float64) Edge {
 	}
 	return Edge{Rise: worstRise + dRise, Fall: worstFall + dFall}
 }
+
+// Network returns the network this analysis describes.
+func (t *Timing) Network() *network.Network { return t.n }
 
 // Arrival returns the out-pin arrival time of g.
 func (t *Timing) Arrival(g *network.Gate) Edge { return t.arrival[g] }

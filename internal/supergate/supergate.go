@@ -75,6 +75,14 @@ type Supergate struct {
 	Kind   Kind
 	Gates  []*network.Gate // covered gates, root first
 	Leaves []Leaf
+
+	// reds are the Fig. 1 redundancies this extraction found; the
+	// per-supergate storage lets the incremental Cache keep the flat
+	// Extraction.Redundancies view current across re-extractions.
+	reds []Redundancy
+	// invalid marks a supergate dropped from a cached extraction; see
+	// cache.go.
+	invalid bool
 }
 
 // Trivial reports whether the supergate covers only its root gate, as in
@@ -138,6 +146,9 @@ func Extract(n *network.Network) *Extraction {
 		for _, covered := range sg.Gates {
 			e.ByGate[covered] = sg
 		}
+	}
+	for _, sg := range e.Supergates {
+		e.Redundancies = append(e.Redundancies, sg.reds...)
 	}
 	return e
 }
@@ -297,7 +308,7 @@ func (e *Extraction) recordRedundancies(sg *Supergate, seen map[*network.Gate][]
 		if conflict {
 			distinct = append(distinct, vals[0]^1)
 		}
-		e.Redundancies = append(e.Redundancies, Redundancy{
+		sg.reds = append(sg.reds, Redundancy{
 			Stem:     d,
 			Root:     sg.Root,
 			Conflict: conflict,

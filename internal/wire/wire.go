@@ -48,8 +48,17 @@ type Star struct {
 // Build constructs the star for a net with the given source and sink
 // locations. A net with no sinks yields a degenerate star at the source.
 func Build(source Point, sinks []Point) Star {
+	st := Star{}
+	BuildInto(&st, source, sinks)
+	return st
+}
+
+// BuildInto is Build writing into an existing Star, reusing its SinkLen
+// storage — the allocation-free form the optimizers' scoring arenas use.
+func BuildInto(st *Star, source Point, sinks []Point) {
 	if len(sinks) == 0 {
-		return Star{Center: source}
+		*st = Star{Center: source, SinkLen: st.SinkLen[:0]}
+		return
 	}
 	var cx, cy float64
 	for _, s := range sinks {
@@ -60,15 +69,16 @@ func Build(source Point, sinks []Point) Star {
 	cy += source.Y
 	k := float64(len(sinks) + 1)
 	center := Point{cx / k, cy / k}
-	st := Star{
-		Center:    center,
-		SourceLen: manhattan(source, center) / umPerCm,
-		SinkLen:   make([]float64, len(sinks)),
+	st.Center = center
+	st.SourceLen = manhattan(source, center) / umPerCm
+	if cap(st.SinkLen) < len(sinks) {
+		st.SinkLen = make([]float64, len(sinks))
+	} else {
+		st.SinkLen = st.SinkLen[:len(sinks)]
 	}
 	for i, s := range sinks {
 		st.SinkLen[i] = manhattan(center, s) / umPerCm
 	}
-	return st
 }
 
 // WireCap returns the total wire capacitance of the net in pF.
