@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race bench bench-smoke table1
+.PHONY: all vet build test race bench bench-smoke table1 fuzz cover
 
 all: vet build test
 
@@ -29,3 +29,15 @@ bench-smoke:
 
 table1:
 	$(GO) run ./cmd/table1 -quick
+
+# Native fuzz smoke: each parser target for FUZZTIME (default 10s); the
+# CI fuzz-smoke job runs the same invocations.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -fuzz=FuzzParseBLIF -fuzztime=$(FUZZTIME) ./internal/blif
+	$(GO) test -fuzz=FuzzParseBench -fuzztime=$(FUZZTIME) ./internal/bench
+
+# Coverage profile + per-function summary (cover.out is the CI artifact).
+cover:
+	$(GO) test -short -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -20

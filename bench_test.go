@@ -444,3 +444,111 @@ func BenchmarkRedundancyRemoval(b *testing.B) {
 	}
 	b.ReportMetric(float64(removed), "removed")
 }
+
+// --- PR 3: criticality windowing and region partitioning ---
+
+// BenchmarkWindowedMoveGen measures one phase of candidate generation on
+// s38417 at several criticality windows (window=0 is the default 2%/10%
+// margins). "evals" is the number of individual candidates scored — the
+// unit of work the window cuts; BENCH_PR3.json records the >=3x
+// reduction acceptance.
+func BenchmarkWindowedMoveGen(b *testing.B) {
+	n, l, _ := staSwapSetup(b)
+	tm := sta.Analyze(n, l, 0)
+	ext := supergate.Extract(n)
+	phases := []struct {
+		name string
+		obj  sizing.Objective
+	}{{"minslack", sizing.MinSlack}, {"relax", sizing.SumSlack}}
+	for _, w := range []float64{0, 0.01, 0.005} {
+		for _, ph := range phases {
+			b.Run(fmt.Sprintf("window=%g/%s", w, ph.name), func(b *testing.B) {
+				o := opt.Options{MaxIters: 1, MaxSwapLeaves: 48, Window: w}
+				var st opt.EvalStats
+				for i := 0; i < b.N; i++ {
+					eng := opt.NewEngine(1)
+					eng.Moves(tm, opt.GsgGS, ph.obj, o, ext)
+					st = eng.Stats()
+				}
+				b.ReportMetric(float64(st.Candidates()), "evals")
+				b.ReportMetric(float64(st.Moves), "moves")
+			})
+		}
+	}
+}
+
+// BenchmarkOptimizeWindowed runs the full gsg+GS optimizer on s38417 with
+// and without the criticality window: wall clock, total candidate
+// evaluations, and the final delay document the work/quality trade.
+func BenchmarkOptimizeWindowed(b *testing.B) {
+	for _, w := range []float64{0, 0.005} {
+		b.Run(fmt.Sprintf("window=%g", w), func(b *testing.B) {
+			var res opt.Result
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				n, l, _ := staSwapSetup(b)
+				b.StartTimer()
+				res = opt.Optimize(n, l, opt.GsgGS, opt.Options{MaxIters: 4, Workers: 1, Window: w})
+			}
+			b.ReportMetric(res.Evals.PerPhase(), "evals/phase")
+			b.ReportMetric(float64(res.Evals.Phases), "phases")
+			b.ReportMetric(res.FinalDelay, "final-ns")
+			b.ReportMetric(res.ImprovementPct(), "improve%")
+		})
+	}
+}
+
+// BenchmarkOptimizeRegioned runs gsg+GS on s38417 sequentially versus
+// region-partitioned (8 regions per round). On a multi-core host the
+// regioned arm additionally overlaps region optimization on goroutines;
+// on any host it shows the windowed-partition work reduction.
+func BenchmarkOptimizeRegioned(b *testing.B) {
+	for _, arm := range []struct {
+		name    string
+		regions int
+		window  float64
+	}{
+		{"regions=1", 1, 0},
+		{"regions=8", 8, 0},
+		{"regions=8,window=0.005", 8, 0.005},
+	} {
+		b.Run(arm.name, func(b *testing.B) {
+			var res opt.Result
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				n, l, _ := staSwapSetup(b)
+				b.StartTimer()
+				res = opt.OptimizeRegioned(n, l, opt.GsgGS,
+					opt.Options{MaxIters: 4, Workers: 1, Window: arm.window},
+					opt.RegionSchedule{Regions: arm.regions})
+			}
+			b.ReportMetric(res.Evals.PerPhase(), "evals/phase")
+			b.ReportMetric(res.FinalDelay, "final-ns")
+			b.ReportMetric(res.ImprovementPct(), "improve%")
+		})
+	}
+}
+
+// BenchmarkLargeRegioned stresses the region scheduler beyond the Table 1
+// scale: a stitched multi-block circuit (~50k gates, unplaced — pin-cap
+// loads only) optimized gsg region-partitioned. Not part of bench-smoke.
+func BenchmarkLargeRegioned(b *testing.B) {
+	l := library.Default035()
+	base := gen.Large(50000, 1)
+	sizing.SeedForLoad(base, l, 0)
+	for _, regions := range []int{1, 8} {
+		b.Run(fmt.Sprintf("regions=%d", regions), func(b *testing.B) {
+			var res opt.Result
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				n, _ := base.Clone()
+				b.StartTimer()
+				res = opt.OptimizeRegioned(n, l, opt.Gsg, opt.Options{MaxIters: 2, Workers: 1},
+					opt.RegionSchedule{Regions: regions, Rounds: 2})
+			}
+			b.ReportMetric(res.Evals.PerPhase(), "evals/phase")
+			b.ReportMetric(res.ImprovementPct(), "improve%")
+			b.ReportMetric(float64(res.Swaps), "swaps")
+		})
+	}
+}

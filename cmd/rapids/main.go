@@ -41,6 +41,8 @@ func main() {
 		iters     = flag.Int("iters", 8, "optimizer iterations")
 		clock     = flag.Float64("clock", 0, "required time at outputs in ns (0 = critical delay)")
 		workers   = flag.Int("workers", 0, "move-scoring workers (0 = GOMAXPROCS, 1 = sequential; results identical)")
+		window    = flag.Float64("window", 0, "criticality window as a fraction of the clock (0 = default margins)")
+		regions   = flag.Int("regions", 0, "region-parallel optimization: max concurrent timing regions (<=1 = whole-network)")
 		moves     = flag.Int("moves", 30, "placement annealing moves per cell")
 		seed      = flag.Int64("seed", 1, "placement seed")
 		list      = flag.Bool("list", false, "list generated benchmark names and exit")
@@ -90,7 +92,13 @@ func main() {
 	before := sta.Analyze(n, lib, *clock)
 	fmt.Printf("initial: critical delay %.3f ns, area %.0f um^2\n",
 		before.CriticalDelay, techmap.Area(n, lib))
-	res := opt.Optimize(n, lib, strat, opt.Options{Clock: *clock, MaxIters: *iters, Workers: *workers})
+	opts := opt.Options{Clock: *clock, MaxIters: *iters, Workers: *workers, Window: *window}
+	var res opt.Result
+	if *regions > 1 {
+		res = opt.OptimizeRegioned(n, lib, strat, opts, opt.RegionSchedule{Regions: *regions})
+	} else {
+		res = opt.Optimize(n, lib, strat, opts)
+	}
 
 	fmt.Printf("%s: delay %.3f -> %.3f ns (%.1f%% better), area %+.1f%%\n",
 		res.Strategy, res.InitialDelay, res.FinalDelay,
@@ -102,6 +110,9 @@ func main() {
 		res.Timer.ArrivalRecomputes, res.Timer.RequiredRecomputes)
 	fmt.Printf("  supergates: %.1f%% coverage, largest has %d inputs, %d redundancies found\n",
 		100*res.Coverage, res.MaxLeaves, res.Redundancies)
+	fmt.Printf("  scoring: %d candidates over %d phases (%.0f/phase; %d swap + %d resize sites)\n",
+		res.Evals.Candidates(), res.Evals.Phases, res.Evals.PerPhase(),
+		res.Evals.SwapSites, res.Evals.ResizeSites)
 	fmt.Printf("  extraction: %d full, %d incremental flushes (%d supergates re-extracted)\n",
 		res.Extractor.FullExtractions, res.Extractor.IncrementalFlushes, res.Extractor.Reextracted)
 

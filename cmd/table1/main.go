@@ -26,6 +26,8 @@ func main() {
 		moves      = flag.Int("moves", 30, "placement annealing moves per cell")
 		seed       = flag.Int64("seed", 1, "placement seed")
 		workers    = flag.Int("workers", 0, "move-scoring workers (0 = GOMAXPROCS, 1 = sequential; results identical)")
+		window     = flag.Float64("window", 0, "criticality window as a fraction of the clock (0 = default margins)")
+		regions    = flag.Int("regions", 0, "region-parallel optimization: max concurrent timing regions (<=1 = whole-network)")
 		quick      = flag.Bool("quick", false, "small/fast subset with reduced effort")
 		summary    = flag.Bool("summary", false, "print only the averages against the paper's")
 		verbose    = flag.Bool("v", false, "progress output per optimizer run")
@@ -37,6 +39,8 @@ func main() {
 		PlaceMoves: *moves,
 		MaxIters:   *iters,
 		Workers:    *workers,
+		Window:     *window,
+		Regions:    *regions,
 	}
 	if *benchmarks != "" {
 		cfg.Benchmarks = strings.Split(*benchmarks, ",")

@@ -1,0 +1,59 @@
+package repro_test
+
+// Smoke tests for examples/*: every example must build and run cleanly,
+// so the runnable walk-throughs cannot rot as the packages underneath
+// them move. All four finish in well under a second, so they run in
+// short mode too (CI's race job included).
+
+import (
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestExamplesBuildAndRun(t *testing.T) {
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatalf("examples directory: %v", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) < 4 {
+		t.Fatalf("expected at least the four shipped examples, found %v", names)
+	}
+	gobin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go toolchain not on PATH: %v", err)
+	}
+	bindir := t.TempDir()
+	for _, name := range names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			bin := filepath.Join(bindir, name)
+			build := exec.Command(gobin, "build", "-o", bin, "./examples/"+name)
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("build failed: %v\n%s", err, out)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			defer cancel()
+			out, runErr := exec.CommandContext(ctx, bin).CombinedOutput()
+			if ctx.Err() != nil {
+				t.Fatalf("example %s did not finish within 2 minutes", name)
+			}
+			if runErr != nil {
+				t.Fatalf("run failed: %v\n%s", runErr, out)
+			}
+			if len(out) == 0 {
+				t.Fatalf("example %s produced no output", name)
+			}
+		})
+	}
+}

@@ -117,8 +117,9 @@ func Parse(r io.Reader, name string) (*network.Network, error) {
 			n.AddInput(pi)
 		}
 	}
-	var instantiate func(sig string, path []string) (*network.Gate, error)
-	instantiate = func(sig string, path []string) (*network.Gate, error) {
+	inProgress := make(map[string]bool)
+	var instantiate func(sig string) (*network.Gate, error)
+	instantiate = func(sig string) (*network.Gate, error) {
 		if g := n.FindGate(sig); g != nil {
 			return g, nil
 		}
@@ -126,19 +127,27 @@ func Parse(r io.Reader, name string) (*network.Network, error) {
 		if !ok {
 			return nil, fmt.Errorf("bench: signal %s is never defined", sig)
 		}
-		for _, p := range path {
-			if p == sig {
-				return nil, fmt.Errorf("bench: combinational cycle through %s", sig)
-			}
+		if inProgress[sig] {
+			return nil, fmt.Errorf("bench: combinational cycle through %s", sig)
 		}
 		t, ok := typeByName[d.fn]
 		if !ok {
 			return nil, fmt.Errorf("bench line %d: unknown function %q", d.line, d.fn)
 		}
-		path = append(path, sig)
+		// Validate arity here rather than letting AddGate panic: malformed
+		// netlists are data errors, not programming errors.
+		if t.IsUnary() && len(d.inputs) != 1 {
+			return nil, fmt.Errorf("bench line %d: %s takes one input, got %d", d.line, d.fn, len(d.inputs))
+		}
+		if len(d.inputs) < t.MinFanin() {
+			return nil, fmt.Errorf("bench line %d: %s needs >= %d inputs, got %d",
+				d.line, d.fn, t.MinFanin(), len(d.inputs))
+		}
+		inProgress[sig] = true
+		defer delete(inProgress, sig)
 		fanins := make([]*network.Gate, len(d.inputs))
 		for i, in := range d.inputs {
-			f, err := instantiate(in, path)
+			f, err := instantiate(in)
 			if err != nil {
 				return nil, err
 			}
@@ -147,7 +156,7 @@ func Parse(r io.Reader, name string) (*network.Network, error) {
 		return n.AddGate(sig, t, fanins...), nil
 	}
 	for _, po := range append(append([]string(nil), outputs...), latchPOs...) {
-		g, err := instantiate(po, nil)
+		g, err := instantiate(po)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,72 @@
+package bench
+
+// Native fuzz target for the ISCAS .bench reader; the same two properties
+// as the BLIF target (see internal/blif/fuzz_test.go): Parse never
+// panics, and parse → Write → parse reproduces the network structurally.
+// Seed corpus: the .bench files under testdata/ plus inline regressions —
+// including the bad-arity inputs that used to panic the parser.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/netcmp"
+)
+
+func seedCorpus(f *testing.F, glob string) {
+	f.Helper()
+	paths, err := filepath.Glob(glob)
+	if err != nil || len(paths) == 0 {
+		f.Fatalf("no seed corpus at %s: %v", glob, err)
+	}
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(data))
+	}
+}
+
+// roundtrippableName: .bench metacharacters make re-emitted names
+// ambiguous, so round-trip is only asserted on clean names.
+func roundtrippableName(s string) bool {
+	return s != "" && !strings.ContainsAny(s, " \t#()=,")
+}
+
+func FuzzParseBench(f *testing.F) {
+	seedCorpus(f, filepath.Join("testdata", "*.bench"))
+	// Former panics: wrong arity for unary / n-ary functions.
+	f.Add("INPUT(a)\nOUTPUT(x)\nx = NOT(a, a)\n")
+	f.Add("INPUT(a)\nOUTPUT(x)\nx = AND(a)\n")
+	f.Add("OUTPUT(x)\nx = AND()\n")
+	f.Add("INPUT(a)\nOUTPUT(z)\nz = DFF(a)\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		n, err := Parse(strings.NewReader(data), "fuzz")
+		if err != nil {
+			return
+		}
+		if err := n.Validate(); err != nil {
+			t.Fatalf("Parse accepted an invalid network: %v", err)
+		}
+		for _, g := range n.GateSlice() {
+			if !roundtrippableName(g.Name()) {
+				return
+			}
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, n); err != nil {
+			t.Fatalf("Write failed on a parsed network: %v", err)
+		}
+		n2, err := Parse(bytes.NewReader(buf.Bytes()), "fuzz")
+		if err != nil {
+			t.Fatalf("round-trip reparse failed: %v\n-- emitted --\n%s", err, buf.String())
+		}
+		if err := netcmp.Structure(n, n2); err != nil {
+			t.Fatalf("round-trip changed the network: %v\n-- emitted --\n%s", err, buf.String())
+		}
+	})
+}

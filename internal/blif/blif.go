@@ -122,15 +122,35 @@ func Parse(r io.Reader) (*network.Network, error) {
 func (d *namesDecl) addRow(fields []string, lineNo int) error {
 	switch {
 	case len(d.inputs) == 0 && len(fields) == 1:
+		if err := checkRowChars("", fields[0], lineNo); err != nil {
+			return err
+		}
 		d.rows = append(d.rows, row{pattern: "", out: fields[0][0]})
 	case len(fields) == 2:
 		if len(fields[0]) != len(d.inputs) {
 			return fmt.Errorf("blif line %d: pattern width %d, want %d",
 				lineNo, len(fields[0]), len(d.inputs))
 		}
+		if err := checkRowChars(fields[0], fields[1], lineNo); err != nil {
+			return err
+		}
 		d.rows = append(d.rows, row{pattern: fields[0], out: fields[1][0]})
 	default:
 		return fmt.Errorf("blif line %d: malformed truth-table row", lineNo)
+	}
+	return nil
+}
+
+// checkRowChars rejects cover rows outside the 0/1/- alphabet instead of
+// silently dropping their minterms during expansion.
+func checkRowChars(pattern, out string, lineNo int) error {
+	for i := 0; i < len(pattern); i++ {
+		if c := pattern[i]; c != '0' && c != '1' && c != '-' {
+			return fmt.Errorf("blif line %d: bad cube character %q", lineNo, c)
+		}
+	}
+	if out != "0" && out != "1" {
+		return fmt.Errorf("blif line %d: bad output value %q", lineNo, out)
 	}
 	return nil
 }
@@ -150,8 +170,9 @@ func build(name string, inputs, outputs, latchPIs, latchPOs []string, decls []*n
 		}
 	}
 
-	var instantiate func(string, []string) (*network.Gate, error)
-	instantiate = func(sig string, path []string) (*network.Gate, error) {
+	inProgress := make(map[string]bool)
+	var instantiate func(string) (*network.Gate, error)
+	instantiate = func(sig string) (*network.Gate, error) {
 		if g := n.FindGate(sig); g != nil {
 			return g, nil
 		}
@@ -159,15 +180,14 @@ func build(name string, inputs, outputs, latchPIs, latchPOs []string, decls []*n
 		if d == nil {
 			return nil, fmt.Errorf("blif: signal %s is never defined", sig)
 		}
-		for _, p := range path {
-			if p == sig {
-				return nil, fmt.Errorf("blif: combinational cycle through %s", sig)
-			}
+		if inProgress[sig] {
+			return nil, fmt.Errorf("blif: combinational cycle through %s", sig)
 		}
-		path = append(path, sig)
+		inProgress[sig] = true
+		defer delete(inProgress, sig)
 		fanins := make([]*network.Gate, len(d.inputs))
 		for i, in := range d.inputs {
-			f, err := instantiate(in, path)
+			f, err := instantiate(in)
 			if err != nil {
 				return nil, err
 			}
@@ -181,7 +201,7 @@ func build(name string, inputs, outputs, latchPIs, latchPOs []string, decls []*n
 	}
 
 	for _, po := range append(append([]string(nil), outputs...), latchPOs...) {
-		g, err := instantiate(po, nil)
+		g, err := instantiate(po)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,91 @@
+package gen
+
+import (
+	"hash/fnv"
+	"strings"
+	"testing"
+
+	"repro/internal/network"
+)
+
+func TestStitchedCrossWiresBlocks(t *testing.T) {
+	blocks := []Profile{
+		{Name: "a", Seed: 1, NumPI: 20, TargetGates: 300, NorFrac: 0.4, InvFrac: 0.1, Locality: 0.5, MaxFanin: 3},
+		{Name: "b", Seed: 2, NumPI: 20, TargetGates: 300, NorFrac: 0.4, InvFrac: 0.1, Locality: 0.5, MaxFanin: 3, AdderBits: []int{4}},
+		{Name: "c", Seed: 3, NumPI: 20, TargetGates: 300, NorFrac: 0.4, InvFrac: 0.1, Locality: 0.5, MaxFanin: 3},
+	}
+	n := Stitched("tri", 7, blocks)
+	if err := n.Validate(); err != nil {
+		t.Fatalf("stitched network invalid: %v", err)
+	}
+	if got := n.NumLogicGates(); got < 850 || got > 1000 {
+		t.Fatalf("logic gates %d, want ~900", got)
+	}
+	// Later blocks draw half their pool from earlier blocks, so fewer
+	// fresh PIs than 3×20 must exist.
+	if pis := len(n.Inputs()); pis >= 60 || pis <= 20 {
+		t.Fatalf("inputs %d, want cross-wired count in (20, 60)", pis)
+	}
+	// Cross-block edges must exist: some later-block gate reads a b0_
+	// signal.
+	cross := false
+	n.Gates(func(g *network.Gate) {
+		if g.IsInput() || strings.HasPrefix(g.Name(), "b0_") {
+			return
+		}
+		for _, f := range g.Fanins() {
+			if strings.HasPrefix(f.Name(), "b0_") {
+				cross = true
+			}
+		}
+	})
+	if !cross {
+		t.Fatal("no cross-block edges: blocks are disconnected islands")
+	}
+}
+
+// sig condenses a network to a comparable fingerprint.
+type sig struct {
+	gates int
+	hash  uint64
+}
+
+func newSig(n *network.Network) sig {
+	h := fnv.New64a()
+	n.Gates(func(g *network.Gate) {
+		h.Write([]byte(g.Name()))
+		h.Write([]byte{byte(g.Type), byte(g.SizeIdx), byte(g.NumFanins())})
+		for _, f := range g.Fanins() {
+			h.Write([]byte(f.Name()))
+		}
+	})
+	return sig{gates: n.NumGates(), hash: h.Sum64()}
+}
+
+func TestStitchedDeterministic(t *testing.T) {
+	a, b := newSig(Large(12000, 3)), newSig(Large(12000, 3))
+	if a != b {
+		t.Fatalf("Large not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestLargeScales(t *testing.T) {
+	target := 12000
+	if !testing.Short() {
+		target = 55000
+	}
+	n := Large(target, 1)
+	if err := n.Validate(); err != nil {
+		t.Fatalf("large network invalid: %v", err)
+	}
+	got := n.NumLogicGates()
+	if got < int(0.9*float64(target)) || got > int(1.15*float64(target)) {
+		t.Fatalf("logic gates %d, want ~%d", got, target)
+	}
+	if len(n.Outputs()) == 0 || len(n.Inputs()) == 0 {
+		t.Fatal("no interface")
+	}
+	if n.Depth() < 20 {
+		t.Fatalf("depth %d suspiciously shallow for a stitched circuit", n.Depth())
+	}
+}

@@ -43,6 +43,14 @@ type Config struct {
 	// run: 0 uses GOMAXPROCS, 1 forces sequential scoring. Results are
 	// bit-identical at every setting; only CPU time changes.
 	Workers int
+	// Window, when > 0, narrows candidate generation to sites within
+	// Window×Clock of the worst slack (see opt.Options.Window).
+	Window float64
+	// Regions, when > 1, runs every optimizer region-partitioned: up to
+	// Regions timing regions are extracted and optimized concurrently per
+	// round, with a global re-analysis reconciling rounds (see
+	// opt.OptimizeRegioned).
+	Regions int
 	// Progress, when non-nil, receives one line per benchmark stage.
 	Progress io.Writer
 }
@@ -89,6 +97,9 @@ type Row struct {
 	// Verified reports that all three optimized networks are
 	// simulation-equivalent to the placed original.
 	Verified bool
+	// Err carries the failure of this benchmark's run, if any. RunAll
+	// records it here and keeps going instead of abandoning the table.
+	Err string
 }
 
 // RunBenchmark produces one Table 1 row.
@@ -114,15 +125,23 @@ func RunBenchmark(name string, cfg Config) (Row, error) {
 
 	run := func(strat opt.Strategy) (opt.Result, float64, error) {
 		n, _ := base.Clone()
+		opts := opt.Options{MaxIters: cfg.MaxIters, Workers: cfg.Workers, Window: cfg.Window}
 		start := time.Now()
-		res := opt.Optimize(n, lib, strat, opt.Options{MaxIters: cfg.MaxIters, Workers: cfg.Workers})
+		var res opt.Result
+		if cfg.Regions > 1 {
+			res = opt.OptimizeRegioned(n, lib, strat, opts, opt.RegionSchedule{Regions: cfg.Regions})
+		} else {
+			res = opt.Optimize(n, lib, strat, opts)
+		}
 		cpu := time.Since(start).Seconds()
 		if cfg.VerifyRounds > 0 {
 			ce, err := sim.EquivalentRandom(base, n, cfg.VerifyRounds, 12345)
 			if err != nil {
+				row.Verified = false
 				return res, cpu, err
 			}
 			if ce != nil {
+				row.Verified = false
 				return res, cpu, fmt.Errorf("harness: %s/%v changed function: %v", name, strat, ce)
 			}
 		}
@@ -163,37 +182,61 @@ func RunBenchmark(name string, cfg Config) (Row, error) {
 	return row, nil
 }
 
-// RunAll produces all rows of the configured benchmark set.
+// RunAll produces all rows of the configured benchmark set. A failing
+// benchmark (verification mismatch, unknown circuit) no longer aborts the
+// table: its error is recorded in Row.Err (with Verified false) and the
+// remaining benchmarks still run. The returned error is non-nil only when
+// *every* benchmark failed.
 func RunAll(cfg Config) ([]Row, error) {
 	cfg.fill()
 	rows := make([]Row, 0, len(cfg.Benchmarks))
+	failures := 0
+	var firstErr error
 	for _, name := range cfg.Benchmarks {
 		row, err := RunBenchmark(name, cfg)
 		if err != nil {
-			return rows, err
+			if row.Name == "" {
+				row.Name = name
+			}
+			row.Verified = false
+			row.Err = err.Error()
+			failures++
+			if firstErr == nil {
+				firstErr = err
+			}
 		}
 		rows = append(rows, row)
+	}
+	if failures == len(cfg.Benchmarks) && failures > 0 {
+		return rows, firstErr
 	}
 	return rows, nil
 }
 
 // Average returns the column averages (the paper's "ave." line covers the
-// percentage columns).
+// percentage columns). Failed rows (Err set) poison only the Verified
+// flag, not the numeric averages — their zero percentage columns would
+// otherwise silently dilute the headline numbers.
 func Average(rows []Row) Row {
 	avg := Row{Name: "ave.", Verified: true}
-	if len(rows) == 0 {
-		return avg
-	}
+	clean := 0
 	for _, r := range rows {
+		avg.Verified = avg.Verified && r.Verified && r.Err == ""
+		if r.Err != "" {
+			continue
+		}
+		clean++
 		avg.GsgPct += r.GsgPct
 		avg.GSPct += r.GSPct
 		avg.GsgGSPct += r.GsgGSPct
 		avg.GSAreaPct += r.GSAreaPct
 		avg.GsgGSAreaPct += r.GsgGSAreaPct
 		avg.CovPct += r.CovPct
-		avg.Verified = avg.Verified && r.Verified
 	}
-	k := float64(len(rows))
+	if clean == 0 {
+		return avg
+	}
+	k := float64(clean)
 	avg.GsgPct /= k
 	avg.GSPct /= k
 	avg.GsgGSPct /= k
@@ -203,24 +246,38 @@ func Average(rows []Row) Row {
 	return avg
 }
 
-// FormatTable renders rows in the layout of Table 1, appending the
-// average line.
+// FormatTable renders rows in the layout of Table 1 — plus a verification
+// column the paper takes for granted — appending the average line and one
+// trailing comment line per failed benchmark.
 func FormatTable(rows []Row) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-8s %6s %7s %6s %6s %7s %8s %8s %8s %7s %8s %7s %4s %6s\n",
+	fmt.Fprintf(&b, "%-8s %6s %7s %6s %6s %7s %8s %8s %8s %7s %8s %7s %4s %6s %4s\n",
 		"ckt", "gates", "init", "gsg", "GS", "gsg+GS",
-		"gsg cpu", "GS cpu", "g+G cpu", "GS ar%", "g+G ar%", "cov%", "L", "#red")
+		"gsg cpu", "GS cpu", "g+G cpu", "GS ar%", "g+G ar%", "cov%", "L", "#red", "ver")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-8s %6d %7.2f %5.1f%% %5.1f%% %6.1f%% %7.2fs %7.2fs %7.2fs %+6.1f%% %+7.1f%% %6.1f%% %4d %6d\n",
+		fmt.Fprintf(&b, "%-8s %6d %7.2f %5.1f%% %5.1f%% %6.1f%% %7.2fs %7.2fs %7.2fs %+6.1f%% %+7.1f%% %6.1f%% %4d %6d %4s\n",
 			r.Name, r.Gates, r.InitNS, r.GsgPct, r.GSPct, r.GsgGSPct,
 			r.GsgCPU, r.GSCPU, r.GsgGSCPU, r.GSAreaPct, r.GsgGSAreaPct,
-			r.CovPct, r.L, r.Red)
+			r.CovPct, r.L, r.Red, verMark(r))
 	}
 	avg := Average(rows)
-	fmt.Fprintf(&b, "%-8s %6s %7s %5.1f%% %5.1f%% %6.1f%% %8s %8s %8s %+6.1f%% %+7.1f%% %6.1f%%\n",
+	fmt.Fprintf(&b, "%-8s %6s %7s %5.1f%% %5.1f%% %6.1f%% %8s %8s %8s %+6.1f%% %+7.1f%% %6.1f%% %4s %6s %4s\n",
 		"ave.", "", "", avg.GsgPct, avg.GSPct, avg.GsgGSPct, "", "", "",
-		avg.GSAreaPct, avg.GsgGSAreaPct, avg.CovPct)
+		avg.GSAreaPct, avg.GsgGSAreaPct, avg.CovPct, "", "", verMark(avg))
+	for _, r := range rows {
+		if r.Err != "" {
+			fmt.Fprintf(&b, "# %s: %s\n", r.Name, r.Err)
+		}
+	}
 	return b.String()
+}
+
+// verMark renders the verification column.
+func verMark(r Row) string {
+	if r.Err != "" || !r.Verified {
+		return "FAIL"
+	}
+	return "ok"
 }
 
 // PaperAverages returns the headline numbers of the paper's "ave." row for

@@ -1,0 +1,82 @@
+// Package netcmp compares two networks structurally by name: same
+// primary-input and primary-output name sets, same gate names, and for
+// every gate the same type and in-pin driver names in pin order. The
+// parser round-trip fuzz targets (blif, bench) use it as their equality
+// oracle — it is stricter than simulation equivalence and cheap enough to
+// run per fuzz execution.
+package netcmp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/network"
+)
+
+// Structure returns nil when a and b are structurally identical by name,
+// or a description of the first difference.
+func Structure(a, b *network.Network) error {
+	if err := sameNames("input", names(a.Inputs()), names(b.Inputs())); err != nil {
+		return err
+	}
+	if err := sameNames("output", names(a.Outputs()), names(b.Outputs())); err != nil {
+		return err
+	}
+	if an, bn := a.NumGates(), b.NumGates(); an != bn {
+		return fmt.Errorf("gate count %d vs %d", an, bn)
+	}
+	var err error
+	a.Gates(func(g *network.Gate) {
+		if err != nil {
+			return
+		}
+		h := b.FindGate(g.Name())
+		if h == nil {
+			err = fmt.Errorf("gate %q missing", g.Name())
+			return
+		}
+		if g.Type != h.Type {
+			err = fmt.Errorf("gate %q type %v vs %v", g.Name(), g.Type, h.Type)
+			return
+		}
+		if g.PO != h.PO {
+			err = fmt.Errorf("gate %q PO flag %v vs %v", g.Name(), g.PO, h.PO)
+			return
+		}
+		if g.NumFanins() != h.NumFanins() {
+			err = fmt.Errorf("gate %q fanin count %d vs %d", g.Name(), g.NumFanins(), h.NumFanins())
+			return
+		}
+		for i, f := range g.Fanins() {
+			if f.Name() != h.Fanin(i).Name() {
+				err = fmt.Errorf("gate %q pin %d driver %q vs %q",
+					g.Name(), i, f.Name(), h.Fanin(i).Name())
+				return
+			}
+		}
+	})
+	return err
+}
+
+func names(gs []*network.Gate) []string {
+	out := make([]string, len(gs))
+	for i, g := range gs {
+		out[i] = g.Name()
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sameNames(kind string, a, b []string) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("%s count %d vs %d (%s | %s)",
+			kind, len(a), len(b), strings.Join(a, ","), strings.Join(b, ","))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return fmt.Errorf("%s set differs at %q vs %q", kind, a[i], b[i])
+		}
+	}
+	return nil
+}

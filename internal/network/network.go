@@ -461,6 +461,49 @@ func (h *gateHeap) Pop() interface{} {
 	return g
 }
 
+// TopoOrderAmong returns the given gates in topological order with
+// respect to the edges whose endpoints are both in the set (membership
+// decided by in): fanins in the set come before their in-set fanouts,
+// and ready ties break on dense gate ID — the same determinism contract
+// as TopoOrder. It panics if the subset contains a cycle. Region
+// extraction uses it to walk a region interior fanin-first.
+func TopoOrderAmong(gates []*Gate, in func(*Gate) bool) []*Gate {
+	pending := make(map[*Gate]int, len(gates))
+	ready := &gateHeap{}
+	for _, g := range gates {
+		c := 0
+		for _, f := range g.fanins {
+			if in(f) {
+				c++
+			}
+		}
+		if c == 0 {
+			heap.Push(ready, g)
+		} else {
+			pending[g] = c
+		}
+	}
+	order := make([]*Gate, 0, len(gates))
+	for ready.Len() > 0 {
+		g := heap.Pop(ready).(*Gate)
+		order = append(order, g)
+		for _, s := range g.fanouts {
+			if !in(s) {
+				continue
+			}
+			pending[s]--
+			if pending[s] == 0 {
+				delete(pending, s)
+				heap.Push(ready, s)
+			}
+		}
+	}
+	if len(order) != len(gates) {
+		panic("network: cycle detected in TopoOrderAmong")
+	}
+	return order
+}
+
 // ReverseTopoOrder returns gates in reverse topological order (fanouts
 // before fanins) — the order supergate extraction walks the network.
 func (n *Network) ReverseTopoOrder() []*Gate {

@@ -21,6 +21,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/library"
 	"repro/internal/network"
 	"repro/internal/rewire"
 	"repro/internal/sizing"
@@ -64,11 +65,65 @@ func sortMoves(moves []Move) {
 	})
 }
 
-// workerState is one worker's private evaluation state: a scoring arena
-// plus a reusable swap-enumeration buffer.
+// workerState is one worker's private evaluation state: a scoring arena,
+// a reusable swap-enumeration buffer, and local work counters merged into
+// the engine's stats after every phase.
 type workerState struct {
 	sc    *sta.Scratch
 	swaps []rewire.Swap
+
+	swapEvals   int
+	resizeEvals int
+}
+
+// EvalStats counts the candidate-generation work an Engine performed
+// across its phases. All counts are deterministic functions of the input
+// (per-site work is fixed), so they are identical at every worker count.
+type EvalStats struct {
+	// Phases counts Moves calls.
+	Phases int
+	// SwapSites and ResizeSites count candidate sites scored: supergates
+	// whose swap enumerations were evaluated, gates whose alternative
+	// sizes were evaluated.
+	SwapSites   int
+	ResizeSites int
+	// SwapEvals and ResizeEvals count individual candidates scored — the
+	// unit of work the criticality window cuts down.
+	SwapEvals   int
+	ResizeEvals int
+	// Moves counts positive-gain moves returned to the apply loop.
+	Moves int
+}
+
+// Candidates returns the total number of individual candidates scored.
+func (s EvalStats) Candidates() int { return s.SwapEvals + s.ResizeEvals }
+
+// PerPhase returns the mean number of candidates scored per phase.
+func (s EvalStats) PerPhase() float64 {
+	if s.Phases == 0 {
+		return 0
+	}
+	return float64(s.Candidates()) / float64(s.Phases)
+}
+
+// Add folds another engine's counters into s; the region scheduler
+// aggregates per-region engines with it. Every EvalStats field must be
+// folded here.
+func (s *EvalStats) Add(o EvalStats) {
+	s.Phases += o.Phases
+	s.SwapSites += o.SwapSites
+	s.ResizeSites += o.ResizeSites
+	s.SwapEvals += o.SwapEvals
+	s.ResizeEvals += o.ResizeEvals
+	s.Moves += o.Moves
+}
+
+// add merges worker-local counters.
+func (s *EvalStats) add(ws *workerState) {
+	s.SwapEvals += ws.swapEvals
+	s.ResizeEvals += ws.resizeEvals
+	ws.swapEvals = 0
+	ws.resizeEvals = 0
 }
 
 // Engine scores candidate moves for the optimizer. One Engine serves one
@@ -77,6 +132,7 @@ type workerState struct {
 type Engine struct {
 	workers int
 	state   []*workerState
+	stats   EvalStats
 }
 
 // NewEngine builds an engine with the given parallelism; workers <= 0
@@ -95,6 +151,9 @@ func NewEngine(workers int) *Engine {
 // Workers returns the engine's parallelism.
 func (e *Engine) Workers() int { return e.workers }
 
+// Stats returns the accumulated candidate-generation counters.
+func (e *Engine) Stats() EvalStats { return e.stats }
+
 // Moves generates and scores the strategy's candidates for one phase
 // against the frozen timing view, returning them sorted by (gain, site
 // ID). ext supplies the supergate decomposition and may be nil for the
@@ -110,10 +169,17 @@ func (e *Engine) Moves(tm *sta.Timing, strat Strategy, obj sizing.Objective, o O
 	// wider band around the bottleneck (it spreads slack to let the next
 	// min-slack phase escape the local minimum), but not the whole
 	// network: global sum-of-slacks moves degenerate into mass downsizing
-	// that the guard then rejects.
+	// that the guard then rejects. Options.Window overrides the default
+	// 2 % / 10 % margins with Window / 5×Window of the clock.
 	margin := 0.02 * tm.Clock
 	if obj == sizing.SumSlack {
 		margin = 0.10 * tm.Clock
+	}
+	if o.Window > 0 {
+		margin = o.Window * tm.Clock
+		if obj == sizing.SumSlack {
+			margin = 5 * o.Window * tm.Clock
+		}
 	}
 	threshold := tm.WorstSlack() + margin
 	critical := func(g *network.Gate) bool { return tm.Slack(g) <= threshold }
@@ -141,7 +207,23 @@ func (e *Engine) Moves(tm *sta.Timing, strat Strategy, obj sizing.Objective, o O
 		})
 	}
 
+	// Windowed mode additionally bounds the per-phase site count: sites
+	// are ranked by their own criticality (worst slack over the gates a
+	// move there can touch) and only the most critical
+	// max(windowSiteFloor, 10·Window·N) are scored. On circuits with a
+	// large tied-slack critical core — where no margin can prune — this
+	// is what turns the window into a real work bound; small circuits sit
+	// under the floor and see no change. Dropped sites are not lost: the
+	// slack profile shifts every accepted batch, and later phases re-rank.
+	if o.Window > 0 {
+		swapSites, resizeSites = e.budgetSites(tm, swapSites, resizeSites,
+			windowSiteBudget(o.Window, n.NumLogicGates()))
+	}
+
 	// Every site scores into its own slot; a zero Gain marks "no move".
+	e.stats.Phases++
+	e.stats.SwapSites += len(swapSites)
+	e.stats.ResizeSites += len(resizeSites)
 	results := make([]Move, len(swapSites)+len(resizeSites))
 	e.scoreAll(len(results), func(i int, ws *workerState) {
 		if i < len(swapSites) {
@@ -152,10 +234,14 @@ func (e *Engine) Moves(tm *sta.Timing, strat Strategy, obj sizing.Objective, o O
 			return
 		}
 		g := resizeSites[i-len(swapSites)]
+		ws.resizeEvals += library.NumSizes - 1
 		if size, gain := sizing.BestResizeScratch(tm, g, obj, ws.sc); gain > eps {
 			results[i] = Move{Gain: gain, Gate: g, Size: size}
 		}
 	})
+	for _, ws := range e.state {
+		e.stats.add(ws)
+	}
 	moves := results[:0]
 	for _, m := range results {
 		if m.Gain > eps {
@@ -163,7 +249,81 @@ func (e *Engine) Moves(tm *sta.Timing, strat Strategy, obj sizing.Objective, o O
 		}
 	}
 	sortMoves(moves)
+	e.stats.Moves += len(moves)
 	return moves
+}
+
+// windowSiteFloor is the minimum per-phase site budget in windowed mode;
+// circuits whose candidate count sits under it are never truncated.
+const windowSiteFloor = 256
+
+// windowSiteBudget returns the windowed per-phase site cap for a circuit
+// of n logic gates.
+func windowSiteBudget(window float64, n int) int {
+	b := int(10 * window * float64(n))
+	if b < windowSiteFloor {
+		b = windowSiteFloor
+	}
+	return b
+}
+
+// budgetSites keeps the budget most-critical sites across both site
+// kinds, ranking by the worst slack a move at the site can touch with the
+// dense site ID as the deterministic tie-break.
+func (e *Engine) budgetSites(tm *sta.Timing, swapSites []*supergate.Supergate, resizeSites []*network.Gate, budget int) ([]*supergate.Supergate, []*network.Gate) {
+	total := len(swapSites) + len(resizeSites)
+	if total <= budget {
+		return swapSites, resizeSites
+	}
+	type rankedSite struct {
+		slack float64
+		id    int
+		swap  int // index+1 into swapSites, 0 for resize sites
+		gate  *network.Gate
+	}
+	ranked := make([]rankedSite, 0, total)
+	for i, sg := range swapSites {
+		s := math.MaxFloat64
+		for _, g := range sg.Gates {
+			if v := tm.Slack(g); v < s {
+				s = v
+			}
+		}
+		for _, l := range sg.Leaves {
+			if v := tm.Slack(l.Driver); v < s {
+				s = v
+			}
+		}
+		ranked = append(ranked, rankedSite{slack: s, id: sg.Root.ID(), swap: i + 1})
+	}
+	for _, g := range resizeSites {
+		s := tm.Slack(g)
+		for _, d := range g.Fanins() {
+			if v := tm.Slack(d); v < s {
+				s = v
+			}
+		}
+		ranked = append(ranked, rankedSite{slack: s, id: g.ID(), gate: g})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].slack != ranked[j].slack {
+			return ranked[i].slack < ranked[j].slack
+		}
+		if ranked[i].id != ranked[j].id {
+			return ranked[i].id < ranked[j].id
+		}
+		return ranked[i].swap > ranked[j].swap
+	})
+	var outSwaps []*supergate.Supergate
+	var outResizes []*network.Gate
+	for _, r := range ranked[:budget] {
+		if r.swap > 0 {
+			outSwaps = append(outSwaps, swapSites[r.swap-1])
+		} else {
+			outResizes = append(outResizes, r.gate)
+		}
+	}
+	return outSwaps, outResizes
 }
 
 // scoreAll runs fn over task indices [0, nTasks), sequentially on one
@@ -207,6 +367,7 @@ func bestSwap(tm *sta.Timing, sg *supergate.Supergate, obj sizing.Objective, ws 
 	var best rewire.Swap
 	bestGain := 0.0
 	ws.swaps = rewire.EnumerateInto(ws.swaps[:0], sg)
+	ws.swapEvals += len(ws.swaps)
 	for _, s := range ws.swaps {
 		if gain := EvalSwapScratch(tm, s, obj, ws.sc); gain > bestGain+eps {
 			bestGain = gain

@@ -82,6 +82,22 @@ type Options struct {
 	// at every setting — scoring reads the frozen timing view only, and
 	// the merged move list is ordered by (gain, dense gate ID).
 	Workers int
+	// Window, when > 0, narrows the criticality window of candidate
+	// generation: only sites within Window×Clock of the worst slack are
+	// scored in the min-slack phase (5×Window×Clock in the relaxation
+	// phase), replacing the default 2 % / 10 % margins, and the per-phase
+	// site count is bounded to the max(256, 10·Window·N) most critical
+	// sites — the bound that holds even on circuits whose critical core
+	// is too large for any slack margin to prune. Tighter windows
+	// evaluate far fewer candidates on large circuits at a small cost in
+	// final delay; every accepted batch is still guarded globally.
+	Window float64
+	// Bounds pins boundary timing conditions (arrivals at selected
+	// primary inputs, required times and exterior loads at selected
+	// primary outputs) for every analysis of the run. The region
+	// scheduler sets it when optimizing an extracted subnetwork; leave
+	// nil for whole networks.
+	Bounds *sta.Bounds
 }
 
 // Result reports one optimizer run with the Table 1 quantities.
@@ -108,6 +124,10 @@ type Result struct {
 	// Extractor counts the supergate-extraction work: full extractions
 	// versus incremental flushes of the mutation-tracked cache.
 	Extractor supergate.CacheStats
+	// Evals counts the candidate-generation work of the scoring engine;
+	// the criticality-window ablation (BENCH_PR3) compares these across
+	// window settings.
+	Evals EvalStats
 }
 
 // ImprovementPct returns the delay improvement in percent (positive is
@@ -138,7 +158,7 @@ func Optimize(n *network.Network, lib *library.Library, strat Strategy, o Option
 	if o.MaxSwapLeaves <= 0 {
 		o.MaxSwapLeaves = 48
 	}
-	inc := sta.NewIncremental(n, lib, o.Clock)
+	inc := sta.NewIncrementalBounded(n, lib, o.Clock, o.Bounds)
 	defer inc.Close()
 	tm := inc.Timing()
 	clock := tm.Clock
@@ -166,17 +186,21 @@ func Optimize(n *network.Network, lib *library.Library, strat Strategy, o Option
 	if o.DisableRelaxation {
 		objectives = objectives[:1]
 	}
-	bestDelay := tm.CriticalDelay
+	// The guard metric is the boundary lateness, not the raw critical
+	// delay: for whole networks the two differ by the constant clock, so
+	// comparisons are identical, while for bounded subnetworks lateness
+	// scores each output against its own pinned required time.
+	bestLateness := tm.Lateness
 	for iter := 0; iter < o.MaxIters; iter++ {
 		improved := false
 		for _, obj := range objectives {
 			tm = inc.Update()
-			before := tm.CriticalDelay
+			before := tm.Lateness
 			applied, undos := runPhaseCapped(n, tm, strat, obj, o, &res, 0, eng, cache)
 			if applied == 0 {
 				continue
 			}
-			after := inc.Update().CriticalDelay
+			after := inc.Update().Lateness
 			if after > before+eps {
 				// The batch regressed globally (a locally-scored move
 				// misled); roll it back and retry with only the single
@@ -189,7 +213,7 @@ func Optimize(n *network.Network, lib *library.Library, strat Strategy, o Option
 				if applied == 0 {
 					continue
 				}
-				after = inc.Update().CriticalDelay
+				after = inc.Update().Lateness
 				if after > before+eps {
 					for i := len(undos) - 1; i >= 0; i-- {
 						undos[i]()
@@ -201,8 +225,8 @@ func Optimize(n *network.Network, lib *library.Library, strat Strategy, o Option
 			// The batch is accepted; gates orphaned by inverter
 			// collapses are now safe to sweep (no pending undos).
 			n.Sweep()
-			if after < bestDelay-eps {
-				bestDelay = after
+			if after < bestLateness-eps {
+				bestLateness = after
 				improved = true
 			}
 		}
@@ -217,7 +241,8 @@ func Optimize(n *network.Network, lib *library.Library, strat Strategy, o Option
 	// stacking (see rewire.Apply), so nothing accretes.
 	res.Timer = inc.Stats()
 	res.Extractor = cache.Stats()
-	final := sta.Analyze(n, lib, clock)
+	res.Evals = eng.Stats()
+	final := sta.AnalyzeBounded(n, lib, clock, o.Bounds)
 	res.FinalDelay = final.CriticalDelay
 	res.FinalArea = techmap.Area(n, lib)
 	return res

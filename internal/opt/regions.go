@@ -1,0 +1,222 @@
+// The region scheduler: whole-region parallelism on top of the paper's
+// optimizers. Instead of enumerating candidates over the entire mapped
+// netlist every phase, the network is partitioned into timing regions
+// around the near-critical gates (internal/region), each region is lifted
+// out as a standalone subnetwork whose boundary arrival/required times and
+// exterior loads are pinned from the last global analysis, an independent
+// Optimize runs on every subnetwork *concurrently* — each with its own
+// incremental timer and supergate cache, safely, because the subnetworks
+// share no state — and the optimized regions are stitched back
+// sequentially. A global re-analysis reconciles the boundary conditions
+// between rounds.
+//
+// Two global safety nets make the scheme sound rather than merely fast:
+//
+//  1. Acyclicity. Region-local rewiring is blind to exterior paths that
+//     leave the region and re-enter it, so a swap that is legal inside
+//     the subnetwork could, in principle, close a combinational cycle
+//     through the exterior. After stitching, the round is validated and
+//     reverted wholesale if a cycle (or any structural damage) appeared.
+//  2. Delay. Each region's optimizer guards its own boundary lateness,
+//     but boundary interactions (a swap moving load between two boundary
+//     drivers) can still hurt the full network. The round's global
+//     re-analysis compares against the best seen lateness and reverts the
+//     round when it regressed.
+//
+// Reverting re-stitches the pristine pre-optimization clone of every
+// region, which restores the exact pre-round structure (Stitch and
+// Extract are inverses).
+package opt
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/library"
+	"repro/internal/network"
+	"repro/internal/region"
+	"repro/internal/sta"
+	"repro/internal/supergate"
+	"repro/internal/techmap"
+)
+
+// RegionSchedule controls OptimizeRegioned.
+type RegionSchedule struct {
+	// Regions caps the number of concurrently optimized regions per
+	// round (the partitioner merges the smallest clusters above the cap).
+	// <= 1 disables region scheduling: OptimizeRegioned degrades to the
+	// plain sequential Optimize.
+	Regions int
+	// Rounds bounds the partition → optimize → stitch → reconcile
+	// iterations (default 3); a round that fails to improve the global
+	// lateness ends the run early.
+	Rounds int
+	// GrowDepth overrides the partitioner's cone growth depth (default
+	// region.DefaultGrowDepth).
+	GrowDepth int
+}
+
+// OptimizeRegioned runs the selected strategy region-parallel: per round,
+// the near-critical gates are partitioned into at most rs.Regions timing
+// regions, every region is optimized concurrently on its own extracted
+// subnetwork under pinned boundary conditions, and the results are
+// stitched back and reconciled by one global re-analysis. The final
+// network never has a worse critical delay than the initial one, and its
+// logic function is preserved (the same guarantee Optimize gives).
+//
+// The window of o seeds the partitioner (defaulting to
+// region.DefaultWindow when unset) and is passed through to each region's
+// optimizer as given: with o.Window set, candidate generation inside
+// regions is additionally windowed and site-budgeted; unset, regions run
+// the optimizer's default margins — the region boundary is already the
+// coarse window. A caller-provided o.Bounds governs every global analysis
+// (seed, reconcile, guard); the per-region bounds are derived from those
+// analyses, so the caller's pins compose with the regions' automatically.
+func OptimizeRegioned(n *network.Network, lib *library.Library, strat Strategy, o Options, rs RegionSchedule) Result {
+	if rs.Regions <= 1 {
+		return Optimize(n, lib, strat, o)
+	}
+	if o.MaxIters <= 0 {
+		o.MaxIters = 6
+	}
+	if o.MaxSwapLeaves <= 0 {
+		o.MaxSwapLeaves = 48
+	}
+	rounds := rs.Rounds
+	if rounds <= 0 {
+		rounds = 3
+	}
+	pw := o.Window
+	if pw <= 0 {
+		pw = region.DefaultWindow
+	}
+
+	tm := sta.AnalyzeBounded(n, lib, o.Clock, o.Bounds)
+	clock := tm.Clock
+	ext := supergate.Extract(n)
+	res := Result{
+		Strategy:     strat,
+		InitialDelay: tm.CriticalDelay,
+		FinalDelay:   tm.CriticalDelay,
+		InitialArea:  techmap.Area(n, lib),
+		Coverage:     ext.Coverage(),
+		MaxLeaves:    ext.MaxLeaves(),
+		Redundancies: len(ext.Redundancies),
+	}
+	res.Timer.FullAnalyses++
+
+	bestLateness := tm.Lateness
+	for round := 0; round < rounds; round++ {
+		part := region.Build(n, tm, region.Options{
+			Window: pw, GrowDepth: rs.GrowDepth, MaxRegions: rs.Regions,
+		})
+		if len(part.Regions) == 0 {
+			break
+		}
+
+		// Extract every region under the same frozen global analysis and
+		// keep a pristine clone for the rollback path.
+		exts := make([]*region.Extracted, len(part.Regions))
+		pre := make([]*network.Network, len(part.Regions))
+		for i, r := range part.Regions {
+			exts[i] = region.Extract(n, tm, r)
+			pre[i], _ = exts[i].Net.Clone()
+		}
+
+		// Optimize all subnetworks concurrently. Each goroutine owns its
+		// subnetwork outright (network, timer, cache, engine); the global
+		// network is only read through the frozen bounds captured above.
+		// The scoring-worker budget is split across the regions (scoring
+		// is bit-identical at every worker count, so this only moves CPU
+		// time around).
+		workers := o.Workers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		workers /= len(exts)
+		if workers < 1 {
+			workers = 1
+		}
+		results := make([]Result, len(exts))
+		var wg sync.WaitGroup
+		for i := range exts {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				so := o
+				so.Clock = clock
+				so.Bounds = exts[i].Bounds
+				so.Workers = workers
+				results[i] = Optimize(exts[i].Net, lib, strat, so)
+			}(i)
+		}
+		wg.Wait()
+
+		// Stitch sequentially (network mutation is single-threaded), in
+		// region order for determinism.
+		installed := make([][]*network.Gate, len(exts))
+		for i := range exts {
+			installed[i] = region.Stitch(n, exts[i].Net, exts[i].Region.Interior)
+		}
+		revert := func() {
+			for i := range exts {
+				region.Stitch(n, pre[i], installed[i])
+			}
+		}
+
+		// Safety net 1: structural validity (exterior re-entrant paths
+		// can close a cycle region-local rewiring cannot see).
+		if err := n.Validate(); err != nil {
+			revert()
+			tm = sta.AnalyzeBounded(n, lib, clock, o.Bounds)
+			res.Timer.FullAnalyses++
+			break
+		}
+		// Safety net 2: the global reconcile — accept the round only if
+		// the boundary lateness did not regress.
+		after := sta.AnalyzeBounded(n, lib, clock, o.Bounds)
+		res.Timer.FullAnalyses++
+		if after.Lateness > bestLateness+eps {
+			revert()
+			tm = sta.AnalyzeBounded(n, lib, clock, o.Bounds)
+			res.Timer.FullAnalyses++
+			break
+		}
+
+		// Accepted: fold in the per-region work and clean up gates the
+		// rewiring orphaned (dead boundary drivers stay alive until here
+		// so that a revert could still resolve them by name).
+		tm = after
+		res.Iterations = round + 1
+		improved := after.Lateness < bestLateness-eps
+		bestLateness = after.Lateness
+		for i := range results {
+			r := &results[i]
+			res.Swaps += r.Swaps
+			res.Resizes += r.Resizes
+			res.Timer.Add(r.Timer)
+			res.Extractor.Add(r.Extractor)
+			res.Evals.Add(r.Evals)
+		}
+		// Clean up gates the rewiring orphaned (dead boundary drivers are
+		// kept alive until the accept decision so a revert can resolve
+		// them by name). Removing a dead gate shrinks its drivers' nets,
+		// so the next round's partition and pinned bounds need a fresh
+		// analysis whenever the sweep actually removed something.
+		if n.Sweep() > 0 {
+			tm = sta.AnalyzeBounded(n, lib, clock, o.Bounds)
+			res.Timer.FullAnalyses++
+			// Removing dead sinks only unloads nets, so the post-sweep
+			// lateness is the tighter baseline for the next round.
+			if tm.Lateness < bestLateness {
+				bestLateness = tm.Lateness
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	res.FinalDelay = tm.CriticalDelay
+	res.FinalArea = techmap.Area(n, lib)
+	return res
+}

@@ -1,0 +1,246 @@
+// Extraction and stitching: a Region becomes a standalone subnetwork with
+// pinned boundary timing, and an (optimized) subnetwork replaces its
+// region in the full network.
+//
+// Extract and Stitch are exact inverses on an unmodified subnetwork: the
+// stitched-back network is structurally and functionally identical to the
+// original (new gate objects, same names at every boundary). The region
+// scheduler exploits this for rollback — it keeps a pristine clone of each
+// extracted subnetwork and re-stitches it when a round must be reverted.
+
+package region
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/network"
+	"repro/internal/sta"
+)
+
+// Extracted is one region lifted out as a standalone subnetwork.
+type Extracted struct {
+	Region *Region
+	// Net is the subnetwork: one primary input per boundary driver (same
+	// name, same placement), one gate per interior gate (same name, type,
+	// size, placement), primary outputs marked on every boundary output.
+	Net *network.Network
+	// Bounds pins the exterior timing on Net: arrivals at the boundary
+	// inputs, exterior required times and load corrections at the
+	// boundary outputs, all frozen from the global analysis Extract ran
+	// under.
+	Bounds *sta.Bounds
+	// BoundaryInputs and BoundaryOutputs count the frozen interface.
+	BoundaryInputs  int
+	BoundaryOutputs int
+}
+
+// Extract lifts region r out of n under the global analysis tm. The
+// subnetwork's boundary conditions are pinned so that analyzing it with
+// sta.AnalyzeBounded(sub, lib, tm.Clock, e.Bounds) reproduces the global
+// arrivals, required times, and loads of the interior exactly (same star
+// geometry, same exterior arcs folded into the pinned values).
+func Extract(n *network.Network, tm *sta.Timing, r *Region) *Extracted {
+	interior := make(map[*network.Gate]bool, len(r.Interior))
+	for _, g := range r.Interior {
+		if g.IsInput() {
+			panic("region: primary input in region interior: " + g.String())
+		}
+		interior[g] = true
+	}
+
+	sub := network.New(n.Name())
+	b := &sta.Bounds{
+		PIArrival:  make(map[*network.Gate]sta.Edge),
+		PORequired: make(map[*network.Gate]sta.Edge),
+		POLoad:     make(map[*network.Gate]float64),
+	}
+	e := &Extracted{Region: r, Net: sub, Bounds: b}
+	m := make(map[*network.Gate]*network.Gate, len(r.Interior))
+
+	// Interior gates in interior-local topological order.
+	inInterior := func(g *network.Gate) bool { return interior[g] }
+	for _, g := range network.TopoOrderAmong(r.Interior, inInterior) {
+		fanins := make([]*network.Gate, g.NumFanins())
+		for i, f := range g.Fanins() {
+			if sf := m[f]; sf != nil {
+				fanins[i] = sf
+				continue
+			}
+			if interior[f] {
+				panic("region: interior fanin not yet instantiated: " + f.String())
+			}
+			pi := sub.AddInput(f.Name())
+			pi.X, pi.Y, pi.Placed = f.X, f.Y, f.Placed
+			b.PIArrival[pi] = tm.Arrival(f)
+			m[f] = pi
+			fanins[i] = pi
+			e.BoundaryInputs++
+		}
+		sg := sub.AddGate(g.Name(), g.Type, fanins...)
+		sg.SizeIdx = g.SizeIdx
+		sg.X, sg.Y, sg.Placed = g.X, g.Y, g.Placed
+		m[g] = sg
+	}
+
+	// Boundary outputs: interior gates the exterior observes. Pin the
+	// exterior component of their required time (clock if a true PO, min
+	// over exterior sink arcs) and correct their load for the exterior
+	// sinks the subnetwork cannot see (minus the PO pad the subnetwork
+	// will add for the PO mark itself).
+	inf := math.MaxFloat64
+	var intSinks []*network.Gate
+	for _, g := range r.Interior {
+		req := sta.Edge{Rise: inf, Fall: inf}
+		if g.PO {
+			req = sta.Edge{Rise: tm.Clock, Fall: tm.Clock}
+		}
+		exterior := false
+		intSinks = intSinks[:0]
+		for _, s := range g.Fanouts() {
+			if interior[s] {
+				intSinks = append(intSinks, s)
+				continue
+			}
+			exterior = true
+			cand := tm.SinkRequired(s, tm.WireDelay(g, s))
+			if cand.Rise < req.Rise {
+				req.Rise = cand.Rise
+			}
+			if cand.Fall < req.Fall {
+				req.Fall = cand.Fall
+			}
+		}
+		if !exterior && !g.PO {
+			continue
+		}
+		sg := m[g]
+		sub.MarkOutput(sg)
+		b.PORequired[sg] = req
+		// The subnetwork computes its own star model over the interior
+		// sinks; the correction makes the total load match the global one
+		// (tm.Load already includes the pad when g is a true PO, and the
+		// subnetwork adds a pad for the PO mark, hence the subtraction).
+		intLoad := tm.ComputeNet(g, intSinks).Load
+		b.POLoad[sg] = tm.Load(g) - intLoad - sta.POLoadPF
+		e.BoundaryOutputs++
+	}
+	return e
+}
+
+// Stitch replaces the gates of oldInterior in n with the logic of sub:
+// fresh gates are instantiated for every non-input subnetwork gate (wired
+// to the boundary drivers resolved *by name*, so stitches of sibling
+// regions may run in any order), the fanouts and PO flags of every
+// subnetwork primary output transfer from the like-named old gate to its
+// replacement, the old interior is deleted, and the replacements take over
+// the subnetwork names wherever those are free (always, for boundary
+// outputs). It returns the installed gates — the oldInterior of a
+// subsequent Stitch that wants to replace this one (the scheduler's
+// rollback path).
+//
+// Stitch panics when sub's boundary does not match n (a missing boundary
+// driver or output name), which indicates a partitioning bug. It never
+// runs a global traversal of n, so it works — deliberately — even when n
+// is temporarily cyclic during a multi-region rollback.
+func Stitch(n *network.Network, sub *network.Network, oldInterior []*network.Gate) []*network.Gate {
+	oldSet := make(map[*network.Gate]bool, len(oldInterior))
+	for _, g := range oldInterior {
+		oldSet[g] = true
+	}
+
+	order := sub.TopoOrder()
+	m := make(map[*network.Gate]*network.Gate, len(order))
+	installed := make([]*network.Gate, 0, len(order))
+	for _, sg := range order {
+		if sg.IsInput() {
+			d := n.FindGate(sg.Name())
+			if d == nil {
+				panic(fmt.Sprintf("region: boundary driver %q missing from network", sg.Name()))
+			}
+			m[sg] = d
+			continue
+		}
+		fanins := make([]*network.Gate, sg.NumFanins())
+		for i, f := range sg.Fanins() {
+			fanins[i] = m[f]
+		}
+		ng := n.AddGate(n.FreshName(sg.Name()+"_st"), sg.Type, fanins...)
+		ng.SizeIdx = sg.SizeIdx
+		ng.X, ng.Y, ng.Placed = sg.X, sg.Y, sg.Placed
+		m[sg] = ng
+		installed = append(installed, ng)
+	}
+
+	// Hand each boundary output's observers over to its replacement. The
+	// old gate keeps only sinks inside the old interior (transferred too,
+	// then deleted with it — TransferFanouts moves every sink, and the
+	// old interior dies as a unit below).
+	for _, sg := range order {
+		if sg.IsInput() || !sg.PO {
+			continue
+		}
+		old := n.FindGate(sg.Name())
+		if old == nil || !oldSet[old] {
+			panic(fmt.Sprintf("region: boundary output %q is not an old-interior gate", sg.Name()))
+		}
+		n.TransferFanouts(old, m[sg])
+	}
+
+	removeInterior(n, oldInterior)
+
+	// Reclaim the subnetwork names now that the old holders are gone.
+	// Boundary outputs must get their names back (the functional
+	// interface is name-keyed); interior names are restored best-effort —
+	// a name the optimizer minted inside the subnetwork can collide with
+	// an unrelated global gate, in which case the fresh stitch name
+	// stands.
+	for _, sg := range order {
+		if sg.IsInput() || m[sg].Name() == sg.Name() {
+			continue
+		}
+		if n.FindGate(sg.Name()) == nil {
+			n.Rename(m[sg], sg.Name())
+		} else if sg.PO {
+			panic(fmt.Sprintf("region: boundary output name %q still taken after stitch", sg.Name()))
+		}
+	}
+	return installed
+}
+
+// removeInterior deletes the old interior, peeling fanout-free gates until
+// none remain (the interior is a DAG whose external observers were all
+// transferred away, so the peel always terminates).
+func removeInterior(n *network.Network, interior []*network.Gate) {
+	inSet := make(map[*network.Gate]bool, len(interior))
+	for _, g := range interior {
+		inSet[g] = true
+	}
+	var ready []*network.Gate
+	queued := make(map[*network.Gate]bool, len(interior))
+	for _, g := range interior {
+		if g.NumFanouts() == 0 && !g.PO {
+			ready = append(ready, g)
+			queued[g] = true
+		}
+	}
+	removed := 0
+	var fanins []*network.Gate
+	for len(ready) > 0 {
+		g := ready[len(ready)-1]
+		ready = ready[:len(ready)-1]
+		fanins = append(fanins[:0], g.Fanins()...)
+		n.RemoveGate(g)
+		removed++
+		for _, f := range fanins {
+			if inSet[f] && !queued[f] && f.NumFanouts() == 0 && !f.PO {
+				ready = append(ready, f)
+				queued[f] = true
+			}
+		}
+	}
+	if removed != len(interior) {
+		panic(fmt.Sprintf("region: %d of %d old-interior gates not removable (still observed)",
+			len(interior)-removed, len(interior)))
+	}
+}

@@ -241,6 +241,11 @@ type Options struct {
 	MaxPasses int
 	// Allowed filters which gates may be resized; nil allows all.
 	Allowed func(*network.Gate) bool
+	// Window, when > 0, restricts candidates to gates whose resize
+	// neighborhood touches slack within Window×Clock of the worst slack —
+	// the same criticality windowing opt.Options.Window applies to the
+	// combined optimizer. 0 scores every allowed gate.
+	Window float64
 }
 
 // Stats reports a sizing run.
@@ -283,7 +288,7 @@ func Optimize(n *network.Network, lib *library.Library, o Options) Stats {
 		improved := false
 		for _, obj := range []Objective{MinSlack, SumSlack} {
 			tm = inc.Update()
-			applied := applyPhase(n, tm, obj, allowed, &st, sc)
+			applied := applyPhase(n, tm, obj, phaseFilter(tm, o, allowed), &st, sc)
 			if applied == 0 {
 				continue
 			}
@@ -318,6 +323,37 @@ func restoreSizes(n *network.Network, sizes map[*network.Gate]int) {
 			n.SetSize(g, s)
 		}
 	})
+}
+
+// phaseFilter combines the caller's Allowed predicate with the
+// criticality window: with Window set, only gates whose neighborhood (the
+// gate, its fanin drivers, and their sinks) touches slack within
+// Window×Clock of the worst are candidates.
+func phaseFilter(tm *sta.Timing, o Options, allowed func(*network.Gate) bool) func(*network.Gate) bool {
+	if o.Window <= 0 {
+		return allowed
+	}
+	threshold := tm.WorstSlack() + o.Window*tm.Clock
+	critical := func(g *network.Gate) bool { return tm.Slack(g) <= threshold }
+	return func(g *network.Gate) bool {
+		if !allowed(g) {
+			return false
+		}
+		if critical(g) {
+			return true
+		}
+		for _, d := range g.Fanins() {
+			if critical(d) {
+				return true
+			}
+			for _, s := range d.Fanouts() {
+				if critical(s) {
+					return true
+				}
+			}
+		}
+		return false
+	}
 }
 
 type resizeMove struct {

@@ -170,3 +170,57 @@ func TestOptimizeUsesIncrementalTimer(t *testing.T) {
 			st.Timer.FullAnalyses, st.Passes, st.Timer)
 	}
 }
+
+// TestOptimizeWindowed: the standalone GS loop under a criticality
+// window must still never regress delay, and the window filter must
+// actually exclude off-critical gates while keeping the critical ones.
+func TestOptimizeWindowed(t *testing.T) {
+	mk := func() *network.Network {
+		n := gen.FromProfile(gen.Profile{
+			Name: "szwin", Seed: 9, NumPI: 20, TargetGates: 250,
+			XorFrac: 0.1, NorFrac: 0.4, InvFrac: 0.12, Locality: 0.5, MaxFanin: 3,
+		})
+		place.Place(n, lib(), place.Options{Seed: 1, MovesPerCell: 6})
+		SeedForLoad(n, lib(), 0)
+		return n
+	}
+
+	full := Optimize(mk(), lib(), Options{MaxPasses: 3})
+	win := Optimize(mk(), lib(), Options{MaxPasses: 3, Window: 0.02})
+	if win.FinalDelay > win.InitialDelay+eps {
+		t.Fatalf("windowed sizing regressed delay: %+v", win)
+	}
+	if win.FinalDelay > full.FinalDelay*1.02+eps {
+		t.Fatalf("windowed sizing delay %.4f too far above full %.4f", win.FinalDelay, full.FinalDelay)
+	}
+
+	// The filter itself: the worst-slack gate always passes, and some
+	// off-critical gate is excluded under a tight window.
+	n := mk()
+	tm := sta.Analyze(n, lib(), 0)
+	allowAll := func(*network.Gate) bool { return true }
+	filter := phaseFilter(tm, Options{Window: 0.01}, allowAll)
+	worstIn, someOut := false, false
+	worst := tm.WorstSlack()
+	n.Gates(func(g *network.Gate) {
+		if g.IsInput() {
+			return
+		}
+		in := filter(g)
+		if tm.Slack(g) <= worst+1e-9 && in {
+			worstIn = true
+		}
+		if !in {
+			someOut = true
+		}
+	})
+	if !worstIn {
+		t.Fatal("window filter excluded the worst-slack gate")
+	}
+	if !someOut {
+		t.Fatal("window filter excluded nothing — dead predicate")
+	}
+	if got := phaseFilter(tm, Options{}, allowAll); got == nil {
+		t.Fatal("nil filter")
+	}
+}

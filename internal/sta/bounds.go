@@ -1,0 +1,67 @@
+// Boundary conditions: pinned timing at the edges of a partial network.
+//
+// A region-extracted subnetwork (internal/region) is a standalone network
+// whose primary inputs stand for exterior driver gates and whose primary
+// outputs still feed exterior sinks in the full design. Analyzing such a
+// subnetwork with the default conventions — inputs arrive at 0, every
+// output is required at the clock — would score its gates against the
+// wrong problem. Bounds pins the three quantities the exterior imposes:
+//
+//   - PIArrival: the out-pin arrival of each boundary input, frozen from
+//     the last global analysis of the full network;
+//   - PORequired: the required time the exterior (primary-output
+//     constraint plus exterior sink arcs) imposes on each boundary output;
+//   - POLoad: the extra capacitance a boundary output drives in the full
+//     design (exterior sink pins and wire) that its subnetwork net cannot
+//     see. It may be negative when the gate is not a true primary output:
+//     subnetworks mark every boundary output as PO, and the correction
+//     cancels the pad load the analyzer would otherwise invent.
+//
+// A nil *Bounds means "whole network, default conventions" everywhere; all
+// accessors are nil-safe.
+package sta
+
+import "repro/internal/network"
+
+// Bounds pins boundary timing conditions for the analysis of a partial
+// network. The zero value (or a nil pointer) imposes nothing.
+type Bounds struct {
+	// PIArrival pins the out-pin arrival of primary inputs. Inputs not in
+	// the map arrive at 0, as usual.
+	PIArrival map[*network.Gate]Edge
+	// PORequired pins the exterior required time of primary outputs.
+	// Outputs not in the map are required at the clock, as usual. The
+	// analyzer still tightens a pinned output's required time through its
+	// interior sink arcs, exactly as it does for a clock-pinned output.
+	PORequired map[*network.Gate]Edge
+	// POLoad adds extra capacitance (pF, may be negative) to the total
+	// load of the listed gates, on top of the net and the PO pad.
+	POLoad map[*network.Gate]float64
+}
+
+// arrivalOf returns the pinned arrival of primary input g, or zero.
+func (b *Bounds) arrivalOf(g *network.Gate) Edge {
+	if b == nil {
+		return Edge{}
+	}
+	return b.PIArrival[g] // zero Edge when absent
+}
+
+// requiredOf returns the pinned required time of primary output g, or the
+// clock.
+func (b *Bounds) requiredOf(g *network.Gate, clock float64) Edge {
+	if b != nil {
+		if r, ok := b.PORequired[g]; ok {
+			return r
+		}
+	}
+	return Edge{clock, clock}
+}
+
+// extraLoadOf returns the exterior load correction for g in pF.
+func (b *Bounds) extraLoadOf(g *network.Gate) float64 {
+	if b == nil {
+		return 0
+	}
+	return b.POLoad[g]
+}

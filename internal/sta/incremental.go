@@ -40,6 +40,7 @@ package sta
 
 import (
 	"container/heap"
+	"math"
 
 	"repro/internal/library"
 	"repro/internal/network"
@@ -72,6 +73,20 @@ type IncStats struct {
 	RequiredRecomputes int
 }
 
+// Add folds another timer's counters into s (MaxDirty takes the max);
+// the region scheduler aggregates per-region timers with it. Every
+// IncStats field must be folded here.
+func (s *IncStats) Add(o IncStats) {
+	s.FullAnalyses += o.FullAnalyses
+	s.IncrementalUpdates += o.IncrementalUpdates
+	s.DirtyGates += o.DirtyGates
+	if o.MaxDirty > s.MaxDirty {
+		s.MaxDirty = o.MaxDirty
+	}
+	s.ArrivalRecomputes += o.ArrivalRecomputes
+	s.RequiredRecomputes += o.RequiredRecomputes
+}
+
 // AvgDirty returns the mean dirty-set size per incremental update.
 func (s IncStats) AvgDirty() float64 {
 	if s.IncrementalUpdates == 0 {
@@ -85,10 +100,11 @@ func (s IncStats) AvgDirty() float64 {
 // the event layer), and call Update to bring timing current. Close it when
 // done so the network stops notifying it.
 type Incremental struct {
-	t     *Timing
-	n     *network.Network
-	lib   *library.Library
-	clock float64 // frozen PO required time, always > 0
+	t      *Timing
+	n      *network.Network
+	lib    *library.Library
+	clock  float64 // frozen PO required time, always > 0
+	bounds *Bounds // pinned boundary conditions, nil for whole networks
 
 	// FullFraction overrides the fallback threshold; settable before the
 	// first Update after construction.
@@ -104,13 +120,21 @@ type Incremental struct {
 // registers it as a network observer. A clock <= 0 freezes the initial
 // critical delay as the required time, as the optimizers do.
 func NewIncremental(n *network.Network, lib *library.Library, clock float64) *Incremental {
+	return NewIncrementalBounded(n, lib, clock, nil)
+}
+
+// NewIncrementalBounded is NewIncremental under pinned boundary conditions
+// (see Bounds): every analysis the timer runs — the construction seed,
+// dirty-region updates, and threshold fallbacks — honors them.
+func NewIncrementalBounded(n *network.Network, lib *library.Library, clock float64, b *Bounds) *Incremental {
 	it := &Incremental{
 		n:            n,
 		lib:          lib,
+		bounds:       b,
 		FullFraction: DefaultFullFraction,
 		dirty:        make(map[*network.Gate]struct{}),
 	}
-	it.t = Analyze(n, lib, clock)
+	it.t = AnalyzeBounded(n, lib, clock, b)
 	it.clock = it.t.Clock
 	it.levels = n.Levels()
 	it.rebuildPOs()
@@ -185,7 +209,7 @@ func (it *Incremental) Update() *Timing {
 
 // full re-runs the ground-truth analysis under the frozen clock.
 func (it *Incremental) full() {
-	it.t = Analyze(it.n, it.lib, it.clock)
+	it.t = AnalyzeBounded(it.n, it.lib, it.clock, it.bounds)
 	it.levels = it.n.Levels()
 	it.rebuildPOs()
 	it.dirty = make(map[*network.Gate]struct{})
@@ -218,15 +242,24 @@ func (it *Incremental) incremental() {
 	it.propagateArrivals()
 	it.propagateRequired(backSeeds, forced)
 
-	// Rescan the tracked primary outputs for the critical delay — O(#POs),
-	// not O(network).
+	// Rescan the tracked primary outputs for the critical delay and the
+	// boundary lateness — O(#POs), not O(network). The lateness term is
+	// poLatenessOne, shared with Analyze's scan.
 	cd := 0.0
+	lat := math.Inf(-1)
 	for po := range it.pos {
-		if a := it.t.arrival[po].Max(); a > cd {
-			cd = a
+		if m := it.t.arrival[po].Max(); m > cd {
+			cd = m
+		}
+		if l := poLatenessOne(it.t, po); l > lat {
+			lat = l
 		}
 	}
+	if math.IsInf(lat, -1) {
+		lat = 0
+	}
 	it.t.CriticalDelay = cd
+	it.t.Lateness = lat
 }
 
 // propagateArrivals runs the forward sweep: dirty gates rebuild their net
@@ -257,14 +290,10 @@ func (it *Incremental) propagateArrivals() {
 			delete(it.dirty, g)
 			info := it.t.ComputeNet(g, g.Fanouts())
 			it.t.wireCache[g] = info
-			load := info.Load
-			if g.PO {
-				load += POLoadPF
-			}
-			it.t.load[g] = load
+			it.t.load[g] = info.Load + it.t.padLoad(g)
 		}
 
-		var arr Edge
+		arr := it.bounds.arrivalOf(g)
 		if !g.IsInput() {
 			pinArr = pinArr[:0]
 			for _, d := range g.Fanins() {
@@ -298,7 +327,7 @@ func (it *Incremental) propagateRequired(seeds, forced map[*network.Gate]struct{
 		g := q.pop()
 		req := Edge{inf, inf}
 		if g.PO {
-			req = Edge{it.t.Clock, it.t.Clock}
+			req = it.bounds.requiredOf(g, it.t.Clock)
 		}
 		net := it.t.wireCache[g]
 		for _, s := range g.Fanouts() {

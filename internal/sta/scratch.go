@@ -248,9 +248,7 @@ func (sc *Scratch) Net(tm *Timing, d *network.Gate, sinks []*network.Gate) *NetM
 	sc.netIdx[id] = int32(sc.netsUsed)
 	sc.netsUsed++
 	tm.computeNetInto(sc, m, d, sinks)
-	if d.PO {
-		m.Load += POLoadPF
-	}
+	m.Load += tm.padLoad(d)
 	return m
 }
 

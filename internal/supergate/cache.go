@@ -62,6 +62,16 @@ type CacheStats struct {
 	Reextracted int
 }
 
+// Add folds another cache's counters into s; the region scheduler
+// aggregates per-region caches with it. Every CacheStats field must be
+// folded here.
+func (s *CacheStats) Add(o CacheStats) {
+	s.FullExtractions += o.FullExtractions
+	s.IncrementalFlushes += o.IncrementalFlushes
+	s.Invalidated += o.Invalidated
+	s.Reextracted += o.Reextracted
+}
+
 // Cache keeps a supergate Extraction current over one mutating network.
 // Create it with NewCache, mutate through Network methods, and call
 // Extraction to get the up-to-date decomposition. Close it when done so
