@@ -1,11 +1,24 @@
 GO ?= go
 
-.PHONY: all vet build test race bench bench-smoke table1 fuzz cover
+.PHONY: all vet build test race bench bench-smoke table1 fuzz cover fmt-check api api-check
 
-all: vet build test
+all: vet fmt-check api-check build test
 
 vet:
 	$(GO) vet ./...
+
+# Fail when any file is not gofmt-clean (CI gate).
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+# Regenerate the public API snapshot after an intentional surface change
+# (see DESIGN.md §4 for the compatibility contract).
+api:
+	$(GO) doc -all ./rapids > rapids/api.txt
+
+# Fail when the public rapids surface drifted from the snapshot (CI gate).
+api-check:
+	$(GO) doc -all ./rapids | diff -u rapids/api.txt - || (echo "public API drifted: run 'make api' and review the diff"; exit 1)
 
 build:
 	$(GO) build ./...
@@ -18,7 +31,7 @@ test:
 race:
 	$(GO) test -race -short ./...
 
-# One pass over every paper benchmark; see DESIGN.md §4 for the index.
+# One pass over every paper benchmark; see DESIGN.md §5 for the index.
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .
 

@@ -1,5 +1,5 @@
 // Benchmarks regenerating the paper's evaluation: one benchmark per table
-// or figure (see DESIGN.md §4 for the experiment index).
+// or figure (see DESIGN.md §5 for the experiment index).
 //
 //	BenchmarkTable1/<ckt>   — full Table 1 rows: place + gsg/GS/gsg+GS,
 //	                          with delay/area/coverage metrics reported.
@@ -10,6 +10,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -198,7 +199,7 @@ func benchOptimized(b *testing.B, name string, strat opt.Strategy, o opt.Options
 	}
 	place.Place(n, lib, place.Options{Seed: 1, MovesPerCell: 20})
 	sizing.SeedForLoad(n, lib, 0)
-	res := opt.Optimize(n, lib, strat, o)
+	res := opt.Optimize(context.Background(), n, lib, strat, o)
 	return res.ImprovementPct()
 }
 
@@ -240,7 +241,7 @@ func BenchmarkAblationSeedSizes(b *testing.B) {
 				}
 			})
 		}
-		res := opt.Optimize(n, lib, opt.GS, opt.Options{MaxIters: 8})
+		res := opt.Optimize(context.Background(), n, lib, opt.GS, opt.Options{MaxIters: 8})
 		return res.InitialDelay, res.ImprovementPct()
 	}
 	for _, cfg := range []struct {
@@ -488,7 +489,7 @@ func BenchmarkOptimizeWindowed(b *testing.B) {
 				b.StopTimer()
 				n, l, _ := staSwapSetup(b)
 				b.StartTimer()
-				res = opt.Optimize(n, l, opt.GsgGS, opt.Options{MaxIters: 4, Workers: 1, Window: w})
+				res = opt.Optimize(context.Background(), n, l, opt.GsgGS, opt.Options{MaxIters: 4, Workers: 1, Window: w})
 			}
 			b.ReportMetric(res.Evals.PerPhase(), "evals/phase")
 			b.ReportMetric(float64(res.Evals.Phases), "phases")
@@ -518,7 +519,7 @@ func BenchmarkOptimizeRegioned(b *testing.B) {
 				b.StopTimer()
 				n, l, _ := staSwapSetup(b)
 				b.StartTimer()
-				res = opt.OptimizeRegioned(n, l, opt.GsgGS,
+				res = opt.OptimizeRegioned(context.Background(), n, l, opt.GsgGS,
 					opt.Options{MaxIters: 4, Workers: 1, Window: arm.window},
 					opt.RegionSchedule{Regions: arm.regions})
 			}
@@ -543,7 +544,7 @@ func BenchmarkLargeRegioned(b *testing.B) {
 				b.StopTimer()
 				n, _ := base.Clone()
 				b.StartTimer()
-				res = opt.OptimizeRegioned(n, l, opt.Gsg, opt.Options{MaxIters: 2, Workers: 1},
+				res = opt.OptimizeRegioned(context.Background(), n, l, opt.Gsg, opt.Options{MaxIters: 2, Workers: 1},
 					opt.RegionSchedule{Regions: regions, Rounds: 2})
 			}
 			b.ReportMetric(res.Evals.PerPhase(), "evals/phase")

@@ -6,86 +6,66 @@
 // Usage:
 //
 //	gisg -bench k2 [-top N]
-//	gisg -blif circuit.blif
+//	gisg -netlist circuit.blif
+//	cat circuit.blif | gisg -netlist -
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
-	"sort"
-	"strings"
 
-	"repro/internal/bench"
-	"repro/internal/blif"
 	"repro/internal/dot"
-	"repro/internal/gen"
-	"repro/internal/library"
-	"repro/internal/network"
-	"repro/internal/rewire"
 	"repro/internal/supergate"
-	"repro/internal/techmap"
+	"repro/rapids"
 )
 
 func main() {
 	var (
 		benchName = flag.String("bench", "", "generated benchmark name")
-		blifPath  = flag.String("blif", "", "netlist (.blif or ISCAS .bench, by extension)")
+		netlist   = flag.String("netlist", "", "netlist (.blif or ISCAS .bench, by extension; '-' reads BLIF from stdin)")
+		blifPath  = flag.String("blif", "", "alias of -netlist (kept for compatibility)")
 		top       = flag.Int("top", 10, "how many largest supergates to list")
 		dotPath   = flag.String("dot", "", "write a Graphviz rendering with supergate clusters to this file")
 	)
 	flag.Parse()
 
-	n, err := load(*benchName, *blifPath)
+	c, err := load(*benchName, *netlist, *blifPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gisg:", err)
 		os.Exit(1)
 	}
 
-	e := supergate.Extract(n)
-	byKind := map[supergate.Kind]int{}
-	nonTrivial := 0
-	totalSwaps := 0
-	inverting := 0
-	for _, sg := range e.Supergates {
-		byKind[sg.Kind]++
-		if !sg.Trivial() {
-			nonTrivial++
-		}
-		for _, s := range rewire.Enumerate(sg) {
-			totalSwaps++
-			if s.Inverting {
-				inverting++
-			}
-		}
-	}
-
+	s := c.Survey()
 	fmt.Printf("circuit %s: %d gates, %d supergates\n",
-		n.Name(), n.NumLogicGates(), len(e.Supergates))
-	fmt.Printf("  kinds: %d and-or, %d xor, %d chain\n",
-		byKind[supergate.AndOr], byKind[supergate.Xor], byKind[supergate.Chain])
-	fmt.Printf("  non-trivial: %d (coverage %.1f%% of gates)\n", nonTrivial, 100*e.Coverage())
-	fmt.Printf("  largest supergate: %d inputs (Table 1 column L)\n", e.MaxLeaves())
-	fmt.Printf("  swappable pin pairs: %d (%d inverting)\n", totalSwaps, inverting)
-	fmt.Printf("  redundancies found during extraction: %d\n", len(e.Redundancies))
+		c.Name(), c.Gates(), len(s.Supergates))
+	fmt.Printf("  kinds: %d and-or, %d xor, %d chain\n", s.AndOr, s.Xor, s.Chain)
+	fmt.Printf("  non-trivial: %d (coverage %.1f%% of gates)\n", s.NonTrivial, s.CoveragePct)
+	fmt.Printf("  largest supergate: %d inputs (Table 1 column L)\n", s.MaxInputs)
+	fmt.Printf("  swappable pin pairs: %d (%d inverting)\n", s.SwappablePairs, s.InvertingPairs)
+	fmt.Printf("  redundancies found during extraction: %d\n", len(s.Redundancies))
 
 	conflict := 0
-	for _, r := range e.Redundancies {
+	for _, r := range s.Redundancies {
 		if r.Conflict {
 			conflict++
 		}
 	}
 	fmt.Printf("    case 1 (conflict): %d, case 2 (agreement): %d\n",
-		conflict, len(e.Redundancies)-conflict)
+		conflict, len(s.Redundancies)-conflict)
 
 	if *dotPath != "" {
+		// The Graphviz rendering needs the full decomposition, not the
+		// facade's summary; this is the one internal hatch gisg keeps.
+		// The second extraction (Survey ran one) is linear-time and only
+		// paid when -dot is requested.
 		f, err := os.Create(*dotPath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "gisg:", err)
 			os.Exit(1)
 		}
-		werr := dot.Write(f, n, dot.Options{ClusterSupergates: true, Extraction: e})
+		e := supergate.Extract(c.Network())
+		werr := dot.Write(f, c.Network(), dot.Options{ClusterSupergates: true, Extraction: e})
 		if cerr := f.Close(); werr == nil {
 			werr = cerr
 		}
@@ -96,44 +76,30 @@ func main() {
 		fmt.Printf("  wrote %s\n", *dotPath)
 	}
 
-	sgs := append([]*supergate.Supergate(nil), e.Supergates...)
-	sort.SliceStable(sgs, func(i, j int) bool { return len(sgs[i].Leaves) > len(sgs[j].Leaves) })
-	if *top > len(sgs) {
-		*top = len(sgs)
+	n := *top
+	if n > len(s.Supergates) {
+		n = len(s.Supergates)
 	}
-	fmt.Printf("  top %d supergates by input count:\n", *top)
-	for _, sg := range sgs[:*top] {
+	fmt.Printf("  top %d supergates by input count:\n", n)
+	for _, sg := range s.Supergates[:n] {
 		fmt.Printf("    %-24s %-6s %3d gates %3d inputs depth %d\n",
-			sg.Root.Name(), sg.Kind, len(sg.Gates), len(sg.Leaves), sg.MaxDepth())
+			sg.Root, sg.Kind, sg.Gates, sg.Inputs, sg.Depth)
 	}
 }
 
-func load(benchName, blifPath string) (*network.Network, error) {
-	switch {
-	case benchName != "" && blifPath != "":
-		return nil, fmt.Errorf("use -bench or -blif, not both")
-	case benchName != "":
-		return gen.Generate(benchName)
-	case blifPath != "":
-		f, err := os.Open(blifPath)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		var n *network.Network
-		if strings.HasSuffix(blifPath, ".bench") {
-			base := strings.TrimSuffix(filepath.Base(blifPath), ".bench")
-			n, err = bench.Parse(f, base)
-		} else {
-			n, err = blif.Parse(f)
-		}
-		if err != nil {
-			return nil, err
-		}
-		if err := techmap.Map(n, library.Default035()); err != nil {
-			return nil, err
-		}
-		return n, nil
+func load(benchName, netlist, blifPath string) (*rapids.Circuit, error) {
+	if netlist == "" {
+		netlist = blifPath
+	} else if blifPath != "" {
+		return nil, fmt.Errorf("use -netlist or -blif, not both")
 	}
-	return nil, fmt.Errorf("need -bench <name> or -blif <file>")
+	switch {
+	case benchName != "" && netlist != "":
+		return nil, fmt.Errorf("use -bench or -netlist, not both")
+	case benchName != "":
+		return rapids.Generate(benchName)
+	case netlist != "":
+		return rapids.LoadFile(netlist)
+	}
+	return nil, fmt.Errorf("need -bench <name> or -netlist <file|->")
 }

@@ -1,42 +1,32 @@
 // Command rapids is the reproduction of the paper's prototype tool
 // (Rewiring After Placement usIng easily Detectable Symmetries): it takes
-// a mapped circuit — a generated Table 1 benchmark or a BLIF file — runs
-// the full post-placement flow (map if needed, place, optimize with the
-// chosen strategy), verifies functional equivalence, and reports timing,
-// area, and rewiring statistics.
+// a mapped circuit — a generated Table 1 benchmark or a BLIF/.bench
+// netlist — runs the full post-placement flow through the public rapids
+// facade (load, place, optimize with the chosen strategy), verifies
+// functional equivalence, and reports timing, area, and rewiring
+// statistics.
 //
 // Usage:
 //
 //	rapids -bench alu2 [-strategy gsg|GS|gsg+GS] [-iters N] [-clock ns]
-//	rapids -blif circuit.blif [-strategy ...]
+//	rapids -netlist circuit.blif [-strategy ...]
+//	cat circuit.blif | rapids -netlist -
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
-	"strings"
 
-	"repro/internal/bench"
-	"repro/internal/blif"
-	"repro/internal/fanout"
-	"repro/internal/gen"
-	"repro/internal/library"
-	"repro/internal/network"
-	"repro/internal/opt"
-	"repro/internal/place"
-	"repro/internal/rewire"
-	"repro/internal/sim"
-	"repro/internal/sizing"
-	"repro/internal/sta"
-	"repro/internal/techmap"
+	"repro/rapids"
 )
 
 func main() {
 	var (
 		benchName = flag.String("bench", "", "generated benchmark name (see -list)")
-		blifPath  = flag.String("blif", "", "netlist to optimize (.blif or ISCAS .bench, by extension)")
+		netlist   = flag.String("netlist", "", "netlist to optimize (.blif or ISCAS .bench, by extension; '-' reads BLIF from stdin)")
+		blifPath  = flag.String("blif", "", "alias of -netlist (kept for compatibility)")
 		strategy  = flag.String("strategy", "gsg+GS", "optimizer: gsg, GS, or gsg+GS")
 		iters     = flag.Int("iters", 8, "optimizer iterations")
 		clock     = flag.Float64("clock", 0, "required time at outputs in ns (0 = critical delay)")
@@ -45,144 +35,144 @@ func main() {
 		regions   = flag.Int("regions", 0, "region-parallel optimization: max concurrent timing regions (<=1 = whole-network)")
 		moves     = flag.Int("moves", 30, "placement annealing moves per cell")
 		seed      = flag.Int64("seed", 1, "placement seed")
+		verify    = flag.Int("verify", rapids.DefaultVerifyRounds, "random equivalence rounds (0 disables; see rapids.WithVerification)")
 		list      = flag.Bool("list", false, "list generated benchmark names and exit")
 		removeRed = flag.Bool("remove-redundancies", false, "remove detected case-2 redundancies before optimizing")
 		buffer    = flag.Bool("buffer", false, "run fanout buffering after the optimizer (paper §7 future work)")
 		showPath  = flag.Bool("path", false, "print the post-optimization critical path")
+		verbose   = flag.Bool("v", false, "stream typed progress events to stderr")
 	)
 	flag.Parse()
 
 	if *list {
-		for _, name := range gen.Benchmarks() {
+		for _, name := range rapids.Benchmarks() {
 			fmt.Println(name)
 		}
 		return
 	}
 
-	strat, ok := map[string]opt.Strategy{
-		"gsg": opt.Gsg, "GS": opt.GS, "gsg+GS": opt.GsgGS,
-	}[*strategy]
-	if !ok {
-		fail("unknown strategy %q (want gsg, GS, or gsg+GS)", *strategy)
+	strat, err := rapids.ParseStrategy(*strategy)
+	if err != nil {
+		fail("%v", err)
 	}
 
-	lib := library.Default035()
-	n, err := load(*benchName, *blifPath, lib)
+	c, err := load(*benchName, *netlist, *blifPath)
 	if err != nil {
 		fail("%v", err)
 	}
 
 	fmt.Printf("circuit %s: %d gates, %d PIs, %d POs, depth %d\n",
-		n.Name(), n.NumLogicGates(), len(n.Inputs()), len(n.Outputs()), n.Depth())
+		c.Name(), c.Gates(), c.Inputs(), c.Outputs(), c.Depth())
 
-	pl := place.Place(n, lib, place.Options{Seed: *seed, MovesPerCell: *moves})
+	pl := c.Place(rapids.PlaceSeed(*seed), rapids.PlaceMoves(*moves))
 	fmt.Printf("placement: %d rows, die %.0f x %.0f um, HPWL %.0f -> %.0f um\n",
-		pl.Rows, pl.DieWidth, pl.DieHeight, pl.InitialHPWL, pl.FinalHPWL)
-	sizing.SeedForLoad(n, lib, 0)
+		pl.Rows, pl.DieWidthUM, pl.DieHeightUM, pl.InitialHPWLUM, pl.FinalHPWLUM)
 
-	// The equivalence check at the end covers every transformation,
-	// including redundancy removal and buffering, so clone first.
-	orig, _ := n.Clone()
+	// The facade verifies the optimizer step; redundancy removal and
+	// buffering are covered by one more whole-flow check at the end.
+	var orig *rapids.Circuit
+	if *verify > 0 && (*removeRed || *buffer) {
+		orig = c.Clone()
+	}
 
 	if *removeRed {
-		removed := rewire.RemoveAllRedundancies(n)
+		removed := c.RemoveRedundancies()
 		fmt.Printf("redundancy removal: %d untestable branches deleted\n", removed)
 	}
 
-	before := sta.Analyze(n, lib, *clock)
-	fmt.Printf("initial: critical delay %.3f ns, area %.0f um^2\n",
-		before.CriticalDelay, techmap.Area(n, lib))
-	opts := opt.Options{Clock: *clock, MaxIters: *iters, Workers: *workers, Window: *window}
-	var res opt.Result
-	if *regions > 1 {
-		res = opt.OptimizeRegioned(n, lib, strat, opts, opt.RegionSchedule{Regions: *regions})
-	} else {
-		res = opt.Optimize(n, lib, strat, opts)
+	fmt.Printf("initial: critical delay %.3f ns, area %.0f um^2\n", c.DelayNS(), c.AreaUM2())
+
+	opts := []rapids.Option{
+		rapids.WithStrategy(strat),
+		rapids.WithClock(*clock),
+		rapids.WithIters(*iters),
+		rapids.WithWorkers(*workers),
+		rapids.WithWindow(*window),
+		rapids.WithRegions(*regions),
+		rapids.WithVerification(*verify),
+	}
+	if *verbose {
+		opts = append(opts, rapids.WithProgress(func(ev rapids.Event) {
+			fmt.Fprintln(os.Stderr, ev)
+		}))
+	}
+	res, err := c.Optimize(context.Background(), opts...)
+	if err != nil {
+		fail("%v", err)
 	}
 
 	fmt.Printf("%s: delay %.3f -> %.3f ns (%.1f%% better), area %+.1f%%\n",
-		res.Strategy, res.InitialDelay, res.FinalDelay,
+		res.Strategy, res.InitialDelayNS, res.FinalDelayNS,
 		res.ImprovementPct(), res.AreaDeltaPct())
 	fmt.Printf("  %d swaps, %d resizes, %d iterations\n", res.Swaps, res.Resizes, res.Iterations)
 	fmt.Printf("  timing: %d full analyses, %d incremental updates (dirty avg %.1f, max %d; %d arrival + %d required recomputes)\n",
 		res.Timer.FullAnalyses, res.Timer.IncrementalUpdates,
-		res.Timer.AvgDirty(), res.Timer.MaxDirty,
+		res.Timer.AvgDirty, res.Timer.MaxDirty,
 		res.Timer.ArrivalRecomputes, res.Timer.RequiredRecomputes)
 	fmt.Printf("  supergates: %.1f%% coverage, largest has %d inputs, %d redundancies found\n",
-		100*res.Coverage, res.MaxLeaves, res.Redundancies)
-	fmt.Printf("  scoring: %d candidates over %d phases (%.0f/phase; %d swap + %d resize sites)\n",
-		res.Evals.Candidates(), res.Evals.Phases, res.Evals.PerPhase(),
+		res.CoveragePct, res.MaxSupergateInputs, res.Redundancies)
+	fmt.Printf("  scoring: %d candidates over %d phases (%d swap + %d resize sites)\n",
+		res.Evals.Candidates(), res.Evals.Phases,
 		res.Evals.SwapSites, res.Evals.ResizeSites)
 	fmt.Printf("  extraction: %d full, %d incremental flushes (%d supergates re-extracted)\n",
 		res.Extractor.FullExtractions, res.Extractor.IncrementalFlushes, res.Extractor.Reextracted)
 
 	if *buffer {
-		bst := fanout.Optimize(n, lib, fanout.Options{Clock: *clock})
+		bst := c.BufferFanout(*clock)
 		fmt.Printf("fanout buffering: %d buffers, delay %.3f -> %.3f ns\n",
-			bst.BuffersAdded, bst.InitialDelay, bst.FinalDelay)
+			bst.BuffersAdded, bst.InitialDelayNS, bst.FinalDelayNS)
 	}
 
 	if *showPath {
-		printCriticalPath(n, lib, *clock)
+		printCriticalPath(c, *clock)
 	}
 
-	ce, err := sim.EquivalentRandom(orig, n, 32, 2024)
-	if err != nil {
-		fail("verification: %v", err)
+	if orig != nil {
+		if err := c.EquivalentTo(orig, *verify, 2024); err != nil {
+			fail("VERIFICATION FAILED (whole flow): %v", err)
+		}
 	}
-	if ce != nil {
-		fail("VERIFICATION FAILED: %v", ce)
+	switch res.Verification {
+	case rapids.VerifyPassed:
+		fmt.Println("verification: optimized circuit is simulation-equivalent to the original")
+	case rapids.VerifyDisabled:
+		fmt.Println("verification: disabled (-verify 0)")
+	default:
+		// VerifyFailed returns through the Optimize error above.
+		fmt.Printf("verification: %s\n", res.Verification)
 	}
-	fmt.Println("verification: optimized circuit is simulation-equivalent to the original")
 }
 
 // printCriticalPath reports the worst path stage by stage: per-gate cell
 // delay and the interconnect delay into each pin.
-func printCriticalPath(n *network.Network, lib *library.Library, clock float64) {
-	tm := sta.Analyze(n, lib, clock)
-	path := tm.CriticalPath()
-	fmt.Printf("critical path (%d stages, %.3f ns):\n", len(path), tm.CriticalDelay)
-	prevArr := 0.0
-	for i, g := range path {
-		arr := tm.Arrival(g).Max()
-		wire := 0.0
-		if i > 0 {
-			wire = tm.WireDelay(path[i-1], g)
-		}
+func printCriticalPath(c *rapids.Circuit, clock float64) {
+	path := c.CriticalPath(clock)
+	last := 0.0
+	if n := len(path); n > 0 {
+		last = path[n-1].ArrivalNS
+	}
+	fmt.Printf("critical path (%d stages, %.3f ns):\n", len(path), last)
+	for _, st := range path {
 		fmt.Printf("  %-24s %-5s size %d  arr %8.3f ns  (+%6.3f, wire %6.3f)  load %.3f pF\n",
-			g.Name(), g.Type, g.SizeIdx, arr, arr-prevArr, wire, tm.Load(g))
-		prevArr = arr
+			st.Gate, st.Cell, st.Size, st.ArrivalNS, st.GateDelayNS, st.WireDelayNS, st.LoadPF)
 	}
 }
 
-func load(benchName, blifPath string, lib *library.Library) (*network.Network, error) {
-	switch {
-	case benchName != "" && blifPath != "":
-		return nil, fmt.Errorf("use -bench or -blif, not both")
-	case benchName != "":
-		return gen.Generate(benchName)
-	case blifPath != "":
-		f, err := os.Open(blifPath)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		var n *network.Network
-		if strings.HasSuffix(blifPath, ".bench") {
-			base := strings.TrimSuffix(filepath.Base(blifPath), ".bench")
-			n, err = bench.Parse(f, base)
-		} else {
-			n, err = blif.Parse(f)
-		}
-		if err != nil {
-			return nil, err
-		}
-		if err := techmap.Map(n, lib); err != nil {
-			return nil, err
-		}
-		return n, nil
+func load(benchName, netlist, blifPath string) (*rapids.Circuit, error) {
+	if netlist == "" {
+		netlist = blifPath
+	} else if blifPath != "" {
+		return nil, fmt.Errorf("use -netlist or -blif, not both")
 	}
-	return nil, fmt.Errorf("need -bench <name> or -blif <file>; try -list")
+	switch {
+	case benchName != "" && netlist != "":
+		return nil, fmt.Errorf("use -bench or -netlist, not both")
+	case benchName != "":
+		return rapids.Generate(benchName)
+	case netlist != "":
+		return rapids.LoadFile(netlist)
+	}
+	return nil, fmt.Errorf("need -bench <name> or -netlist <file|->; try -list")
 }
 
 func fail(format string, args ...interface{}) {

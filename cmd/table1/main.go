@@ -6,7 +6,7 @@
 // Usage:
 //
 //	table1 [-benchmarks alu2,c432,...] [-iters N] [-moves N] [-seed N]
-//	       [-quick] [-summary]
+//	       [-quick] [-summary] [-v]
 package main
 
 import (
@@ -15,8 +15,8 @@ import (
 	"os"
 	"strings"
 
-	"repro/internal/gen"
 	"repro/internal/harness"
+	"repro/rapids"
 )
 
 func main() {
@@ -28,19 +28,21 @@ func main() {
 		workers    = flag.Int("workers", 0, "move-scoring workers (0 = GOMAXPROCS, 1 = sequential; results identical)")
 		window     = flag.Float64("window", 0, "criticality window as a fraction of the clock (0 = default margins)")
 		regions    = flag.Int("regions", 0, "region-parallel optimization: max concurrent timing regions (<=1 = whole-network)")
+		verify     = flag.Int("verify", 0, "random equivalence rounds per optimizer (0 = default, negative = off; see rapids.WithVerification)")
 		quick      = flag.Bool("quick", false, "small/fast subset with reduced effort")
 		summary    = flag.Bool("summary", false, "print only the averages against the paper's")
-		verbose    = flag.Bool("v", false, "progress output per optimizer run")
+		verbose    = flag.Bool("v", false, "stream typed progress events to stderr")
 	)
 	flag.Parse()
 
 	cfg := harness.Config{
-		PlaceSeed:  *seed,
-		PlaceMoves: *moves,
-		MaxIters:   *iters,
-		Workers:    *workers,
-		Window:     *window,
-		Regions:    *regions,
+		PlaceSeed:    *seed,
+		PlaceMoves:   *moves,
+		MaxIters:     *iters,
+		Workers:      *workers,
+		Window:       *window,
+		Regions:      *regions,
+		VerifyRounds: *verify,
 	}
 	if *benchmarks != "" {
 		cfg.Benchmarks = strings.Split(*benchmarks, ",")
@@ -51,10 +53,16 @@ func main() {
 		cfg.MaxIters = 4
 	}
 	if *verbose {
-		cfg.Progress = os.Stderr
+		// One summary line per finished optimizer run, as the table is
+		// long; cmd/rapids -v streams the full per-phase event feed.
+		cfg.Progress = func(ev rapids.Event) {
+			if ev.Kind == rapids.EventDone {
+				fmt.Fprintln(os.Stderr, "  "+ev.String())
+			}
+		}
 	}
 	if cfg.Benchmarks == nil {
-		cfg.Benchmarks = gen.Benchmarks()
+		cfg.Benchmarks = rapids.Benchmarks()
 	}
 
 	rows, err := harness.RunAll(cfg)

@@ -1,69 +1,31 @@
-// Quickstart: build a small mapped circuit by hand, extract its
-// generalized implication supergates, list the functional symmetries they
-// expose, perform a rewiring swap, and verify the function is unchanged.
+// Quickstart: the whole post-placement flow in ~20 lines through the
+// public rapids facade — generate a benchmark, place it, optimize with
+// the paper's combined strategy, and print the verified result.
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/logic"
-	"repro/internal/network"
-	"repro/internal/rewire"
-	"repro/internal/sim"
-	"repro/internal/supergate"
+	"repro/rapids"
 )
 
 func main() {
-	// f = NAND(NOR(a, b), NOR(INV(c), d)) — a two-level AND-OR structure
-	// in the paper's inverting cell set.
-	n := network.New("quickstart")
-	a := n.AddInput("a")
-	b := n.AddInput("b")
-	c := n.AddInput("c")
-	d := n.AddInput("d")
-	n1 := n.AddGate("n1", logic.Nor, a, b)
-	ic := n.AddGate("ic", logic.Inv, c)
-	n2 := n.AddGate("n2", logic.Nor, ic, d)
-	f := n.AddGate("f", logic.Nand, n1, n2)
-	n.MarkOutput(f)
-
-	original, _ := n.Clone()
-
-	// Extract supergates: the whole structure is one AND-OR supergate
-	// because backward implication from f (out-pin = 0 implies all NAND
-	// inputs 1, which implies all NOR inputs 0, through the inverter).
-	ext := supergate.Extract(n)
-	for _, sg := range ext.Supergates {
-		fmt.Println("found", sg)
-		for i, l := range sg.Leaves {
-			fmt.Printf("  leaf %d: pin %v driven by %s, imp_value=%d, depth=%d\n",
-				i, l.Pin, l.Driver.Name(), l.Imp, l.Depth)
-		}
-	}
-
-	// Every leaf pair is symmetric; equal implied values are
-	// non-inverting swappable (NES), differing ones inverting swappable
-	// (ES), per Lemma 7.
-	sg := ext.ByGate[f]
-	swaps := rewire.Enumerate(sg)
-	fmt.Printf("\n%d swappable pairs:\n", len(swaps))
-	for _, s := range swaps {
-		fmt.Println("  ", s)
-	}
-
-	// Apply the first swap and prove equivalence exhaustively.
-	swap := swaps[0]
-	fmt.Println("\napplying", swap)
-	rewire.Apply(n, swap)
-	ce, err := sim.EquivalentExhaustive(original, n)
+	c, err := rapids.Generate("c432")
 	if err != nil {
 		log.Fatal(err)
 	}
-	if ce != nil {
-		log.Fatalf("swap changed the function: %v", ce)
+	c.Place()
+	res, err := c.Optimize(context.Background(),
+		rapids.WithStrategy(rapids.GsgGS),
+		rapids.WithProgress(func(ev rapids.Event) { fmt.Println("  ", ev) }))
+	if err != nil {
+		log.Fatal(err)
 	}
-	fmt.Println("exhaustive equivalence check: PASS — the rewired circuit computes the same function")
+	fmt.Printf("%s: delay %.3f -> %.3f ns (%.1f%% better), area %+.1f%%, verification %s\n",
+		c.Name(), res.InitialDelayNS, res.FinalDelayNS,
+		res.ImprovementPct(), res.AreaDeltaPct(), res.Verification)
 }

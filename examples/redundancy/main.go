@@ -1,13 +1,16 @@
-// Redundancy walk-through of the paper's Fig. 1: during supergate
-// extraction, backward implication that reconverges on a fanout stem
-// exposes untestable stuck-at faults.
+// Redundancy walk-through of the paper's Fig. 1 through the public
+// rapids facade: during supergate extraction, backward implication that
+// reconverges on a fanout stem exposes untestable stuck-at faults.
 //
 //   - Case 1 (Fig. 1a): the implied values conflict — the root cannot
 //     depend on the stem at all; both stem faults are untestable there.
 //   - Case 2 (Fig. 1b): the implied values agree — one branch of the stem
 //     is stuck-at untestable at the implied value.
 //
-// Each claim is verified against the exhaustive fault-simulation oracle.
+// The two figure circuits are loaded from embedded ISCAS-89 .bench
+// netlists via rapids.LoadReader; internal/atpg's exhaustive
+// fault-simulation oracle cross-checks the same claims in this module's
+// test suite.
 //
 // Run with: go run ./examples/redundancy
 package main
@@ -15,85 +18,78 @@ package main
 import (
 	"fmt"
 	"log"
+	"strings"
 
-	"repro/internal/atpg"
-	"repro/internal/gen"
-	"repro/internal/logic"
-	"repro/internal/network"
-	"repro/internal/supergate"
+	"repro/rapids"
 )
 
+// caseTwo is Fig. 1(b): AND(g, AND(g, x)) in mapped form —
+// NAND(g, INV(NAND(g, x))). Implication from f = 0 reaches the stem g
+// through both branches with value 1.
+const caseTwo = `
+INPUT(a)
+INPUT(b)
+INPUT(x)
+OUTPUT(f)
+g = NOR(a, b)
+inner = NAND(g, x)
+mid = NOT(inner)
+f = NAND(g, mid)
+`
+
+// caseOne is Fig. 1(a): NAND(g, INV(NAND(INV(g), x))) — implication
+// infers g = 1 on one branch and g = 0 on the other.
+const caseOne = `
+INPUT(a)
+INPUT(b)
+INPUT(x)
+OUTPUT(f)
+g = NOR(a, b)
+gn = NOT(g)
+inner = NAND(gn, x)
+mid = NOT(inner)
+f = NAND(g, mid)
+`
+
 func main() {
-	caseTwo()
+	fmt.Println("=== Fig. 1(b): agreeing reconvergence ===")
+	report("case2", caseTwo)
 	fmt.Println()
-	caseOne()
+	fmt.Println("=== Fig. 1(a): conflicting reconvergence ===")
+	report("case1", caseOne)
 	fmt.Println()
 	benchmarkCounts()
 }
 
-func caseTwo() {
-	fmt.Println("=== Fig. 1(b): agreeing reconvergence ===")
-	// AND(g, AND(g, x)) in mapped form: NAND(g, INV(NAND(g, x))).
-	// Implication from f = 0 reaches the stem g through both branches
-	// with value 1.
-	n := network.New("case2")
-	a, b, x := n.AddInput("a"), n.AddInput("b"), n.AddInput("x")
-	g := n.AddGate("g", logic.Nor, a, b)
-	inner := n.AddGate("inner", logic.Nand, g, x)
-	mid := n.AddGate("mid", logic.Inv, inner)
-	f := n.AddGate("f", logic.Nand, g, mid)
-	n.MarkOutput(f)
-
-	ext := supergate.Extract(n)
-	report(n, ext)
-}
-
-func caseOne() {
-	fmt.Println("=== Fig. 1(a): conflicting reconvergence ===")
-	// NAND(g, INV(NAND(INV(g), x))): implication infers g = 1 on one
-	// branch and g = 0 on the other.
-	n := network.New("case1")
-	a, b, x := n.AddInput("a"), n.AddInput("b"), n.AddInput("x")
-	g := n.AddGate("g", logic.Nor, a, b)
-	gn := n.AddGate("gn", logic.Inv, g)
-	inner := n.AddGate("inner", logic.Nand, gn, x)
-	mid := n.AddGate("mid", logic.Inv, inner)
-	f := n.AddGate("f", logic.Nand, g, mid)
-	n.MarkOutput(f)
-
-	ext := supergate.Extract(n)
-	report(n, ext)
-}
-
-func report(n *network.Network, ext *supergate.Extraction) {
-	for _, r := range ext.Redundancies {
-		kind := "case 2 (one stem branch s-a-%d untestable at %s)\n"
-		if r.Conflict {
-			kind = "case 1 (root %[2]s cannot observe the stem; values %[1]d and its complement both implied)\n"
-		}
-		fmt.Printf("  stem %s, found from root %s: ", r.Stem.Name(), r.Root.Name())
-		fmt.Printf(kind, r.Values[0], r.Root.Name())
-
-		sg := ext.ByGate[r.Root]
-		if err := atpg.VerifyRedundancy(n, r, sg); err != nil {
-			log.Fatalf("oracle rejected the claim: %v", err)
-		}
-		fmt.Println("  exhaustive fault-simulation oracle: claim verified")
+func report(name, netlist string) {
+	c, err := rapids.LoadReader(strings.NewReader(netlist), rapids.FormatBench, name)
+	if err != nil {
+		log.Fatal(err)
 	}
-	if len(ext.Redundancies) == 0 {
+	s := c.Survey()
+	for _, r := range s.Redundancies {
+		if r.Conflict {
+			fmt.Printf("  stem %s, found from root %s: case 1 (root cannot observe the stem; a value and its complement both implied)\n",
+				r.Stem, r.Root)
+		} else {
+			fmt.Printf("  stem %s, found from root %s: case 2 (one stem branch stuck-at untestable at the implied value)\n",
+				r.Stem, r.Root)
+		}
+	}
+	if len(s.Redundancies) == 0 {
 		log.Fatal("no redundancy found — extraction regression")
 	}
 }
 
 func benchmarkCounts() {
 	fmt.Println("=== redundancy counts on Table 1 stand-ins (column 14) ===")
+	paper := map[string]int{"alu2": 7, "c5315": 103, "i8": 229, "s15850": 366}
 	for _, name := range []string{"alu2", "c5315", "i8", "s15850"} {
-		n, err := gen.Generate(name)
+		c, err := rapids.Generate(name)
 		if err != nil {
 			log.Fatal(err)
 		}
-		ext := supergate.Extract(n)
-		paper := map[string]int{"alu2": 7, "c5315": 103, "i8": 229, "s15850": 366}[name]
-		fmt.Printf("  %-8s found %4d  (paper: %4d)\n", name, len(ext.Redundancies), paper)
+		fmt.Printf("  %-8s found %4d  (paper: %4d)\n",
+			name, len(c.Survey().Redundancies), paper[name])
 	}
 }

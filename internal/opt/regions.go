@@ -29,6 +29,7 @@
 package opt
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -72,9 +73,16 @@ type RegionSchedule struct {
 // coarse window. A caller-provided o.Bounds governs every global analysis
 // (seed, reconcile, guard); the per-region bounds are derived from those
 // analyses, so the caller's pins compose with the regions' automatically.
-func OptimizeRegioned(n *network.Network, lib *library.Library, strat Strategy, o Options, rs RegionSchedule) Result {
+//
+// The context is checked at round boundaries and handed to every
+// region's optimizer: a cancelled run finishes (or reverts) the
+// in-flight round — stitching, validation, and the global reconcile all
+// still happen, so the returned network is a valid best-so-far result —
+// and is marked Interrupted. No goroutine outlives the call: region
+// workers are joined before every stitch.
+func OptimizeRegioned(ctx context.Context, n *network.Network, lib *library.Library, strat Strategy, o Options, rs RegionSchedule) Result {
 	if rs.Regions <= 1 {
-		return Optimize(n, lib, strat, o)
+		return Optimize(ctx, n, lib, strat, o)
 	}
 	if o.MaxIters <= 0 {
 		o.MaxIters = 6
@@ -104,9 +112,18 @@ func OptimizeRegioned(n *network.Network, lib *library.Library, strat Strategy, 
 		Redundancies: len(ext.Redundancies),
 	}
 	res.Timer.FullAnalyses++
+	if o.Progress != nil {
+		o.Progress(PhaseReport{
+			Phase: "start", Delay: tm.CriticalDelay, Lateness: tm.Lateness,
+		})
+	}
 
 	bestLateness := tm.Lateness
 	for round := 0; round < rounds; round++ {
+		if cancelled(ctx) {
+			res.Interrupted = true
+			break
+		}
 		part := region.Build(n, tm, region.Options{
 			Window: pw, GrowDepth: rs.GrowDepth, MaxRegions: rs.Regions,
 		})
@@ -147,7 +164,10 @@ func OptimizeRegioned(n *network.Network, lib *library.Library, strat Strategy, 
 				so.Clock = clock
 				so.Bounds = exts[i].Bounds
 				so.Workers = workers
-				results[i] = Optimize(exts[i].Net, lib, strat, so)
+				// Per-region phase reports would interleave across
+				// goroutines; the scheduler reports per round instead.
+				so.Progress = nil
+				results[i] = Optimize(ctx, exts[i].Net, lib, strat, so)
 			}(i)
 		}
 		wg.Wait()
@@ -190,13 +210,22 @@ func OptimizeRegioned(n *network.Network, lib *library.Library, strat Strategy, 
 		res.Iterations = round + 1
 		improved := after.Lateness < bestLateness-eps
 		bestLateness = after.Lateness
+		applied := 0
 		for i := range results {
 			r := &results[i]
 			res.Swaps += r.Swaps
 			res.Resizes += r.Resizes
+			applied += r.Swaps + r.Resizes
 			res.Timer.Add(r.Timer)
 			res.Extractor.Add(r.Extractor)
 			res.Evals.Add(r.Evals)
+		}
+		if o.Progress != nil {
+			o.Progress(PhaseReport{
+				Iteration: round + 1, Phase: "round", Applied: applied,
+				Delay: tm.CriticalDelay, Lateness: tm.Lateness,
+				Swaps: res.Swaps, Resizes: res.Resizes,
+			})
 		}
 		// Clean up gates the rewiring orphaned (dead boundary drivers are
 		// kept alive until the accept decision so a revert can resolve
@@ -215,6 +244,9 @@ func OptimizeRegioned(n *network.Network, lib *library.Library, strat Strategy, 
 		if !improved {
 			break
 		}
+	}
+	if cancelled(ctx) {
+		res.Interrupted = true
 	}
 	res.FinalDelay = tm.CriticalDelay
 	res.FinalArea = techmap.Area(n, lib)

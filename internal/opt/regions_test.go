@@ -6,6 +6,7 @@ package opt
 // point of the exercise — evaluate no more candidates than the full run.
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/gen"
@@ -49,8 +50,8 @@ func TestOptimizeRegionedEquivalentAndWithin1Pct(t *testing.T) {
 		for _, strat := range []Strategy{Gsg, GsgGS} {
 			seq, _ := base.Clone()
 			reg, _ := base.Clone()
-			full := Optimize(seq, lib(), strat, Options{MaxIters: 3, Workers: 1})
-			regioned := OptimizeRegioned(reg, lib(), strat, Options{MaxIters: 3},
+			full := Optimize(context.Background(), seq, lib(), strat, Options{MaxIters: 3, Workers: 1})
+			regioned := OptimizeRegioned(context.Background(), reg, lib(), strat, Options{MaxIters: 3},
 				RegionSchedule{Regions: 4})
 
 			if ce, err := sim.EquivalentRandom(base, reg, 8, 7); err != nil {
@@ -74,8 +75,8 @@ func TestOptimizeWindowedEquivalentAndCheaper(t *testing.T) {
 	for name, base := range regionCircuits(t, testing.Short()) {
 		seq, _ := base.Clone()
 		win, _ := base.Clone()
-		full := Optimize(seq, lib(), GsgGS, Options{MaxIters: 3, Workers: 1})
-		windowed := Optimize(win, lib(), GsgGS, Options{MaxIters: 3, Workers: 1, Window: 0.01})
+		full := Optimize(context.Background(), seq, lib(), GsgGS, Options{MaxIters: 3, Workers: 1})
+		windowed := Optimize(context.Background(), win, lib(), GsgGS, Options{MaxIters: 3, Workers: 1, Window: 0.01})
 
 		if ce, err := sim.EquivalentRandom(base, win, 8, 7); err != nil {
 			t.Fatalf("%s: %v", name, err)
@@ -143,8 +144,8 @@ func TestOptimizeRegionedDeterministic(t *testing.T) {
 	sizing.SeedForLoad(base, lib(), 0)
 	a, _ := base.Clone()
 	b, _ := base.Clone()
-	ra := OptimizeRegioned(a, lib(), GsgGS, Options{MaxIters: 2}, RegionSchedule{Regions: 3})
-	rb := OptimizeRegioned(b, lib(), GsgGS, Options{MaxIters: 2}, RegionSchedule{Regions: 3})
+	ra := OptimizeRegioned(context.Background(), a, lib(), GsgGS, Options{MaxIters: 2}, RegionSchedule{Regions: 3})
+	rb := OptimizeRegioned(context.Background(), b, lib(), GsgGS, Options{MaxIters: 2}, RegionSchedule{Regions: 3})
 	if ra != rb {
 		t.Fatalf("results differ:\n%+v\n%+v", ra, rb)
 	}
@@ -161,8 +162,8 @@ func TestOptimizeRegionedDegradesToSequential(t *testing.T) {
 	sizing.SeedForLoad(base, lib(), 0)
 	a, _ := base.Clone()
 	b, _ := base.Clone()
-	ra := OptimizeRegioned(a, lib(), GsgGS, Options{MaxIters: 2, Workers: 1}, RegionSchedule{Regions: 1})
-	rb := Optimize(b, lib(), GsgGS, Options{MaxIters: 2, Workers: 1})
+	ra := OptimizeRegioned(context.Background(), a, lib(), GsgGS, Options{MaxIters: 2, Workers: 1}, RegionSchedule{Regions: 1})
+	rb := Optimize(context.Background(), b, lib(), GsgGS, Options{MaxIters: 2, Workers: 1})
 	if ra != rb {
 		t.Fatalf("degenerate schedule diverged from Optimize:\n%+v\n%+v", ra, rb)
 	}
@@ -179,7 +180,7 @@ func TestRegionSchedulerUnderRace(t *testing.T) {
 	place.Place(base, lib(), place.Options{Seed: 1, MovesPerCell: 5})
 	sizing.SeedForLoad(base, lib(), 0)
 	orig, _ := base.Clone()
-	res := OptimizeRegioned(base, lib(), GsgGS, Options{MaxIters: 2}, RegionSchedule{Regions: 4})
+	res := OptimizeRegioned(context.Background(), base, lib(), GsgGS, Options{MaxIters: 2}, RegionSchedule{Regions: 4})
 	if res.FinalDelay > res.InitialDelay+1e-9 {
 		t.Fatalf("regioned optimize worsened delay: %+v", res)
 	}

@@ -15,6 +15,7 @@
 package sizing
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -257,6 +258,9 @@ type Stats struct {
 	// Timer counts the timing work: full ground-truth analyses versus
 	// incremental dirty-region updates.
 	Timer sta.IncStats
+	// Interrupted reports that the run's context was cancelled before
+	// convergence; the network still holds the best sizing seen.
+	Interrupted bool
 }
 
 // Optimize runs Coudert-style sizing on the whole network (or the Allowed
@@ -265,7 +269,11 @@ type Stats struct {
 // Timing is maintained by an incremental timer: one full analysis seeds
 // the run, every accepted batch is absorbed by dirty-region propagation,
 // and one final full analysis is the ground truth for the reported delay.
-func Optimize(n *network.Network, lib *library.Library, o Options) Stats {
+//
+// The context is checked at phase boundaries: a cancelled run stops
+// early, restores the best sizing seen so far (anytime semantics), and
+// is marked Interrupted. A nil context never cancels.
+func Optimize(ctx context.Context, n *network.Network, lib *library.Library, o Options) Stats {
 	if o.MaxPasses <= 0 {
 		o.MaxPasses = 8
 	}
@@ -287,6 +295,10 @@ func Optimize(n *network.Network, lib *library.Library, o Options) Stats {
 	for pass := 0; pass < o.MaxPasses; pass++ {
 		improved := false
 		for _, obj := range []Objective{MinSlack, SumSlack} {
+			if ctx != nil && ctx.Err() != nil {
+				st.Interrupted = true
+				break
+			}
 			tm = inc.Update()
 			applied := applyPhase(n, tm, obj, phaseFilter(tm, o, allowed), &st, sc)
 			if applied == 0 {
@@ -298,6 +310,9 @@ func Optimize(n *network.Network, lib *library.Library, o Options) Stats {
 				bestSizes = snapshotSizes(n)
 				improved = true
 			}
+		}
+		if st.Interrupted {
+			break
 		}
 		st.Passes = pass + 1
 		if !improved {

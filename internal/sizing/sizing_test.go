@@ -1,6 +1,7 @@
 package sizing
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -74,7 +75,7 @@ func TestBestResize(t *testing.T) {
 
 func TestOptimizeImprovesFanoutHeavy(t *testing.T) {
 	n := fanoutHeavy()
-	st := Optimize(n, lib(), Options{})
+	st := Optimize(context.Background(), n, lib(), Options{})
 	if st.FinalDelay >= st.InitialDelay {
 		t.Fatalf("GS failed: %v -> %v", st.InitialDelay, st.FinalDelay)
 	}
@@ -94,7 +95,7 @@ func TestOptimizeOnPlacedBenchmark(t *testing.T) {
 	orig, _ := n.Clone()
 	areaBefore := techmap.Area(n, l)
 
-	st := Optimize(n, l, Options{MaxPasses: 4})
+	st := Optimize(context.Background(), n, l, Options{MaxPasses: 4})
 	if st.FinalDelay > st.InitialDelay+1e-9 {
 		t.Fatalf("GS worsened delay: %v -> %v", st.InitialDelay, st.FinalDelay)
 	}
@@ -115,7 +116,7 @@ func TestOptimizeOnPlacedBenchmark(t *testing.T) {
 func TestAllowedFilter(t *testing.T) {
 	n := fanoutHeavy()
 	d := n.FindGate("d")
-	st := Optimize(n, lib(), Options{Allowed: func(g *network.Gate) bool { return g != d }})
+	st := Optimize(context.Background(), n, lib(), Options{Allowed: func(g *network.Gate) bool { return g != d }})
 	if d.SizeIdx != 0 {
 		t.Fatal("filtered gate was resized")
 	}
@@ -147,7 +148,7 @@ func TestOptimizeIsDeterministic(t *testing.T) {
 		}
 		l := lib()
 		place.Place(n, l, place.Options{Seed: 2, MovesPerCell: 5})
-		return Optimize(n, l, Options{MaxPasses: 3}).FinalDelay
+		return Optimize(context.Background(), n, l, Options{MaxPasses: 3}).FinalDelay
 	}
 	if run() != run() {
 		t.Fatal("GS is not deterministic")
@@ -161,7 +162,7 @@ func TestOptimizeUsesIncrementalTimer(t *testing.T) {
 	}
 	l := lib()
 	place.Place(n, l, place.Options{Seed: 1, MovesPerCell: 10})
-	st := Optimize(n, l, Options{MaxPasses: 4})
+	st := Optimize(context.Background(), n, l, Options{MaxPasses: 4})
 	if st.Timer.IncrementalUpdates == 0 {
 		t.Fatalf("sizing never used the incremental timer: %+v", st.Timer)
 	}
@@ -185,8 +186,8 @@ func TestOptimizeWindowed(t *testing.T) {
 		return n
 	}
 
-	full := Optimize(mk(), lib(), Options{MaxPasses: 3})
-	win := Optimize(mk(), lib(), Options{MaxPasses: 3, Window: 0.02})
+	full := Optimize(context.Background(), mk(), lib(), Options{MaxPasses: 3})
+	win := Optimize(context.Background(), mk(), lib(), Options{MaxPasses: 3, Window: 0.02})
 	if win.FinalDelay > win.InitialDelay+eps {
 		t.Fatalf("windowed sizing regressed delay: %+v", win)
 	}
@@ -223,4 +224,23 @@ func TestOptimizeWindowed(t *testing.T) {
 	if got := phaseFilter(tm, Options{}, allowAll); got == nil {
 		t.Fatal("nil filter")
 	}
+}
+
+// TestOptimizeCancelled: a pre-cancelled context stops the sizing loop
+// at the first phase boundary with the best (initial) sizing restored.
+func TestOptimizeCancelled(t *testing.T) {
+	n, l := fanoutHeavy(), lib()
+	before := map[string]int{}
+	n.Gates(func(g *network.Gate) { before[g.Name()] = g.SizeIdx })
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	st := Optimize(ctx, n, l, Options{MaxPasses: 4})
+	if !st.Interrupted || st.Passes != 0 || st.Resizes != 0 {
+		t.Fatalf("cancelled run must commit nothing: %+v", st)
+	}
+	n.Gates(func(g *network.Gate) {
+		if before[g.Name()] != g.SizeIdx {
+			t.Fatalf("gate %s resized by cancelled run", g.Name())
+		}
+	})
 }

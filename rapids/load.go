@@ -1,0 +1,104 @@
+package rapids
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/blif"
+	"repro/internal/library"
+	"repro/internal/techmap"
+)
+
+// Format identifies a netlist syntax for LoadReader.
+type Format int
+
+const (
+	// FormatAuto selects by file extension in LoadFile (".bench" is
+	// ISCAS-89, everything else BLIF) and defaults to BLIF in
+	// LoadReader, where there is no name to inspect.
+	FormatAuto Format = iota
+	// FormatBLIF is Berkeley Logic Interchange Format.
+	FormatBLIF
+	// FormatBench is the ISCAS-89 .bench netlist format.
+	FormatBench
+)
+
+func (f Format) String() string {
+	switch f {
+	case FormatAuto:
+		return "auto"
+	case FormatBLIF:
+		return "blif"
+	case FormatBench:
+		return "bench"
+	}
+	return fmt.Sprintf("Format(%d)", int(f))
+}
+
+// ParseFormat maps the strings "auto", "blif", and "bench" (as a CLI
+// -format flag would spell them) to a Format.
+func ParseFormat(s string) (Format, error) {
+	switch strings.ToLower(s) {
+	case "", "auto":
+		return FormatAuto, nil
+	case "blif":
+		return FormatBLIF, nil
+	case "bench":
+		return FormatBench, nil
+	}
+	return FormatAuto, fmt.Errorf("rapids: unknown netlist format %q (want auto, blif, or bench)", s)
+}
+
+// LoadFile reads a netlist from path, dispatching on the extension
+// (".bench" parses as ISCAS-89, anything else as BLIF), and maps it onto
+// the cell library. The path "-" reads standard input as BLIF; use
+// LoadReader with an explicit Format for .bench on a pipe.
+func LoadFile(path string) (*Circuit, error) {
+	if path == "-" {
+		return LoadReader(os.Stdin, FormatAuto, "stdin")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	format := FormatBLIF
+	base := filepath.Base(path)
+	if strings.HasSuffix(path, ".bench") {
+		format = FormatBench
+		base = strings.TrimSuffix(base, ".bench")
+	} else {
+		base = strings.TrimSuffix(base, filepath.Ext(base))
+	}
+	return LoadReader(f, format, base)
+}
+
+// LoadReader parses a netlist from r in the given format and maps it
+// onto the cell library. name seeds the circuit name for formats that do
+// not carry one (.bench); BLIF input keeps its .model name. FormatAuto
+// parses as BLIF.
+func LoadReader(r io.Reader, format Format, name string) (*Circuit, error) {
+	var (
+		c   = &Circuit{lib: library.Default035()}
+		err error
+	)
+	switch format {
+	case FormatBench:
+		c.net, err = bench.Parse(r, name)
+	case FormatAuto, FormatBLIF:
+		c.net, err = blif.Parse(r)
+	default:
+		return nil, fmt.Errorf("rapids: unknown netlist format %v", format)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := techmap.Map(c.net, c.lib); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

@@ -1,0 +1,219 @@
+package rapids
+
+import (
+	"fmt"
+
+	"repro/internal/fanout"
+	"repro/internal/gen"
+	"repro/internal/library"
+	"repro/internal/network"
+	"repro/internal/place"
+	"repro/internal/rewire"
+	"repro/internal/sim"
+	"repro/internal/sizing"
+	"repro/internal/sta"
+	"repro/internal/techmap"
+)
+
+// Circuit is a mapped (and, after Place, placed) Boolean network bound
+// to the paper's 0.35 µm cell library. A Circuit is not safe for
+// concurrent use; Clone cheap-copies one for parallel experiments.
+type Circuit struct {
+	net    *network.Network
+	lib    *library.Library
+	placed bool
+}
+
+// Generate builds one of the paper's Table 1 benchmark stand-ins (see
+// Benchmarks for the names), mapped but not yet placed.
+func Generate(name string) (*Circuit, error) {
+	n, err := gen.Generate(name)
+	if err != nil {
+		return nil, err
+	}
+	return &Circuit{net: n, lib: library.Default035()}, nil
+}
+
+// Benchmarks lists the generated benchmark names Generate accepts.
+func Benchmarks() []string { return gen.Benchmarks() }
+
+// Name returns the circuit name (the BLIF model name, the .bench file
+// base name, or the generated benchmark name).
+func (c *Circuit) Name() string { return c.net.Name() }
+
+// Gates returns the number of logic gates (primary inputs excluded).
+func (c *Circuit) Gates() int { return c.net.NumLogicGates() }
+
+// Inputs and Outputs return the primary-interface widths.
+func (c *Circuit) Inputs() int  { return len(c.net.Inputs()) }
+func (c *Circuit) Outputs() int { return len(c.net.Outputs()) }
+
+// Depth returns the logic depth in gate levels.
+func (c *Circuit) Depth() int { return c.net.Depth() }
+
+// Placed reports whether the circuit has been placed.
+func (c *Circuit) Placed() bool { return c.placed }
+
+// DelayNS returns the current critical-path delay in ns under the
+// star-model Elmore interconnect (meaningful after Place).
+func (c *Circuit) DelayNS() float64 {
+	return sta.Analyze(c.net, c.lib, 0).CriticalDelay
+}
+
+// AreaUM2 returns the current total cell area in µm².
+func (c *Circuit) AreaUM2() float64 { return techmap.Area(c.net, c.lib) }
+
+// Clone returns an independent deep copy sharing nothing with c: the
+// way to compare optimizer strategies on identical placements.
+func (c *Circuit) Clone() *Circuit {
+	n, _ := c.net.Clone()
+	return &Circuit{net: n, lib: c.lib, placed: c.placed}
+}
+
+// Network exposes the underlying mapped network for this module's own
+// cmd/ tools. The type lives in an internal package, so code outside the
+// module cannot name it; it is not part of the stable API surface.
+func (c *Circuit) Network() *network.Network { return c.net }
+
+// Locations returns the current cell coordinates by gate name — the
+// invariant the optimizers never modify.
+func (c *Circuit) Locations() map[string][2]float64 {
+	return place.Snapshot(c.net)
+}
+
+// PlaceOption configures Circuit.Place.
+type PlaceOption func(*placeConfig)
+
+type placeConfig struct {
+	seed   int64
+	moves  int
+	aspect float64
+}
+
+// PlaceSeed seeds the annealing placer (default 1); placement is
+// deterministic per seed.
+func PlaceSeed(seed int64) PlaceOption {
+	return func(pc *placeConfig) { pc.seed = seed }
+}
+
+// PlaceMoves sets the annealing effort per cell (default 30).
+func PlaceMoves(moves int) PlaceOption {
+	return func(pc *placeConfig) { pc.moves = moves }
+}
+
+// PlaceAspect sets the target die width/height ratio (default 1).
+func PlaceAspect(aspect float64) PlaceOption {
+	return func(pc *placeConfig) { pc.aspect = aspect }
+}
+
+// Placement summarizes a placement run.
+type Placement struct {
+	Rows, Cols    int
+	DieWidthUM    float64
+	DieHeightUM   float64
+	InitialHPWLUM float64
+	FinalHPWLUM   float64
+}
+
+// Place row-places the circuit with the annealing placer and then seeds
+// every cell's implementation from the loads it actually drives, as the
+// paper's timing-driven mapper would have — the baseline all optimizer
+// strategies start from. Placing an already-placed circuit re-places it
+// from scratch, deterministically per seed.
+func (c *Circuit) Place(opts ...PlaceOption) Placement {
+	pc := placeConfig{seed: 1, moves: 30}
+	for _, o := range opts {
+		o(&pc)
+	}
+	pl := place.Place(c.net, c.lib, place.Options{
+		Seed: pc.seed, MovesPerCell: pc.moves, Aspect: pc.aspect,
+	})
+	sizing.SeedForLoad(c.net, c.lib, 0)
+	c.placed = true
+	return Placement{
+		Rows: pl.Rows, Cols: pl.Cols,
+		DieWidthUM: pl.DieWidth, DieHeightUM: pl.DieHeight,
+		InitialHPWLUM: pl.InitialHPWL, FinalHPWLUM: pl.FinalHPWL,
+	}
+}
+
+// EquivalentTo checks c against o by bit-parallel random simulation
+// (rounds × 64 patterns, deterministic per seed) and returns nil when no
+// counterexample was found, or an error describing the first mismatch or
+// interface difference.
+func (c *Circuit) EquivalentTo(o *Circuit, rounds int, seed int64) error {
+	ce, err := sim.EquivalentRandom(c.net, o.net, rounds, seed)
+	if err != nil {
+		return err
+	}
+	if ce != nil {
+		return fmt.Errorf("not equivalent: %v", ce)
+	}
+	return nil
+}
+
+// RemoveRedundancies deletes every case-2 redundancy (stuck-at
+// untestable stem branch) found during supergate extraction and returns
+// how many branches were removed. The circuit's function is preserved.
+func (c *Circuit) RemoveRedundancies() int {
+	return rewire.RemoveAllRedundancies(c.net)
+}
+
+// FanoutStats reports a BufferFanout run.
+type FanoutStats struct {
+	BuffersAdded   int
+	InitialDelayNS float64
+	FinalDelayNS   float64
+}
+
+// BufferFanout inserts buffers on overloaded nets while the critical
+// delay improves (the paper's §7 future work). clockNS <= 0 freezes the
+// current critical delay as the target.
+func (c *Circuit) BufferFanout(clockNS float64) FanoutStats {
+	st := fanout.Optimize(c.net, c.lib, fanout.Options{Clock: clockNS})
+	return FanoutStats{
+		BuffersAdded:   st.BuffersAdded,
+		InitialDelayNS: st.InitialDelay,
+		FinalDelayNS:   st.FinalDelay,
+	}
+}
+
+// PathStage is one stage of a reported critical path.
+type PathStage struct {
+	// Gate and Cell name the stage: the gate's name, its cell type, and
+	// the implementation index (0 = weakest).
+	Gate string
+	Cell string
+	Size int
+	// ArrivalNS is the worst output arrival; GateDelayNS the stage's
+	// contribution over the previous stage; WireDelayNS the interconnect
+	// delay into this stage's input pin.
+	ArrivalNS   float64
+	GateDelayNS float64
+	WireDelayNS float64
+	// LoadPF is the capacitive load the stage drives.
+	LoadPF float64
+}
+
+// CriticalPath analyzes the circuit and returns the worst path, primary
+// input first. clockNS <= 0 measures against the critical delay itself.
+func (c *Circuit) CriticalPath(clockNS float64) []PathStage {
+	tm := sta.Analyze(c.net, c.lib, clockNS)
+	path := tm.CriticalPath()
+	stages := make([]PathStage, 0, len(path))
+	prev := 0.0
+	for i, g := range path {
+		arr := tm.Arrival(g).Max()
+		wire := 0.0
+		if i > 0 {
+			wire = tm.WireDelay(path[i-1], g)
+		}
+		stages = append(stages, PathStage{
+			Gate: g.Name(), Cell: g.Type.String(), Size: g.SizeIdx,
+			ArrivalNS: arr, GateDelayNS: arr - prev, WireDelayNS: wire,
+			LoadPF: tm.Load(g),
+		})
+		prev = arr
+	}
+	return stages
+}

@@ -1,0 +1,234 @@
+package rapids_test
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/rapids"
+)
+
+const tinyBLIF = `.model tiny
+.inputs a b c
+.outputs f
+.names a b t
+11 1
+.names t c f
+00 1
+.end
+`
+
+const tinyBench = `
+INPUT(a)
+INPUT(b)
+OUTPUT(f)
+t = NAND(a, b)
+f = NOT(t)
+`
+
+func TestLoadReaderFormats(t *testing.T) {
+	c, err := rapids.LoadReader(strings.NewReader(tinyBLIF), rapids.FormatBLIF, "ignored")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name() != "tiny" {
+		t.Fatalf("BLIF model name lost: %q", c.Name())
+	}
+	if c.Gates() == 0 || c.Inputs() != 3 || c.Outputs() != 1 {
+		t.Fatalf("interface wrong: %d gates, %d PIs, %d POs", c.Gates(), c.Inputs(), c.Outputs())
+	}
+
+	b, err := rapids.LoadReader(strings.NewReader(tinyBench), rapids.FormatBench, "named")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Name() != "named" {
+		t.Fatalf(".bench name not taken from argument: %q", b.Name())
+	}
+
+	// FormatAuto on a reader parses as BLIF.
+	if _, err := rapids.LoadReader(strings.NewReader(tinyBLIF), rapids.FormatAuto, "x"); err != nil {
+		t.Fatalf("FormatAuto should parse BLIF: %v", err)
+	}
+	if _, err := rapids.LoadReader(strings.NewReader(tinyBLIF), rapids.Format(99), "x"); err == nil {
+		t.Fatal("unknown format must error")
+	}
+}
+
+func TestLoadFileDispatchAndStdin(t *testing.T) {
+	dir := t.TempDir()
+	blifPath := filepath.Join(dir, "tiny.blif")
+	benchPath := filepath.Join(dir, "tiny.bench")
+	if err := os.WriteFile(blifPath, []byte(tinyBLIF), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(benchPath, []byte(tinyBench), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := rapids.LoadFile(blifPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name() != "tiny" {
+		t.Fatalf("BLIF name: %q", c.Name())
+	}
+	b, err := rapids.LoadFile(benchPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Name() != "tiny" {
+		t.Fatalf(".bench base name: %q", b.Name())
+	}
+	if _, err := rapids.LoadFile(filepath.Join(dir, "missing.blif")); err == nil {
+		t.Fatal("missing file must error")
+	}
+
+	// "-" reads BLIF from stdin.
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldStdin := os.Stdin
+	os.Stdin = r
+	defer func() { os.Stdin = oldStdin }()
+	go func() {
+		w.WriteString(tinyBLIF)
+		w.Close()
+	}()
+	s, err := rapids.LoadFile("-")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "tiny" || s.Gates() != c.Gates() {
+		t.Fatalf("stdin load differs: %q %d gates", s.Name(), s.Gates())
+	}
+}
+
+func TestParseHelpers(t *testing.T) {
+	for in, want := range map[string]rapids.Strategy{
+		"gsg": rapids.Gsg, "GS": rapids.GS, "gsg+GS": rapids.GsgGS,
+	} {
+		got, err := rapids.ParseStrategy(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseStrategy(%q) = %v, %v", in, got, err)
+		}
+		if got.String() != in {
+			t.Fatalf("Strategy round-trip: %v -> %q", got, got.String())
+		}
+	}
+	if _, err := rapids.ParseStrategy("nope"); err == nil {
+		t.Fatal("unknown strategy must error")
+	}
+	for in, want := range map[string]rapids.Format{
+		"": rapids.FormatAuto, "auto": rapids.FormatAuto,
+		"blif": rapids.FormatBLIF, "bench": rapids.FormatBench,
+	} {
+		got, err := rapids.ParseFormat(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseFormat(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := rapids.ParseFormat("verilog"); err == nil {
+		t.Fatal("unknown format must error")
+	}
+}
+
+func TestOptimizeRequiresPlacement(t *testing.T) {
+	c, err := rapids.Generate("c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Optimize(context.Background()); !errors.Is(err, rapids.ErrNotPlaced) {
+		t.Fatalf("want ErrNotPlaced, got %v", err)
+	}
+}
+
+func TestVerificationContract(t *testing.T) {
+	base, err := rapids.Generate("c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.Place(rapids.PlaceMoves(5))
+
+	run := func(opts ...rapids.Option) *rapids.Result {
+		t.Helper()
+		c := base.Clone()
+		opts = append(opts, rapids.WithIters(1), rapids.WithWorkers(1))
+		res, err := c.Optimize(context.Background(), opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	if res := run(); res.Verification != rapids.VerifyPassed || res.VerifyRounds != rapids.DefaultVerifyRounds {
+		t.Fatalf("default must verify with %d rounds: %+v", rapids.DefaultVerifyRounds, res)
+	}
+	if res := run(rapids.WithVerification(4)); res.Verification != rapids.VerifyPassed || res.VerifyRounds != 4 {
+		t.Fatalf("explicit rounds: %+v", res)
+	}
+	// rounds <= 0 disables — the single documented contract.
+	for _, rounds := range []int{0, -1, -16} {
+		if res := run(rapids.WithVerification(rounds)); res.Verification != rapids.VerifyDisabled || res.VerifyRounds != 0 {
+			t.Fatalf("WithVerification(%d) must disable: %+v", rounds, res)
+		}
+	}
+}
+
+func TestEventStream(t *testing.T) {
+	c, err := rapids.Generate("c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Place(rapids.PlaceMoves(5))
+	var events []rapids.Event
+	res, err := c.Optimize(context.Background(),
+		rapids.WithIters(2), rapids.WithWorkers(1),
+		rapids.WithProgress(func(ev rapids.Event) { events = append(events, ev) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) < 3 {
+		t.Fatalf("expected start + phases + done, got %d events", len(events))
+	}
+	if events[0].Kind != rapids.EventStart {
+		t.Fatalf("first event %v", events[0].Kind)
+	}
+	last := events[len(events)-1]
+	if last.Kind != rapids.EventDone || last.Result != res {
+		t.Fatalf("last event must be done carrying the result: %+v", last)
+	}
+	phases, verifies := 0, 0
+	iter := 0
+	for _, ev := range events {
+		if ev.Circuit != "c432" || ev.Strategy != rapids.GsgGS {
+			t.Fatalf("event missing identity: %+v", ev)
+		}
+		switch ev.Kind {
+		case rapids.EventPhase:
+			phases++
+			if ev.Iteration < iter {
+				t.Fatalf("iterations must be non-decreasing: %+v", ev)
+			}
+			iter = ev.Iteration
+			if ev.Phase != "min-slack" && ev.Phase != "sum-slack" {
+				t.Fatalf("unexpected phase name %q", ev.Phase)
+			}
+		case rapids.EventVerify:
+			verifies++
+			if ev.Verification != rapids.VerifyPassed {
+				t.Fatalf("verify event: %+v", ev)
+			}
+		}
+		if ev.String() == "" {
+			t.Fatal("events must render")
+		}
+	}
+	if phases == 0 || verifies != 1 {
+		t.Fatalf("stream shape: %d phases, %d verifies", phases, verifies)
+	}
+}

@@ -1,0 +1,111 @@
+package rapids
+
+import (
+	"sort"
+
+	"repro/internal/rewire"
+	"repro/internal/supergate"
+)
+
+// SupergateInfo describes one extracted generalized implication
+// supergate (§3 of the paper).
+type SupergateInfo struct {
+	// Root names the supergate's root gate; Kind is "and-or", "xor", or
+	// "chain".
+	Root string
+	Kind string
+	// Gates and Inputs count covered gates and leaf inputs; Depth is
+	// the largest leaf depth.
+	Gates  int
+	Inputs int
+	Depth  int
+	// SwappablePairs counts the symmetric leaf pairs rewiring may
+	// exchange; InvertingPairs of those need an inverter (ES rather
+	// than NES symmetry, Lemma 7).
+	SwappablePairs int
+	InvertingPairs int
+	// Trivial marks single-gate supergates, which expose no rewiring
+	// freedom beyond plain pin symmetry.
+	Trivial bool
+}
+
+// RedundancyInfo describes one untestable stuck-at fault found during
+// extraction (the paper's Fig. 1): backward implication reconverging on
+// a fanout stem either conflicts (case 1: the root cannot observe the
+// stem) or agrees (case 2: one stem branch is stuck-at untestable).
+type RedundancyInfo struct {
+	Stem     string
+	Root     string
+	Conflict bool
+}
+
+// Survey is a read-only report of the circuit's supergate decomposition
+// and the rewiring freedom it exposes — Table 1's cov %, L, and #red
+// columns, without running an optimizer.
+type Survey struct {
+	// Supergates lists every supergate, largest (by Inputs) first.
+	Supergates []SupergateInfo
+	// NonTrivial counts multi-gate supergates; AndOr/Xor/Chain split
+	// all supergates by kind.
+	NonTrivial int
+	AndOr      int
+	Xor        int
+	Chain      int
+	// CoveragePct is the percentage of gates covered by non-trivial
+	// supergates (Table 1 column 12).
+	CoveragePct float64
+	// MaxInputs is the input count of the largest supergate (column L).
+	MaxInputs int
+	// SwappablePairs and InvertingPairs total the per-supergate counts.
+	SwappablePairs int
+	InvertingPairs int
+	// Redundancies lists the untestable faults found (column #red).
+	Redundancies []RedundancyInfo
+}
+
+// Survey extracts the circuit's supergates and reports the rewiring
+// freedom they expose. It never modifies the circuit and does not
+// require placement.
+func (c *Circuit) Survey() *Survey {
+	e := supergate.Extract(c.net)
+	s := &Survey{
+		CoveragePct: 100 * e.Coverage(),
+		MaxInputs:   e.MaxLeaves(),
+	}
+	for _, sg := range e.Supergates {
+		info := SupergateInfo{
+			Root: sg.Root.Name(), Kind: sg.Kind.String(),
+			Gates: len(sg.Gates), Inputs: len(sg.Leaves),
+			Depth: sg.MaxDepth(), Trivial: sg.Trivial(),
+		}
+		for _, sw := range rewire.Enumerate(sg) {
+			info.SwappablePairs++
+			if sw.Inverting {
+				info.InvertingPairs++
+			}
+		}
+		s.SwappablePairs += info.SwappablePairs
+		s.InvertingPairs += info.InvertingPairs
+		if !sg.Trivial() {
+			s.NonTrivial++
+		}
+		switch sg.Kind {
+		case supergate.AndOr:
+			s.AndOr++
+		case supergate.Xor:
+			s.Xor++
+		case supergate.Chain:
+			s.Chain++
+		}
+		s.Supergates = append(s.Supergates, info)
+	}
+	sort.SliceStable(s.Supergates, func(i, j int) bool {
+		return s.Supergates[i].Inputs > s.Supergates[j].Inputs
+	})
+	for _, r := range e.Redundancies {
+		s.Redundancies = append(s.Redundancies, RedundancyInfo{
+			Stem: r.Stem.Name(), Root: r.Root.Name(), Conflict: r.Conflict,
+		})
+	}
+	return s
+}
