@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: all vet build test race bench bench-smoke table1 fuzz cover fmt-check api api-check
+.PHONY: all vet build test race bench bench-smoke table1 fuzz cover fmt-check api api-check docs-check serve-smoke
 
-all: vet fmt-check api-check build test
+all: vet fmt-check api-check build test docs-check
 
 vet:
 	$(GO) vet ./...
@@ -31,7 +31,7 @@ test:
 race:
 	$(GO) test -race -short ./...
 
-# One pass over every paper benchmark; see DESIGN.md §5 for the index.
+# One pass over every paper benchmark; see DESIGN.md §6 for the index.
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .
 
@@ -49,6 +49,20 @@ FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -fuzz=FuzzParseBLIF -fuzztime=$(FUZZTIME) ./internal/blif
 	$(GO) test -fuzz=FuzzParseBench -fuzztime=$(FUZZTIME) ./internal/bench
+
+# Docs gate: vet the service packages and run the markdown link + flag
+# checkers over README/DESIGN/EXPERIMENTS (docs_test.go).
+docs-check:
+	$(GO) vet ./rapids/... ./cmd/rapidsd
+	$(GO) test -run 'TestDoc' -count=1 .
+
+# End-to-end service smoke under the race detector: boots the real
+# rapidsd binary, submits a job, streams SSE, asserts Result equality
+# with a direct facade run, takes a cache hit, cancels mid-job
+# (best-so-far), checks goroutine hygiene, and drains on SIGTERM.
+serve-smoke:
+	$(GO) test -race -count=1 -run 'TestServeSmoke' -v ./cmd/rapidsd
+	$(GO) test -race -count=1 -run 'TestCancelMidJob|TestNoGoroutineLeaks|TestGracefulDrain' ./rapids/server
 
 # Coverage profile + per-function summary (cover.out is the CI artifact).
 cover:

@@ -1,5 +1,5 @@
 // Benchmarks regenerating the paper's evaluation: one benchmark per table
-// or figure (see DESIGN.md §5 for the experiment index).
+// or figure (see DESIGN.md §6 for the experiment index).
 //
 //	BenchmarkTable1/<ckt>   — full Table 1 rows: place + gsg/GS/gsg+GS,
 //	                          with delay/area/coverage metrics reported.

@@ -1,0 +1,95 @@
+// Command rapidsd is the batch-optimization daemon: the rapids/server
+// HTTP/JSON service (bounded job queue, worker pool of
+// Circuit.Optimize runs, content-hash result cache, SSE progress
+// streams) behind a plain net/http listener with graceful
+// signal-driven drain.
+//
+// Usage:
+//
+//	rapidsd [-addr :8347] [-opt-workers N] [-queue N] [-cache N]
+//	        [-drain-timeout 30s] [-v]
+//
+// Submit a job and read it back:
+//
+//	curl -s localhost:8347/v1/jobs -d '{"generate":"alu2","options":{"strategy":"gsg+GS"}}'
+//	curl -s localhost:8347/v1/jobs/<id>
+//	curl -sN localhost:8347/v1/jobs/<id>/events        # SSE stream
+//	curl -s -X DELETE localhost:8347/v1/jobs/<id>      # cancel, keep best-so-far
+//
+// On SIGINT/SIGTERM the daemon stops accepting work, drains queued and
+// running jobs, and — past -drain-timeout — cancels stragglers, which
+// finish with best-so-far results under the facade's anytime contract.
+// See DESIGN.md §5 for the service architecture.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/rapids/server"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8347", "listen address (host:port; port 0 picks a free port)")
+		workers = flag.Int("opt-workers", 1, "concurrent optimization runs (each already parallelizes scoring across GOMAXPROCS)")
+		queue   = flag.Int("queue", 16, "job queue capacity; a full queue rejects submissions with 503")
+		cache   = flag.Int("cache", 64, "result cache entries (negative disables caching)")
+		drain   = flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on shutdown; running jobs are cancelled past it")
+		verbose = flag.Bool("v", false, "log job life-cycle transitions")
+	)
+	flag.Parse()
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+	log.SetPrefix("rapidsd: ")
+
+	cfg := server.Config{Workers: *workers, QueueCap: *queue, CacheCap: *cache}
+	if *verbose {
+		cfg.Logf = log.Printf
+	}
+	srv := server.New(cfg)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	// The parseable line smoke tests and scripts key on; with port 0
+	// it is the only way to learn the bound address.
+	log.Printf("listening on %s", ln.Addr())
+
+	httpSrv := &http.Server{Handler: srv}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		log.Fatalf("serve: %v", err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("signal received, draining (budget %s)", *drain)
+
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Stop the listener first so no submission can slip in behind the
+	// draining flag, then drain the job queue.
+	if err := httpSrv.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := srv.Shutdown(dctx); err != nil {
+		log.Printf("drain incomplete: %v (running jobs cancelled, best-so-far results kept)", err)
+		fmt.Fprintln(os.Stderr, "rapidsd: stopped")
+		os.Exit(1)
+	}
+	log.Printf("drained, bye")
+}

@@ -1,0 +1,326 @@
+package main
+
+// TestServeSmoke is `make serve-smoke`: it builds the real rapidsd
+// binary (with -race), boots it on a free port, and drives the whole
+// service contract over actual HTTP — submit, SSE stream, Result
+// equality with a direct in-process facade run, cache hit on
+// resubmission, cancel-mid-job with a best-so-far result, daemon-side
+// goroutine hygiene, and a graceful SIGTERM drain.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/rapids"
+	"repro/rapids/server"
+)
+
+// daemon is one running rapidsd process under test.
+type daemon struct {
+	cmd    *exec.Cmd
+	base   string // http://127.0.0.1:port
+	stderr *os.File
+}
+
+func startDaemon(t *testing.T) *daemon {
+	t.Helper()
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "rapidsd")
+	build := exec.Command("go", "build", "-race", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building rapidsd: %v\n%s", err, out)
+	}
+
+	logPath := filepath.Join(dir, "rapidsd.log")
+	logFile, err := os.Create(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-v", "-drain-timeout", "30s")
+	cmd.Stderr = logFile
+	cmd.Stdout = logFile
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting rapidsd: %v", err)
+	}
+	d := &daemon{cmd: cmd, stderr: logFile}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+		logFile.Close()
+		if t.Failed() {
+			if log, err := os.ReadFile(logPath); err == nil {
+				t.Logf("rapidsd log:\n%s", log)
+			}
+		}
+	})
+
+	// The daemon logs "listening on 127.0.0.1:PORT" once bound.
+	deadline := time.Now().Add(30 * time.Second)
+	for d.base == "" {
+		if time.Now().After(deadline) {
+			t.Fatal("rapidsd never reported its listen address")
+		}
+		data, err := os.ReadFile(logPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, line := range strings.Split(string(data), "\n") {
+			if i := strings.Index(line, "listening on "); i >= 0 {
+				d.base = "http://" + strings.TrimSpace(line[i+len("listening on "):])
+				break
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return d
+}
+
+func (d *daemon) post(t *testing.T, req server.JobRequest) (server.JobStatus, int) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(d.base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st server.JobStatus
+	if resp.StatusCode == http.StatusAccepted || resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st, resp.StatusCode
+}
+
+func (d *daemon) status(t *testing.T, id string) server.JobStatus {
+	t.Helper()
+	resp, err := http.Get(d.base + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st server.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func (d *daemon) waitTerminal(t *testing.T, id string) server.JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		st := d.status(t, id)
+		if st.State != server.StateQueued && st.State != server.StateRunning {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s", id, st.State)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func (d *daemon) goroutines(t *testing.T) int {
+	t.Helper()
+	resp, err := http.Get(d.base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h struct {
+		Goroutines int `json:"goroutines"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	return h.Goroutines
+}
+
+func TestServeSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots a daemon and optimizes real circuits")
+	}
+	d := startDaemon(t)
+	verify := 8
+
+	// Daemon-side goroutine baseline, before any job ran.
+	baseline := d.goroutines(t)
+
+	// 1. Submit a job and follow its SSE stream to completion.
+	req := server.JobRequest{
+		Generate: "c432",
+		Place:    &server.PlaceSpec{Seed: 1, Moves: 5},
+		Options:  rapids.Spec{Iters: 2, Workers: 1, VerifyRounds: &verify},
+	}
+	st, code := d.post(t, req)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: want 202, got %d", code)
+	}
+
+	resp, err := http.Get(d.base + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds, _ := consumeSSE(t, resp.Body, nil)
+	resp.Body.Close()
+	if want := []string{"start", "phase", "verify", "done", "end"}; !reflect.DeepEqual(kinds, want) {
+		t.Fatalf("SSE kinds %v, want %v", kinds, want)
+	}
+
+	final := d.waitTerminal(t, st.ID)
+	if final.State != server.StateDone || final.Result == nil {
+		t.Fatalf("job: %+v", final)
+	}
+	if final.Result.Verification != rapids.VerifyPassed {
+		t.Fatalf("verification: %v", final.Result.Verification)
+	}
+
+	// 2. The daemon's Result equals a direct facade run: delay, area,
+	// and committed moves, byte for byte.
+	c, err := rapids.Generate("c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Place(rapids.PlaceSeed(1), rapids.PlaceMoves(5))
+	want, err := c.Optimize(context.Background(),
+		rapids.WithIters(2), rapids.WithWorkers(1), rapids.WithVerification(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := final.Result
+	if got.InitialDelayNS != want.InitialDelayNS || got.FinalDelayNS != want.FinalDelayNS {
+		t.Fatalf("delay mismatch: daemon %.12f->%.12f, direct %.12f->%.12f",
+			got.InitialDelayNS, got.FinalDelayNS, want.InitialDelayNS, want.FinalDelayNS)
+	}
+	if got.InitialAreaUM2 != want.InitialAreaUM2 || got.FinalAreaUM2 != want.FinalAreaUM2 {
+		t.Fatalf("area mismatch: daemon %+v, direct %+v", got, want)
+	}
+	if got.Swaps != want.Swaps || got.Resizes != want.Resizes || got.Iterations != want.Iterations {
+		t.Fatalf("moves mismatch: daemon %d/%d/%d, direct %d/%d/%d",
+			got.Swaps, got.Resizes, got.Iterations, want.Swaps, want.Resizes, want.Iterations)
+	}
+
+	// 3. Resubmission is a cache hit: 200, born done, identical result.
+	st2, code2 := d.post(t, req)
+	if code2 != http.StatusOK || !st2.Cached || st2.State != server.StateDone {
+		t.Fatalf("resubmission not a cache hit: code %d, %+v", code2, st2)
+	}
+	if st2.Result.FinalDelayNS != got.FinalDelayNS || st2.Result.Swaps != got.Swaps {
+		t.Fatalf("cached result differs: %+v vs %+v", st2.Result, got)
+	}
+
+	// 4. Cancel mid-job: best-so-far result, Interrupted, never slower.
+	slow := server.JobRequest{
+		Generate: "alu2",
+		Place:    &server.PlaceSpec{Moves: 5},
+		Options:  rapids.Spec{Iters: 12, Workers: 1, VerifyRounds: &verify},
+	}
+	st3, code3 := d.post(t, slow)
+	if code3 != http.StatusAccepted {
+		t.Fatalf("submit slow: %d", code3)
+	}
+	eresp, err := http.Get(d.base + "/v1/jobs/" + st3.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancelled := false
+	consumeSSE(t, eresp.Body, func(kind string) bool {
+		if kind == "phase" && !cancelled {
+			cancelled = true
+			del, _ := http.NewRequest(http.MethodDelete, d.base+"/v1/jobs/"+st3.ID, nil)
+			dresp, err := http.DefaultClient.Do(del)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dresp.Body.Close()
+		}
+		return true
+	})
+	eresp.Body.Close()
+	if !cancelled {
+		t.Fatal("run finished before a phase event; cancel not exercised")
+	}
+	fin3 := d.waitTerminal(t, st3.ID)
+	if fin3.State != server.StateCanceled || fin3.Result == nil || !fin3.Result.Interrupted {
+		t.Fatalf("cancel-mid-job: %+v", fin3)
+	}
+	if fin3.Result.FinalDelayNS > fin3.Result.InitialDelayNS+1e-9 {
+		t.Fatalf("best-so-far slower than input: %+v", fin3.Result)
+	}
+
+	// 5. Daemon-side goroutine hygiene: after runs, a cancel, and
+	// disconnected SSE clients, the count settles back to baseline
+	// (small slack for idle HTTP conns being torn down).
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if n := d.goroutines(t); n <= baseline+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon goroutines did not settle: baseline %d, now %d", baseline, d.goroutines(t))
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	// 6. Graceful drain on SIGTERM.
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- d.cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("rapidsd exited non-zero after SIGTERM: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		d.cmd.Process.Kill()
+		t.Fatal("rapidsd did not drain within 60s of SIGTERM")
+	}
+}
+
+// consumeSSE reads a stream to its "end" event, returning the
+// deduplicated kind sequence. onKind (nil ok) sees every raw event and
+// may return false to stop early.
+func consumeSSE(t *testing.T, body io.Reader, onKind func(string) bool) ([]string, error) {
+	t.Helper()
+	var kinds []string
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "event: ") {
+			continue
+		}
+		kind := strings.TrimPrefix(line, "event: ")
+		if len(kinds) == 0 || kinds[len(kinds)-1] != kind {
+			kinds = append(kinds, kind)
+		}
+		if onKind != nil && !onKind(kind) {
+			return kinds, nil
+		}
+		if kind == "end" {
+			return kinds, nil
+		}
+	}
+	return kinds, fmt.Errorf("stream ended without an end event: %v", kinds)
+}

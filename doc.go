@@ -7,6 +7,9 @@
 // supergate-based rewiring and/or gate sizing under a context with
 // typed progress events — see rapids' package documentation and
 // DESIGN.md §4 for the API surface and its stability guarantees.
+// rapids/server lifts that facade into an HTTP/JSON batch-optimization
+// service (bounded job queue, worker pool, content-hash result cache,
+// SSE progress streams; DESIGN.md §5) with cmd/rapidsd as its daemon.
 //
 // The implementation lives under internal/: the generalized implication
 // supergate theory (internal/supergate), symmetry-based rewiring
@@ -18,7 +21,7 @@
 // interconnect, incremental static timing analysis, bit-parallel
 // simulation, and ATPG-style verification oracles. Command-line front
 // ends are under cmd/ and runnable facade-only walk-throughs under
-// examples/.
+// examples/; README.md is the guided tour.
 //
 // bench_test.go in this directory regenerates every table and figure of
 // the paper's evaluation; see DESIGN.md and EXPERIMENTS.md.

@@ -1,0 +1,229 @@
+package harness
+
+// Batch submission mode: the load-testing client for rapidsd. Where
+// RunAll drives the optimizers in-process, RunBatch drives a *running
+// service* — submitting one job per benchmark over HTTP with bounded
+// concurrency and polling each to completion — so queueing,
+// backpressure, caching, and drain behavior can be exercised at
+// Table 1 scale (EXPERIMENTS.md "Load-testing rapidsd").
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/rapids"
+	"repro/rapids/server"
+)
+
+// BatchConfig drives one RunBatch load-test run.
+type BatchConfig struct {
+	// BaseURL locates the rapidsd instance (e.g. "http://localhost:8347").
+	BaseURL string
+	// Benchmarks lists the circuits to submit; nil means all of Table 1.
+	Benchmarks []string
+	// PlaceSeed and PlaceMoves mirror Config (defaults 1 and 30).
+	PlaceSeed  int64
+	PlaceMoves int
+	// Spec is the option set submitted with every job.
+	Spec rapids.Spec
+	// Concurrency bounds the in-flight submissions (default 4). The
+	// server applies its own backpressure on top: a 503 (full queue)
+	// is retried with backoff until the context expires.
+	Concurrency int
+	// PollInterval is the status poll period (default 50ms).
+	PollInterval time.Duration
+	// Client is the HTTP client (default http.DefaultClient).
+	Client *http.Client
+}
+
+func (c *BatchConfig) fill() {
+	if c.Benchmarks == nil {
+		c.Benchmarks = rapids.Benchmarks()
+	}
+	if c.PlaceSeed == 0 {
+		c.PlaceSeed = 1
+	}
+	if c.PlaceMoves == 0 {
+		c.PlaceMoves = 30
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 4
+	}
+	if c.PollInterval <= 0 {
+		c.PollInterval = 50 * time.Millisecond
+	}
+	if c.Client == nil {
+		c.Client = http.DefaultClient
+	}
+}
+
+// BatchRow is the outcome of one submitted job.
+type BatchRow struct {
+	Name   string
+	JobID  string
+	State  string // terminal server.State*
+	Cached bool
+	// Result is the service's structured result (nil when the job
+	// failed before optimizing).
+	Result *rapids.Result
+	// Elapsed is the client-observed submit-to-terminal latency —
+	// queueing included, which is the point of a load test.
+	Elapsed time.Duration
+	// Err records a transport or job-level failure.
+	Err string
+}
+
+// RunBatch submits every configured benchmark to a running rapidsd and
+// waits for all of them, returning rows in benchmark order. The
+// returned error is non-nil only for setup-level failures (an
+// unreachable server, a cancelled context); per-job failures land in
+// BatchRow.Err so a long load test keeps going.
+func RunBatch(ctx context.Context, cfg BatchConfig) ([]BatchRow, error) {
+	cfg.fill()
+	if cfg.BaseURL == "" {
+		return nil, fmt.Errorf("harness: BatchConfig.BaseURL is required")
+	}
+
+	rows := make([]BatchRow, len(cfg.Benchmarks))
+	sem := make(chan struct{}, cfg.Concurrency)
+	done := make(chan int, len(cfg.Benchmarks))
+	for i, name := range cfg.Benchmarks {
+		go func(i int, name string) {
+			defer func() { done <- i }()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			rows[i] = runOne(ctx, cfg, name)
+		}(i, name)
+	}
+	// Every worker is joined even on cancellation — runOne observes
+	// ctx in all of its waits, so this cannot hang, and returning
+	// earlier would race the rows[i] writes.
+	for range cfg.Benchmarks {
+		<-done
+	}
+	return rows, ctx.Err()
+}
+
+func runOne(ctx context.Context, cfg BatchConfig, name string) BatchRow {
+	row := BatchRow{Name: name}
+	start := time.Now()
+
+	req := server.JobRequest{
+		Generate: name,
+		Place:    &server.PlaceSpec{Seed: cfg.PlaceSeed, Moves: cfg.PlaceMoves},
+		Options:  cfg.Spec,
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		row.Err = err.Error()
+		return row
+	}
+
+	// Submit, riding out 503 backpressure with backoff.
+	var st server.JobStatus
+	backoff := cfg.PollInterval
+	for {
+		st, err = postJob(ctx, cfg.Client, cfg.BaseURL, body)
+		if err == nil {
+			break
+		}
+		if ctx.Err() != nil {
+			row.Err = ctx.Err().Error()
+			return row
+		}
+		if !isBackpressure(err) {
+			row.Err = err.Error()
+			return row
+		}
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			row.Err = ctx.Err().Error()
+			return row
+		}
+		if backoff < time.Second {
+			backoff *= 2
+		}
+	}
+	row.JobID = st.ID
+	row.Cached = st.Cached
+
+	// Poll to a terminal state.
+	for st.State == server.StateQueued || st.State == server.StateRunning {
+		select {
+		case <-time.After(cfg.PollInterval):
+		case <-ctx.Done():
+			row.Err = ctx.Err().Error()
+			return row
+		}
+		st, err = getJob(ctx, cfg.Client, cfg.BaseURL, row.JobID)
+		if err != nil {
+			row.Err = err.Error()
+			return row
+		}
+	}
+	row.State = st.State
+	row.Result = st.Result
+	row.Elapsed = time.Since(start)
+	if st.State != server.StateDone {
+		row.Err = st.Error
+	}
+	return row
+}
+
+// errBackpressure tags a 503 so the submit loop can retry it.
+type errBackpressure struct{ msg string }
+
+func (e errBackpressure) Error() string { return e.msg }
+
+func isBackpressure(err error) bool {
+	_, ok := err.(errBackpressure)
+	return ok
+}
+
+func postJob(ctx context.Context, client *http.Client, base string, body []byte) (server.JobStatus, error) {
+	var st server.JobStatus
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return st, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(hreq)
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusAccepted, http.StatusOK:
+		return st, json.NewDecoder(resp.Body).Decode(&st)
+	case http.StatusServiceUnavailable:
+		b, _ := io.ReadAll(resp.Body)
+		return st, errBackpressure{fmt.Sprintf("503: %s", bytes.TrimSpace(b))}
+	default:
+		b, _ := io.ReadAll(resp.Body)
+		return st, fmt.Errorf("submit: %d: %s", resp.StatusCode, bytes.TrimSpace(b))
+	}
+}
+
+func getJob(ctx context.Context, client *http.Client, base, id string) (server.JobStatus, error) {
+	var st server.JobStatus
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return st, err
+	}
+	resp, err := client.Do(hreq)
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		return st, fmt.Errorf("status %s: %d: %s", id, resp.StatusCode, bytes.TrimSpace(b))
+	}
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}

@@ -1,0 +1,115 @@
+package harness
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/rapids"
+	"repro/rapids/server"
+)
+
+// TestRunBatch drives the batch load-test client against an in-process
+// service instance: all jobs complete and verify, results match the
+// in-process harness flow, and a resubmitted batch is served entirely
+// from the cache.
+func TestRunBatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("optimizes several circuits")
+	}
+	srv := server.New(server.Config{Workers: 2, QueueCap: 2})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	verify := 8
+	cfg := BatchConfig{
+		BaseURL:    ts.URL,
+		Benchmarks: []string{"c432", "c499", "alu2"},
+		PlaceMoves: 5,
+		// Concurrency above QueueCap+Workers so the 503-retry path is
+		// exercised, not just possible.
+		Concurrency:  6,
+		Spec:         rapids.Spec{Iters: 2, Workers: 1, VerifyRounds: &verify},
+		PollInterval: 5 * time.Millisecond,
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	rows, err := RunBatch(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows: %+v", rows)
+	}
+	for i, row := range rows {
+		if row.Name != cfg.Benchmarks[i] {
+			t.Fatalf("row %d out of order: %+v", i, row)
+		}
+		if row.State != server.StateDone || row.Err != "" || row.Result == nil {
+			t.Fatalf("job %s did not complete: %+v", row.Name, row)
+		}
+		if row.Result.Verification != rapids.VerifyPassed {
+			t.Fatalf("job %s: verification %v", row.Name, row.Result.Verification)
+		}
+		if row.Cached {
+			t.Fatalf("first batch must not hit the cache: %+v", row)
+		}
+		if row.Elapsed <= 0 {
+			t.Fatalf("job %s: no latency recorded", row.Name)
+		}
+	}
+
+	// The service result equals the in-process facade flow.
+	c, err := rapids.Generate("c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Place(rapids.PlaceSeed(1), rapids.PlaceMoves(5))
+	want, err := c.Optimize(context.Background(),
+		rapids.WithIters(2), rapids.WithWorkers(1), rapids.WithVerification(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rows[0].Result
+	if got.FinalDelayNS != want.FinalDelayNS || got.Swaps != want.Swaps || got.Resizes != want.Resizes {
+		t.Fatalf("batch result diverged from direct run:\ndirect %+v\nbatch  %+v", want, got)
+	}
+
+	// Resubmission: every job is a cache hit with identical results.
+	again, err := RunBatch(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range again {
+		if !row.Cached || row.State != server.StateDone {
+			t.Fatalf("resubmitted job %s not served from cache: %+v", row.Name, row)
+		}
+		if row.Result.FinalDelayNS != rows[i].Result.FinalDelayNS {
+			t.Fatalf("cached result differs for %s", row.Name)
+		}
+	}
+}
+
+// TestRunBatchSetupErrors: missing URL and cancelled contexts surface
+// as errors, not hangs.
+func TestRunBatchSetupErrors(t *testing.T) {
+	if _, err := RunBatch(context.Background(), BatchConfig{}); err == nil {
+		t.Fatal("missing BaseURL must error")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rows, err := RunBatch(ctx, BatchConfig{
+		BaseURL:    "http://127.0.0.1:1", // nothing listens here
+		Benchmarks: []string{"c432"},
+	})
+	if err == nil && rows[0].Err == "" {
+		t.Fatal("cancelled batch against a dead server must fail")
+	}
+}

@@ -1,0 +1,196 @@
+package rapids
+
+// Option/JSON round-tripping: every With* option must survive
+// capture (NewSpec) → JSON → decode → re-expansion (Spec.Options)
+// without changing the configuration Optimize would see. The
+// end-to-end half of this contract — byte-identical results through
+// the server payload — lives in rapids/server.
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// applyOpts expands an option list onto a fresh default config.
+func applyOpts(opts ...Option) optConfig {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		if o != nil {
+			o(&cfg)
+		}
+	}
+	return cfg
+}
+
+// canonConfig maps a config onto its documented semantics: every
+// non-positive knob means "default/disabled" (regions additionally
+// treats 1 as whole-network), and progress has no wire form.
+func canonConfig(c optConfig) optConfig {
+	c.progress = nil
+	c.clock = max(c.clock, 0)
+	c.iters = max(c.iters, 0)
+	c.workers = max(c.workers, 0)
+	c.window = max(c.window, 0)
+	if c.regions <= 1 {
+		c.regions = 0
+	}
+	c.verifyRounds = max(c.verifyRounds, 0)
+	return c
+}
+
+// sameConfig compares the behavior two configs select.
+func sameConfig(a, b optConfig) bool {
+	return reflect.DeepEqual(canonConfig(a), canonConfig(b))
+}
+
+func TestSpecRoundTripsEveryOption(t *testing.T) {
+	cases := []struct {
+		label string
+		opts  []Option
+	}{
+		{"defaults", nil},
+		{"clock", []Option{WithClock(3.5)}},
+		{"strategy-gsg", []Option{WithStrategy(Gsg)}},
+		{"strategy-GS", []Option{WithStrategy(GS)}},
+		{"strategy-default-explicit", []Option{WithStrategy(GsgGS)}},
+		{"iters", []Option{WithIters(3)}},
+		{"workers", []Option{WithWorkers(2)}},
+		{"window", []Option{WithWindow(0.01)}},
+		{"regions", []Option{WithRegions(4)}},
+		{"verify-off", []Option{WithVerification(0)}},
+		{"verify-neg", []Option{WithVerification(-1)}},
+		{"verify-custom", []Option{WithVerification(7)}},
+		{"verify-default-explicit", []Option{WithVerification(DefaultVerifyRounds)}},
+		{"everything", []Option{
+			WithClock(2.25), WithStrategy(GS), WithIters(5), WithWorkers(3),
+			WithWindow(0.005), WithRegions(8), WithVerification(4),
+			WithProgress(func(Event) {}),
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.label, func(t *testing.T) {
+			want := applyOpts(tc.opts...)
+			spec := NewSpec(tc.opts...)
+
+			wire, err := json.Marshal(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var decoded Spec
+			if err := json.Unmarshal(wire, &decoded); err != nil {
+				t.Fatalf("decode %s: %v", wire, err)
+			}
+
+			got := applyOpts(decoded.Options()...)
+			if !sameConfig(want, got) {
+				t.Fatalf("config changed across the wire:\nwant %+v\ngot  %+v\nwire %s", want, got, wire)
+			}
+
+			// Normalization fixpoint: re-capturing the expanded options
+			// reproduces the canonical spec exactly (the cache-key
+			// property rapids/server relies on).
+			if again := NewSpec(decoded.Options()...); !reflect.DeepEqual(again, NewSpec(tc.opts...)) {
+				t.Fatalf("NewSpec not a fixpoint: %+v vs %+v", again, NewSpec(tc.opts...))
+			}
+		})
+	}
+}
+
+// TestNewSpecCanonicalizesEquivalentSpellings: spellings that select
+// the same behavior must map to one spec — the property that keeps the
+// server's content-hash cache from fragmenting.
+func TestNewSpecCanonicalizesEquivalentSpellings(t *testing.T) {
+	equiv := []struct {
+		label string
+		a, b  []Option
+	}{
+		{"verify off", []Option{WithVerification(-1)}, []Option{WithVerification(0)}},
+		{"whole-network", []Option{WithRegions(1)}, []Option{WithRegions(0)}},
+		{"regions unset", []Option{WithRegions(1)}, nil},
+		{"clock unset", []Option{WithClock(-2)}, nil},
+		{"window unset", []Option{WithWindow(-0.5)}, nil},
+		{"iters default", []Option{WithIters(-3)}, []Option{WithIters(0)}},
+		{"workers default", []Option{WithWorkers(-1)}, nil},
+	}
+	for _, e := range equiv {
+		if sa, sb := NewSpec(e.a...), NewSpec(e.b...); !reflect.DeepEqual(sa, sb) {
+			t.Errorf("%s: %+v vs %+v must share a canonical spec", e.label, sa, sb)
+		}
+	}
+}
+
+func TestSpecZeroValueIsEmptyJSON(t *testing.T) {
+	b, err := json.Marshal(Spec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "{}" {
+		t.Fatalf("zero spec must encode as {}: got %s", b)
+	}
+}
+
+func TestEnumJSONRoundTrips(t *testing.T) {
+	for _, s := range []Strategy{Gsg, GS, GsgGS} {
+		b, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Strategy
+		if err := json.Unmarshal(b, &back); err != nil || back != s {
+			t.Fatalf("strategy %v -> %s -> %v (%v)", s, b, back, err)
+		}
+	}
+	for _, v := range []Verification{VerifyDisabled, VerifyPassed, VerifyFailed, VerifySkipped} {
+		b, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Verification
+		if err := json.Unmarshal(b, &back); err != nil || back != v {
+			t.Fatalf("verification %v -> %s -> %v (%v)", v, b, back, err)
+		}
+	}
+	for _, k := range []EventKind{EventStart, EventPhase, EventVerify, EventDone} {
+		b, err := json.Marshal(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back EventKind
+		if err := json.Unmarshal(b, &back); err != nil || back != k {
+			t.Fatalf("kind %v -> %s -> %v (%v)", k, b, back, err)
+		}
+	}
+	var bad Strategy
+	if err := json.Unmarshal([]byte(`"bogus"`), &bad); err == nil {
+		t.Fatal("unknown strategy string must not decode")
+	}
+}
+
+// TestResultJSONRoundTrips pins the Result wire contract: Go field
+// names, enums as strings, Elapsed as integer nanoseconds.
+func TestResultJSONRoundTrips(t *testing.T) {
+	in := Result{
+		Strategy:       GS,
+		InitialDelayNS: 10.5, FinalDelayNS: 9.25,
+		InitialAreaUM2: 100, FinalAreaUM2: 98,
+		Swaps: 3, Resizes: 4, Iterations: 2,
+		CoveragePct: 27.5, MaxSupergateInputs: 9, Redundancies: 1,
+		Timer:        TimerStats{FullAnalyses: 2, IncrementalUpdates: 17, AvgDirty: 3.5, MaxDirty: 12},
+		Extractor:    ExtractorStats{FullExtractions: 1, IncrementalFlushes: 6, Reextracted: 40},
+		Evals:        EvalStats{Phases: 5, SwapSites: 10, ResizeSites: 20, SwapEvals: 30, ResizeEvals: 40, Moves: 7},
+		Verification: VerifyPassed, VerifyRounds: 16,
+		Elapsed: 1500000,
+	}
+	b, err := json.Marshal(&in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Result
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("result changed across the wire:\nin  %+v\nout %+v\nwire %s", in, out, b)
+	}
+}

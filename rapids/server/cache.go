@@ -1,0 +1,129 @@
+package server
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"sync"
+
+	"repro/rapids"
+)
+
+// cacheKey digests a request into the content hash the result cache is
+// indexed by: the circuit source (benchmark name, or netlist text plus
+// parsed format), the default-filled placement spec, and the
+// *canonical* option spec (NewSpec of the expanded options, so
+// differently-spelled defaults collapse). Workers is excluded: results
+// are bit-identical at every worker count (DESIGN.md §3a), so scoring
+// parallelism must not fragment the cache. Everything else — clock,
+// strategy, iters, window, regions, verify rounds — changes the Result
+// and is part of the key.
+func cacheKey(req JobRequest, format rapids.Format) string {
+	spec := rapids.NewSpec(req.Options.Options()...)
+	spec.Workers = 0
+	var place PlaceSpec
+	if req.Place != nil {
+		place = *req.Place
+	}
+	canon := struct {
+		Generate string      `json:"generate,omitempty"`
+		Netlist  string      `json:"netlist,omitempty"`
+		Format   string      `json:"format,omitempty"`
+		Place    PlaceSpec   `json:"place"`
+		Options  rapids.Spec `json:"options"`
+	}{
+		Generate: req.Generate,
+		Netlist:  req.Netlist,
+		Place:    place.withDefaults(),
+		Options:  spec,
+	}
+	if req.Netlist != "" {
+		// Auto parses as BLIF for inline payloads (no file name to
+		// dispatch on), so the two spellings share one key.
+		if format == rapids.FormatAuto {
+			format = rapids.FormatBLIF
+		}
+		canon.Format = format.String()
+	}
+	b, err := json.Marshal(canon)
+	if err != nil {
+		// Only unmarshalable types could fail here, and canon has none.
+		panic("server: cache key encoding: " + err.Error())
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// cacheEntry is one cached run: the result plus the identity fields a
+// born-done job needs for its status and synthesized EventDone.
+type cacheEntry struct {
+	circuit  string
+	gates    int
+	strategy rapids.Strategy
+	result   *rapids.Result
+}
+
+// resultCache is a small LRU over content-hash keys. Entries are
+// immutable once inserted (the Result of a finished run is never
+// written again), so hits can share the pointer.
+type resultCache struct {
+	mu  sync.Mutex
+	cap int
+	m   map[string]*list.Element
+	l   *list.List // front = most recently used; values are *lruItem
+}
+
+type lruItem struct {
+	key   string
+	entry *cacheEntry
+}
+
+func newResultCache(capacity int) *resultCache {
+	if capacity <= 0 {
+		return nil // caching disabled; nil methods below are safe
+	}
+	return &resultCache{cap: capacity, m: make(map[string]*list.Element), l: list.New()}
+}
+
+func (c *resultCache) get(key string) (*cacheEntry, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.l.MoveToFront(el)
+	return el.Value.(*lruItem).entry, true
+}
+
+func (c *resultCache) put(key string, e *cacheEntry) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		el.Value.(*lruItem).entry = e
+		c.l.MoveToFront(el)
+		return
+	}
+	c.m[key] = c.l.PushFront(&lruItem{key: key, entry: e})
+	for c.l.Len() > c.cap {
+		oldest := c.l.Back()
+		c.l.Remove(oldest)
+		delete(c.m, oldest.Value.(*lruItem).key)
+	}
+}
+
+func (c *resultCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.l.Len()
+}

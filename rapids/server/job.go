@@ -1,0 +1,171 @@
+package server
+
+import (
+	"context"
+	"sync"
+
+	"repro/rapids"
+)
+
+// Job states, as reported in JobStatus.State. The life cycle is
+// queued → running → one of done / canceled / failed; cache hits are
+// born done.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"     // Result present; for interrupted runs see Result.Interrupted
+	StateCanceled = "canceled" // DELETE (or shutdown deadline) stopped the run; Result holds best-so-far if it started
+	StateFailed   = "failed"   // load/parse error or verification failure; Error explains
+)
+
+// JobRequest is the POST /v1/jobs payload: exactly one circuit source
+// (Generate or Netlist), an optional placement spec, and the
+// rapids.Spec mirror of Optimize's options.
+type JobRequest struct {
+	// Generate names a built-in Table 1 benchmark (rapids.Benchmarks).
+	Generate string `json:"generate,omitempty"`
+	// Netlist is an inline netlist payload; Format selects its syntax
+	// ("auto", "blif", or "bench" — rapids.ParseFormat). Auto means
+	// BLIF here: an inline payload has no file name to dispatch on.
+	Netlist string `json:"netlist,omitempty"`
+	Format  string `json:"format,omitempty"`
+	// Place configures the placement run; nil uses the defaults
+	// (seed 1, 30 moves per cell, square die).
+	Place *PlaceSpec `json:"place,omitempty"`
+	// Options mirrors Circuit.Optimize's With* options.
+	Options rapids.Spec `json:"options"`
+}
+
+// PlaceSpec is the wire form of the Place options.
+type PlaceSpec struct {
+	Seed   int64   `json:"seed,omitempty"`
+	Moves  int     `json:"moves,omitempty"`
+	Aspect float64 `json:"aspect,omitempty"`
+}
+
+// withDefaults fills the zero values with Place's documented defaults,
+// so differently-spelled identical requests share a cache key.
+func (p PlaceSpec) withDefaults() PlaceSpec {
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	if p.Moves == 0 {
+		p.Moves = 30
+	}
+	if p.Aspect == 0 {
+		p.Aspect = 1
+	}
+	return p
+}
+
+// JobStatus is the response body of POST /v1/jobs, GET /v1/jobs/{id},
+// and DELETE /v1/jobs/{id}, and one element of GET /v1/jobs.
+type JobStatus struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	// Cached marks a job served from the result cache without a run.
+	Cached bool `json:"cached,omitempty"`
+	// Circuit and Gates identify the loaded netlist (set once the job
+	// starts; immediately for cache hits).
+	Circuit string `json:"circuit,omitempty"`
+	Gates   int    `json:"gates,omitempty"`
+	// Error explains failed (and canceled-before-start) jobs.
+	Error string `json:"error,omitempty"`
+	// Result is the structured rapids.Result once the job finished.
+	// Canceled jobs that had started carry the best-so-far result with
+	// Result.Interrupted set (the facade's anytime contract).
+	Result *rapids.Result `json:"result,omitempty"`
+}
+
+// job is the server-side state of one submission.
+type job struct {
+	id     string
+	key    string // content-hash cache key
+	req    JobRequest
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu      sync.Mutex
+	state   string
+	cached  bool
+	circuit string
+	gates   int
+	errmsg  string
+	result  *rapids.Result
+	events  []rapids.Event
+	closed  bool          // terminal: no more events will arrive
+	wake    chan struct{} // closed and replaced on every change
+}
+
+func newJob(id, key string, req JobRequest) *job {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &job{
+		id: id, key: key, req: req,
+		ctx: ctx, cancel: cancel,
+		state: StateQueued,
+		wake:  make(chan struct{}),
+	}
+}
+
+// notify wakes every waiting event subscriber. Callers hold j.mu.
+func (j *job) notify() {
+	close(j.wake)
+	j.wake = make(chan struct{})
+}
+
+func (j *job) setRunning(circuit string, gates int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = StateRunning
+	j.circuit = circuit
+	j.gates = gates
+	j.notify()
+}
+
+// appendEvent records one rapids.Event (the WithProgress sink; also
+// used to synthesize the EventDone of a cache hit).
+func (j *job) appendEvent(ev rapids.Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.events = append(j.events, ev)
+	j.notify()
+}
+
+// finish moves the job to a terminal state and closes the event stream.
+func (j *job) finish(state string, res *rapids.Result, errmsg string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = state
+	j.result = res
+	j.errmsg = errmsg
+	j.closed = true
+	j.notify()
+}
+
+// snapshot returns the events at index >= from, whether the stream is
+// closed, and a channel that is closed on the next change — the
+// subscription primitive of the SSE handler.
+func (j *job) snapshot(from int) (evs []rapids.Event, closed bool, wake <-chan struct{}) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if from < len(j.events) {
+		evs = j.events[from:len(j.events):len(j.events)]
+	}
+	return evs, j.closed, j.wake
+}
+
+func (j *job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JobStatus{
+		ID: j.id, State: j.state, Cached: j.cached,
+		Circuit: j.circuit, Gates: j.gates,
+		Error: j.errmsg, Result: j.result,
+	}
+}
+
+func (j *job) terminal() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.closed
+}

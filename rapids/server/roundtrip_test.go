@@ -1,0 +1,111 @@
+package server
+
+// The server half of the option round-trip contract (the wire-level
+// half lives in rapids/json_test.go): every With* option, encoded
+// through the HTTP job payload, must produce a Result byte-identical
+// to calling the facade directly with the literal With* options —
+// transport must not perturb the optimizer.
+
+import (
+	"context"
+	"net/http"
+	"testing"
+
+	"repro/rapids"
+)
+
+func TestEveryOptionRoundTripsThroughServerPayload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs one optimization per option")
+	}
+	strategyGS := rapids.GS
+	strategyGsg := rapids.Gsg
+	intp := func(v int) *int { return &v }
+
+	cases := []struct {
+		label string
+		spec  rapids.Spec
+		opts  []rapids.Option // the literal facade spelling of spec
+	}{
+		{
+			"defaults",
+			rapids.Spec{Iters: 2, Workers: 1},
+			[]rapids.Option{rapids.WithIters(2), rapids.WithWorkers(1)},
+		},
+		{
+			"clock",
+			rapids.Spec{ClockNS: 5, Iters: 2, Workers: 1},
+			[]rapids.Option{rapids.WithClock(5), rapids.WithIters(2), rapids.WithWorkers(1)},
+		},
+		{
+			"strategy-gsg",
+			rapids.Spec{Strategy: &strategyGsg, Iters: 2, Workers: 1},
+			[]rapids.Option{rapids.WithStrategy(rapids.Gsg), rapids.WithIters(2), rapids.WithWorkers(1)},
+		},
+		{
+			"strategy-GS",
+			rapids.Spec{Strategy: &strategyGS, Iters: 2, Workers: 1},
+			[]rapids.Option{rapids.WithStrategy(rapids.GS), rapids.WithIters(2), rapids.WithWorkers(1)},
+		},
+		{
+			"window",
+			rapids.Spec{Window: 0.01, Iters: 2, Workers: 1},
+			[]rapids.Option{rapids.WithWindow(0.01), rapids.WithIters(2), rapids.WithWorkers(1)},
+		},
+		{
+			"regions",
+			rapids.Spec{Regions: 3, Iters: 2, Workers: 1},
+			[]rapids.Option{rapids.WithRegions(3), rapids.WithIters(2), rapids.WithWorkers(1)},
+		},
+		{
+			"verify-off",
+			rapids.Spec{Iters: 2, Workers: 1, VerifyRounds: intp(0)},
+			[]rapids.Option{rapids.WithIters(2), rapids.WithWorkers(1), rapids.WithVerification(0)},
+		},
+		{
+			"verify-custom",
+			rapids.Spec{Iters: 2, Workers: 1, VerifyRounds: intp(5)},
+			[]rapids.Option{rapids.WithIters(2), rapids.WithWorkers(1), rapids.WithVerification(5)},
+		},
+		{
+			"everything",
+			rapids.Spec{ClockNS: 8, Strategy: &strategyGS, Iters: 3, Workers: 2,
+				Window: 0.02, Regions: 2, VerifyRounds: intp(6)},
+			[]rapids.Option{rapids.WithClock(8), rapids.WithStrategy(rapids.GS),
+				rapids.WithIters(3), rapids.WithWorkers(2), rapids.WithWindow(0.02),
+				rapids.WithRegions(2), rapids.WithVerification(6)},
+		},
+	}
+
+	_, ts := startServer(t, Config{QueueCap: len(cases)})
+	for _, tc := range cases {
+		t.Run(tc.label, func(t *testing.T) {
+			st, code := submit(t, ts.URL, JobRequest{
+				Generate: "c432",
+				Place:    &PlaceSpec{Seed: 1, Moves: 5},
+				Options:  tc.spec,
+			})
+			if code != http.StatusAccepted {
+				t.Fatalf("submit: %d", code)
+			}
+			final := waitTerminal(t, ts.URL, st.ID)
+			if final.State != StateDone || final.Result == nil {
+				t.Fatalf("job: %+v", final)
+			}
+
+			c, err := rapids.Generate("c432")
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.Place(rapids.PlaceSeed(1), rapids.PlaceMoves(5))
+			want, err := c.Optimize(context.Background(), tc.opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameResult(want, final.Result) {
+				t.Fatalf("option set %q perturbed by the wire:\ndirect %+v\nserver %+v",
+					tc.label, want, final.Result)
+			}
+		})
+	}
+}

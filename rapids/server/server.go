@@ -1,0 +1,481 @@
+// Package server implements the rapidsd batch-optimization service on
+// top of the rapids facade: an HTTP/JSON job API backed by a
+// bounded-capacity queue, a worker pool of Circuit.Optimize runs, a
+// content-hash result cache, and per-job Server-Sent-Event progress
+// streams riding the facade's typed Event feed.
+//
+// Endpoints:
+//
+//	POST   /v1/jobs             submit (202; 200 on a cache hit; 503 when the queue is full or the server drains)
+//	GET    /v1/jobs             list all jobs, submission order
+//	GET    /v1/jobs/{id}        JobStatus, including the rapids.Result once finished
+//	GET    /v1/jobs/{id}/events SSE stream of the run's typed events, replayed from the start
+//	DELETE /v1/jobs/{id}        cancel: the facade's anytime contract keeps the best-so-far result
+//	GET    /healthz             liveness, queue depths, goroutine count
+//
+// DESIGN.md §5 documents the architecture — backpressure, cancellation,
+// drain, and the cache-key determinism guarantee. cmd/rapidsd is the
+// daemon front end; internal/harness's RunBatch is the load-test
+// client.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/rapids"
+)
+
+// maxBody bounds a POST /v1/jobs payload (inline netlists included).
+const maxBody = 16 << 20
+
+// Config sizes a Server.
+type Config struct {
+	// Workers is the number of concurrent optimization runs (default
+	// 1: a single run already parallelizes move scoring across
+	// GOMAXPROCS, so more optimization concurrency mainly helps many
+	// small jobs).
+	Workers int
+	// QueueCap bounds the jobs waiting for a worker (default 16). A
+	// full queue rejects POST /v1/jobs with 503 Service Unavailable
+	// and a Retry-After header — backpressure, not buffering.
+	QueueCap int
+	// CacheCap bounds the result-cache entries (default 64); negative
+	// disables caching.
+	CacheCap int
+	// Logf, when non-nil, receives one line per job life-cycle
+	// transition (log.Printf-shaped).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers == 0 {
+		c.Workers = 1
+	}
+	if c.QueueCap == 0 {
+		c.QueueCap = 16
+	}
+	if c.CacheCap == 0 {
+		c.CacheCap = 64
+	}
+	return c
+}
+
+// Server is the batch-optimization service. Create one with New, serve
+// it as an http.Handler, and stop it with Shutdown. All methods are
+// safe for concurrent use.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	queue chan *job
+	cache *resultCache
+	wg    sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string // submission order, for GET /v1/jobs
+	seq      int
+	draining bool
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	s := newServer(cfg)
+	s.start()
+	return s
+}
+
+// newServer builds the Server without starting workers (tests use this
+// to observe queue states deterministically).
+func newServer(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		mux:   http.NewServeMux(),
+		queue: make(chan *job, cfg.QueueCap),
+		cache: newResultCache(cfg.CacheCap),
+		jobs:  make(map[string]*job),
+	}
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	return s
+}
+
+func (s *Server) start() {
+	s.wg.Add(s.cfg.Workers)
+	for i := 0; i < s.cfg.Workers; i++ {
+		go s.worker()
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Shutdown gracefully drains the server: new submissions are rejected
+// with 503 immediately, queued and running jobs keep running, and
+// Shutdown returns once every worker has finished. If ctx expires
+// first, all unfinished jobs are cancelled — the facade's anytime
+// contract turns them into best-so-far canceled results — the workers
+// are still waited for (they stop at the next phase boundary), and
+// ctx.Err() is returned. Shutdown is idempotent; later calls return an
+// error without waiting.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return errors.New("server: already shut down")
+	}
+	s.draining = true
+	close(s.queue) // submits are guarded by s.mu + draining, so no send-after-close
+	s.mu.Unlock()
+	s.logf("server: draining (%d queued)", len(s.queue))
+
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		s.logf("server: drained")
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for _, j := range s.jobs {
+			j.cancel()
+		}
+		s.mu.Unlock()
+		<-done
+		s.logf("server: drain deadline expired, running jobs cancelled")
+		return ctx.Err()
+	}
+}
+
+// worker runs queued jobs until the queue is closed and drained.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.run(j)
+	}
+}
+
+// run executes one job through the facade.
+func (s *Server) run(j *job) {
+	if j.ctx.Err() != nil {
+		j.finish(StateCanceled, nil, "canceled before start")
+		s.logf("job %s: canceled before start", j.id)
+		return
+	}
+
+	c, err := loadCircuit(j.req)
+	if err != nil {
+		j.finish(StateFailed, nil, err.Error())
+		s.logf("job %s: load failed: %v", j.id, err)
+		return
+	}
+	place := j.req.Place
+	if place == nil {
+		place = &PlaceSpec{}
+	}
+	p := place.withDefaults()
+	c.Place(rapids.PlaceSeed(p.Seed), rapids.PlaceMoves(p.Moves), rapids.PlaceAspect(p.Aspect))
+
+	// Capture the identity the status endpoint reports before the
+	// optimizer runs: inverting swaps may add cells, and a later cache
+	// hit must mirror the original job's status exactly.
+	circuit, gates := c.Name(), c.Gates()
+	j.setRunning(circuit, gates)
+	s.logf("job %s: running %s (%d gates)", j.id, circuit, gates)
+
+	opts := append(j.req.Options.Options(), rapids.WithProgress(j.appendEvent))
+	res, err := c.Optimize(j.ctx, opts...)
+	switch {
+	case err == nil:
+		j.finish(StateDone, res, "")
+		s.cache.put(j.key, &cacheEntry{
+			circuit: circuit, gates: gates,
+			strategy: res.Strategy, result: res,
+		})
+		s.logf("job %s: done, delay %.3f -> %.3f ns", j.id, res.InitialDelayNS, res.FinalDelayNS)
+	case res != nil && res.Interrupted:
+		// DELETE or drain-deadline cancellation: the circuit holds the
+		// best-so-far network and res describes it (never cached — the
+		// run did not converge).
+		j.finish(StateCanceled, res, err.Error())
+		s.logf("job %s: canceled, best-so-far delay %.3f ns", j.id, res.FinalDelayNS)
+	default:
+		// Verification failure or optimizer error.
+		j.finish(StateFailed, res, err.Error())
+		s.logf("job %s: failed: %v", j.id, err)
+	}
+}
+
+// loadCircuit builds the job's circuit from its single source.
+func loadCircuit(req JobRequest) (*rapids.Circuit, error) {
+	if req.Generate != "" {
+		return rapids.Generate(req.Generate)
+	}
+	format, err := rapids.ParseFormat(req.Format)
+	if err != nil {
+		return nil, err
+	}
+	return rapids.LoadReader(strings.NewReader(req.Netlist), format, "netlist")
+}
+
+// handleSubmit is POST /v1/jobs.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid job request: %v", err)
+		return
+	}
+	if (req.Generate == "") == (req.Netlist == "") {
+		httpError(w, http.StatusBadRequest, "exactly one of generate or netlist is required")
+		return
+	}
+	format, err := rapids.ParseFormat(req.Format)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	key := cacheKey(req, format)
+
+	// A cache hit is served as a job born in state done: the id is
+	// real and GET /v1/jobs/{id} and the SSE stream work uniformly.
+	if e, ok := s.cache.get(key); ok {
+		j := s.register(key, req)
+		if j == nil {
+			httpError(w, http.StatusServiceUnavailable, "server is shutting down")
+			return
+		}
+		j.mu.Lock()
+		j.cached = true
+		j.circuit, j.gates = e.circuit, e.gates
+		j.mu.Unlock()
+		j.appendEvent(rapids.Event{
+			Kind: rapids.EventDone, Circuit: e.circuit, Strategy: e.strategy,
+			DelayNS: e.result.FinalDelayNS, Swaps: e.result.Swaps,
+			Resizes: e.result.Resizes, Verification: e.result.Verification,
+			Result: e.result,
+		})
+		j.finish(StateDone, e.result, "")
+		s.logf("job %s: cache hit (%s)", j.id, e.circuit)
+		s.writeJob(w, http.StatusOK, j)
+		return
+	}
+
+	// Registration and enqueue are one critical section with the
+	// draining flag, so a submit cannot race Shutdown's close(queue).
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		httpError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	j := s.registerLocked(key, req)
+	select {
+	case s.queue <- j:
+		s.mu.Unlock()
+	default:
+		// Backpressure: bounded queue, explicit rejection.
+		s.unregisterLocked(j)
+		s.mu.Unlock()
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, "job queue is full (capacity %d)", s.cfg.QueueCap)
+		return
+	}
+	src := req.Generate
+	if src == "" {
+		src = "inline netlist"
+	}
+	s.logf("job %s: queued (%s)", j.id, src)
+	s.writeJob(w, http.StatusAccepted, j)
+}
+
+// register adds a job under s.mu; nil when draining.
+func (s *Server) register(key string, req JobRequest) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil
+	}
+	return s.registerLocked(key, req)
+}
+
+func (s *Server) registerLocked(key string, req JobRequest) *job {
+	s.seq++
+	id := fmt.Sprintf("j%d-%s", s.seq, key[:8])
+	j := newJob(id, key, req)
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	return j
+}
+
+func (s *Server) unregisterLocked(j *job) {
+	delete(s.jobs, j.id)
+	if n := len(s.order); n > 0 && s.order[n-1] == j.id {
+		s.order = s.order[:n-1]
+	}
+	j.cancel()
+}
+
+func (s *Server) lookup(r *http.Request) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[r.PathValue("id")]
+	return j, ok
+}
+
+// handleStatus is GET /v1/jobs/{id}.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	s.writeJob(w, http.StatusOK, j)
+}
+
+// handleList is GET /v1/jobs.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	statuses := make([]JobStatus, 0, len(s.order))
+	for _, id := range s.order {
+		statuses = append(statuses, s.jobs[id].status())
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, statuses)
+}
+
+// handleCancel is DELETE /v1/jobs/{id}: it cancels the job's context
+// and returns the current status immediately. A running job stops at
+// the next phase boundary with the best-so-far result (see the anytime
+// semantics of rapids.Circuit.Optimize); a queued job is discarded when
+// a worker picks it up; a finished job is left untouched.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	code := http.StatusOK
+	if !j.terminal() {
+		j.cancel()
+		s.logf("job %s: cancel requested", j.id)
+		code = http.StatusAccepted
+	}
+	s.writeJob(w, code, j)
+}
+
+// handleEvents is GET /v1/jobs/{id}/events: a Server-Sent-Events
+// stream of the run's typed rapids.Event feed. Buffered events are
+// replayed first (subscribing after completion replays the whole run),
+// then live events as the optimizer emits them; a final "end" event
+// carries the terminal JobStatus and closes the stream.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "response writer cannot stream")
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	next := 0
+	for {
+		evs, closed, wake := j.snapshot(next)
+		for _, ev := range evs {
+			data, err := json.Marshal(ev)
+			if err != nil {
+				return
+			}
+			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", next, ev.Kind, data)
+			next++
+		}
+		if len(evs) > 0 {
+			fl.Flush()
+		}
+		if closed {
+			status, _ := json.Marshal(j.status())
+			fmt.Fprintf(w, "event: end\ndata: %s\n\n", status)
+			fl.Flush()
+			return
+		}
+		select {
+		case <-wake:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// handleHealth is GET /healthz.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	counts := map[string]int{}
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		counts[j.state]++
+		j.mu.Unlock()
+	}
+	status := "ok"
+	if s.draining {
+		status = "draining"
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":       status,
+		"workers":      s.cfg.Workers,
+		"queue_cap":    s.cfg.QueueCap,
+		"queue_len":    len(s.queue),
+		"jobs":         counts,
+		"cache_len":    s.cache.len(),
+		"goroutines":   runtime.NumGoroutine(),
+		"generated_at": time.Now().UTC().Format(time.RFC3339),
+	})
+}
+
+func (s *Server) writeJob(w http.ResponseWriter, code int, j *job) {
+	w.Header().Set("Location", "/v1/jobs/"+j.id)
+	writeJSON(w, code, j.status())
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// httpError writes the error contract: a JSON body {"error": "..."}.
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
