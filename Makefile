@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race bench bench-smoke table1 fuzz cover fmt-check api api-check docs-check serve-smoke
+.PHONY: all vet build test race bench bench-smoke bench-scaling bench-scaling-smoke perf-gate table1 fuzz cover fmt-check api api-check docs-check serve-smoke
 
 all: vet fmt-check api-check build test docs-check
 
@@ -39,6 +39,28 @@ bench:
 # pair, one iteration each.
 bench-smoke:
 	$(GO) test -run xxx -bench 'BenchmarkMoveGen|BenchmarkExtractIncremental|BenchmarkFig2Swap|BenchmarkIncrementalSTA' -benchtime 1x .
+
+# Scaling-curve harness (internal/perf via cmd/benchscale): full
+# optimizer runs over the workers x regions x window x circuit grid,
+# interleaved reps, wall + process-CPU time + allocs per arm, host facts,
+# written to BENCH_PR6.json. See DESIGN.md §3c for the methodology.
+bench-scaling:
+	$(GO) run ./cmd/benchscale -out BENCH_PR6.json
+
+# Seconds-long CI arm: prove the harness runs end to end and the report
+# is well-formed without burning runner minutes.
+bench-scaling-smoke:
+	$(GO) run ./cmd/benchscale -quick -out bench-scaling-smoke.json
+	@grep -q '"cpu_ratio_vs_sequential"' bench-scaling-smoke.json && \
+	  grep -q '"determinism_checked": true' bench-scaling-smoke.json || \
+	  (echo "bench-scaling-smoke.json malformed"; exit 1)
+
+# Perf-regression gate: the micro-benchmark set under -benchmem against
+# the golden bands in PERF_BASELINE.json (tight allocs/op, generous
+# ns/op — see the note in that file). Fails with a readable diff.
+perf-gate:
+	$(GO) test -run xxx -bench 'BenchmarkMoveGen$$|BenchmarkIncrementalSTA$$|BenchmarkExtractIncremental$$|BenchmarkFig2Swap$$|BenchmarkRegionRoundTrip$$' -benchmem -benchtime 1x -count 3 . \
+	  | $(GO) run ./cmd/perfgate -baseline PERF_BASELINE.json
 
 table1:
 	$(GO) run ./cmd/table1 -quick

@@ -22,6 +22,7 @@ import (
 	"repro/internal/network"
 	"repro/internal/opt"
 	"repro/internal/place"
+	"repro/internal/region"
 	"repro/internal/rewire"
 	"repro/internal/sizing"
 	"repro/internal/sta"
@@ -552,4 +553,43 @@ func BenchmarkLargeRegioned(b *testing.B) {
 			b.ReportMetric(float64(res.Swaps), "swaps")
 		})
 	}
+}
+
+// BenchmarkRegionRoundTrip isolates the region scheduler's fixed costs —
+// the part of a regioned run that is pure overhead relative to a
+// sequential Optimize: partition the network, extract every region under
+// pinned bounds, capture its rollback snapshot, stitch the (unmodified)
+// subnetwork back, run the post-stitch acyclicity check, and reconcile
+// with a full re-analysis, exactly one accepted scheduler round with the
+// optimizer taken out. The measured time and allocations are the
+// extract/snapshot/stitch/verify path PR 6 tuned, and the allocs/op
+// band in PERF_BASELINE.json keeps it from regressing silently.
+func BenchmarkRegionRoundTrip(b *testing.B) {
+	n, l, _ := staSwapSetup(b)
+	tm := sta.AnalyzeReleased(n, l, 0, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	regionsSeen := 0
+	for i := 0; i < b.N; i++ {
+		part := region.Build(n, tm, region.Options{Window: region.DefaultWindow, MaxRegions: 8})
+		regionsSeen = len(part.Regions)
+		for _, r := range part.Regions {
+			ext := region.Extract(n, tm, r)
+			pre := ext.Snapshot()
+			installed := region.Stitch(n, ext.Net, r.Interior)
+			_ = pre
+			_ = installed
+		}
+		if err := n.CheckAcyclic(); err != nil {
+			b.Fatal(err)
+		}
+		// The round's global reconcile (stitching replaced every gate
+		// object, so the next partition needs a fresh analysis anyway).
+		clock := tm.Clock
+		sta.ReleaseTiming(tm)
+		tm = sta.AnalyzeReleased(n, l, clock, nil)
+	}
+	b.StopTimer()
+	sta.ReleaseTiming(tm)
+	b.ReportMetric(float64(regionsSeen), "regions")
 }

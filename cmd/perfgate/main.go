@@ -1,0 +1,43 @@
+// Command perfgate is the CI perf-regression gate: it reads `go test
+// -bench -benchmem` output on stdin, compares every benchmark against
+// the golden bands in PERF_BASELINE.json, prints a readable table, and
+// exits non-zero when any band is exceeded (or a banded benchmark is
+// missing from the run).
+//
+// Usage:
+//
+//	go test -run xxx -bench ... -benchmem -benchtime 1x -count 3 . | perfgate -baseline PERF_BASELINE.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/perf"
+)
+
+func main() {
+	baseline := flag.String("baseline", "PERF_BASELINE.json", "golden bands document")
+	flag.Parse()
+
+	base, err := perf.LoadBaseline(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "perfgate: %v\n", err)
+		os.Exit(2)
+	}
+	got, err := perf.ParseBenchOutput(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "perfgate: reading bench output: %v\n", err)
+		os.Exit(2)
+	}
+	if len(got) == 0 {
+		fmt.Fprintln(os.Stderr, "perfgate: no benchmark lines on stdin (pipe `go test -bench` output in)")
+		os.Exit(2)
+	}
+	violations := perf.Compare(base, got)
+	fmt.Print(perf.FormatReport(base, got, violations))
+	if len(violations) > 0 {
+		os.Exit(1)
+	}
+}

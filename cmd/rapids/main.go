@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/perf"
 	"repro/rapids"
 )
 
@@ -41,8 +42,24 @@ func main() {
 		buffer    = flag.Bool("buffer", false, "run fanout buffering after the optimizer (paper §7 future work)")
 		showPath  = flag.Bool("path", false, "print the post-optimization critical path")
 		verbose   = flag.Bool("v", false, "stream typed progress events to stderr")
+		cpuprof   = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
+		memprof   = flag.String("memprofile", "", "write a pprof heap profile (post-GC) to this file on exit")
+		traceOut  = flag.String("trace", "", "write a runtime execution trace to this file (go tool trace)")
 	)
 	flag.Parse()
+
+	stopProfiles, err := perf.StartProfiles(*cpuprof, *memprof, *traceOut)
+	if err != nil {
+		fail("%v", err)
+	}
+	// fail exits via os.Exit, which skips deferred calls, so the error
+	// path flushes the profiles through onExit.
+	onExit = func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintf(os.Stderr, "rapids: %v\n", err)
+		}
+	}
+	defer onExit()
 
 	if *list {
 		for _, name := range rapids.Benchmarks() {
@@ -175,7 +192,14 @@ func load(benchName, netlist, blifPath string) (*rapids.Circuit, error) {
 	return nil, fmt.Errorf("need -bench <name> or -netlist <file|->; try -list")
 }
 
+// onExit, when set, runs before the process exits through fail (deferred
+// calls don't survive os.Exit); main uses it to flush profile files.
+var onExit func()
+
 func fail(format string, args ...interface{}) {
 	fmt.Fprintf(os.Stderr, "rapids: "+format+"\n", args...)
+	if onExit != nil {
+		onExit()
+	}
 	os.Exit(1)
 }

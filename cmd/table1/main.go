@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"repro/internal/harness"
+	"repro/internal/perf"
 	"repro/rapids"
 )
 
@@ -32,8 +33,23 @@ func main() {
 		quick      = flag.Bool("quick", false, "small/fast subset with reduced effort")
 		summary    = flag.Bool("summary", false, "print only the averages against the paper's")
 		verbose    = flag.Bool("v", false, "stream typed progress events to stderr")
+		cpuprof    = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole table run to this file")
+		memprof    = flag.String("memprofile", "", "write a pprof heap profile (post-GC) to this file on exit")
+		traceOut   = flag.String("trace", "", "write a runtime execution trace to this file (go tool trace)")
 	)
 	flag.Parse()
+
+	stopProfiles, err := perf.StartProfiles(*cpuprof, *memprof, *traceOut)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "table1:", err)
+		os.Exit(1)
+	}
+	flushProfiles := func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintln(os.Stderr, "table1:", err)
+		}
+	}
+	defer flushProfiles()
 
 	cfg := harness.Config{
 		PlaceSeed:    *seed,
@@ -68,6 +84,7 @@ func main() {
 	rows, err := harness.RunAll(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "table1:", err)
+		flushProfiles()
 		os.Exit(1)
 	}
 	if !*summary {
@@ -84,6 +101,7 @@ func main() {
 		paper.GsgPct, paper.GSPct, paper.GsgGSPct, paper.GSAreaPct, paper.GsgGSAreaPct, paper.CovPct)
 	if !avg.Verified {
 		fmt.Fprintln(os.Stderr, "table1: WARNING: some optimized circuits failed verification")
+		flushProfiles()
 		os.Exit(1)
 	}
 }

@@ -74,7 +74,8 @@ func definedFlags(t *testing.T) map[string]bool {
 // command lines: the go tool chain and the POSIX tools the docs quote.
 var toolFlags = map[string]bool{
 	// go build/test/vet
-	"run": true, "bench": true, "benchtime": true, "fuzz": true,
+	"run": true, "bench": true, "benchtime": true, "benchmem": true,
+	"count": true, "fuzz": true,
 	"fuzztime": true, "race": true, "short": true, "coverprofile": true,
 	"func": true, "o": true, "all": true,
 	// curl as quoted in the service docs

@@ -65,15 +65,17 @@ func (c *Cell) MaxDelay(loadPF float64) float64 {
 	return f
 }
 
-type cellKey struct {
-	t     logic.GateType
-	fanin int
-}
+// numTypes bounds logic.GateType for the dense cell index (None..Input).
+const numTypes = int(logic.Input) + 1
 
-// Library is a set of cells indexed by (function, fanin, size).
+// Library is a set of cells indexed by (function, fanin, size). The index
+// is a small dense array rather than a map: Cell sits on the optimizers'
+// innermost delay-evaluation path (every arrival, required time, and
+// hypothetical candidate resolves a cell), and profiling PR 6's region
+// scheduler showed the struct-keyed map hash alone at ~17 % of total CPU.
 type Library struct {
 	name  string
-	cells map[cellKey][NumSizes]*Cell
+	cells [numTypes][MaxFanin + 1][NumSizes]*Cell
 }
 
 // Name returns the library name.
@@ -82,21 +84,20 @@ func (l *Library) Name() string { return l.name }
 // Supports reports whether the library has a cell with the given function
 // and fanin.
 func (l *Library) Supports(t logic.GateType, fanin int) bool {
-	_, ok := l.cells[cellKey{t, fanin}]
-	return ok
+	return int(t) < numTypes && fanin >= 0 && fanin <= MaxFanin &&
+		l.cells[t][fanin][0] != nil
 }
 
 // Cell returns the implementation with the given size index, or an error if
 // the (type, fanin, size) triple does not exist.
 func (l *Library) Cell(t logic.GateType, fanin, size int) (*Cell, error) {
-	impls, ok := l.cells[cellKey{t, fanin}]
-	if !ok {
+	if int(t) >= numTypes || fanin < 0 || fanin > MaxFanin || l.cells[t][fanin][0] == nil {
 		return nil, fmt.Errorf("library: no %s cell with %d inputs", t, fanin)
 	}
 	if size < 0 || size >= NumSizes {
 		return nil, fmt.Errorf("library: size %d out of range [0,%d)", size, NumSizes)
 	}
-	return impls[size], nil
+	return l.cells[t][fanin][size], nil
 }
 
 // MustCell is Cell but panics on error; for callers that have already
@@ -169,8 +170,8 @@ func (p proto) build() [NumSizes]*Cell {
 // pull up slightly slower, NOR cells slightly faster up than down, XOR
 // family is slowest and most capacitive.
 func Default035() *Library {
-	l := &Library{name: "synth035", cells: make(map[cellKey][NumSizes]*Cell)}
-	add := func(p proto) { l.cells[cellKey{p.t, p.fanin}] = p.build() }
+	l := &Library{name: "synth035"}
+	add := func(p proto) { l.cells[p.t][p.fanin] = p.build() }
 
 	add(proto{logic.Inv, 1, 12, 0.004, 0.030, 0.025, 8.0, 1.05, 0.95})
 	add(proto{logic.Buf, 1, 18, 0.003, 0.065, 0.060, 7.5, 1.00, 1.00})

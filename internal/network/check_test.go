@@ -1,0 +1,126 @@
+package network
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/logic"
+)
+
+// CheckAcyclic is the region scheduler's per-round safety net; these
+// tests pin both invariants it guards (see regions.go): a combinational
+// cycle introduced by region-blind rewiring, and a fanin pointer left
+// dangling at a deleted gate.
+
+func TestCheckAcyclicClean(t *testing.T) {
+	n := New("clean")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	g1 := n.AddGate("g1", logic.Nand, a, b)
+	g2 := n.AddGate("g2", logic.Nor, g1, a)
+	n.MarkOutput(g2)
+	if err := n.CheckAcyclic(); err != nil {
+		t.Fatalf("clean network reported: %v", err)
+	}
+}
+
+func TestCheckAcyclicDetectsCycle(t *testing.T) {
+	n := New("cyclic")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	g1 := n.AddGate("g1", logic.Nand, a, b)
+	g2 := n.AddGate("g2", logic.Nor, g1, a)
+	n.MarkOutput(g2)
+	// ReplaceFanin performs no cycle check by design — that is exactly
+	// what CheckAcyclic exists to catch after a stitched round.
+	n.ReplaceFanin(g1, 0, g2)
+	err := n.CheckAcyclic()
+	if err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("cycle not detected: %v", err)
+	}
+}
+
+func TestCheckAcyclicDetectsDeadFanin(t *testing.T) {
+	n := New("dangling")
+	a := n.AddInput("a")
+	i1 := n.AddGate("i1", logic.Inv, a)
+	f := n.AddGate("f", logic.Inv, i1)
+	n.MarkOutput(f)
+	dead := n.AddGate("dead", logic.Inv, a)
+	n.RemoveGate(dead)
+	// Simulate the corruption a buggy stitch would leave behind: a live
+	// gate still pointing at the deleted one. No mutator can produce
+	// this, so the test plants it directly.
+	f.fanins[0] = dead
+	err := n.CheckAcyclic()
+	if err == nil || !strings.Contains(err.Error(), "dead fanin") {
+		t.Fatalf("dead fanin not detected: %v", err)
+	}
+}
+
+// TestTopoOrderFastFallback: creation order is topological for freshly
+// built networks (the fast path), and rewiring that breaks it must make
+// TopoOrderFast fall back to a correct full sort.
+func TestTopoOrderFastFallback(t *testing.T) {
+	n := New("fast")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	g1 := n.AddGate("g1", logic.Nand, a, b)
+	g2 := n.AddGate("g2", logic.Nand, a, b)
+	g3 := n.AddGate("g3", logic.Inv, g2)
+	n.MarkOutput(g1)
+	n.MarkOutput(g3)
+
+	assertTopological := func(order []*Gate) {
+		t.Helper()
+		if len(order) != n.NumGates() {
+			t.Fatalf("order has %d gates, network has %d", len(order), n.NumGates())
+		}
+		pos := map[*Gate]int{}
+		for i, g := range order {
+			pos[g] = i
+		}
+		for _, g := range order {
+			for _, f := range g.Fanins() {
+				if pos[f] >= pos[g] {
+					t.Fatalf("not topological: %s at %d before fanin %s at %d",
+						g, pos[g], f, pos[f])
+				}
+			}
+		}
+	}
+	assertTopological(n.TopoOrderFast())
+
+	// Point the earlier gate g1 at the later gate g2: no cycle, but the
+	// creation order is no longer topological.
+	n.ReplaceFanin(g1, 0, g2)
+	order := n.TopoOrderFast()
+	assertTopological(order)
+	// The fallback is TopoOrder itself, id-tie-break order included.
+	want := n.TopoOrder()
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("fallback order differs from TopoOrder at %d: %s vs %s",
+				i, order[i], want[i])
+		}
+	}
+}
+
+func TestRemoveGateForeignPanics(t *testing.T) {
+	n1 := New("n1")
+	a1 := n1.AddInput("a")
+	n1.AddGate("g1", logic.Inv, a1)
+
+	n2 := New("n2")
+	a2 := n2.AddInput("a")
+	stray := n2.AddGate("stray", logic.Inv, a2)
+	n2.ReplaceFanin(stray, 0, a2) // no-op; keeps stray fanout-free
+
+	defer func() {
+		r := recover()
+		if r == nil || !strings.Contains(r.(string), "another network") {
+			t.Errorf("RemoveGate on a foreign gate: recover() = %v", r)
+		}
+	}()
+	n1.RemoveGate(stray)
+}

@@ -54,20 +54,108 @@ type ResizeObserver interface {
 	GateResized(g *Gate)
 }
 
+// BatchObserver is an optional extension of Observer for analyses whose
+// per-event handlers are idempotent and commute across distinct gates —
+// supergate cache invalidation being the canonical case. Inside a
+// BeginBatch/EndBatch window the network buffers events instead of
+// delivering them one at a time, and EndBatch hands each BatchObserver a
+// single coalesced GateBatch call: touched gates deduplicated in
+// first-touch order, then removals in removal order. A gate may appear in
+// both slices (touched, then removed later in the window); since a dead
+// gate is never touched again, applying all touches before all removals
+// reproduces the interleaved per-gate event order. The slices are owned
+// by the network and valid only for the duration of the call. Observers
+// not implementing BatchObserver keep receiving synchronous per-event
+// callbacks inside batch windows.
+type BatchObserver interface {
+	Observer
+	GateBatch(touched, removed []*Gate)
+}
+
 // Observe registers o to receive mutation events until Unobserve.
 func (n *Network) Observe(o Observer) {
 	n.observers = append(n.observers, o)
+	if bo, ok := o.(BatchObserver); ok {
+		n.batchObs = append(n.batchObs, bo)
+	}
 }
 
 // Unobserve removes a previously registered observer. Unknown observers
-// are ignored.
+// are ignored. Unobserving inside a batch window forfeits the pending
+// coalesced events for that observer.
 func (n *Network) Unobserve(o Observer) {
 	for i, x := range n.observers {
 		if x == o {
 			n.observers = append(n.observers[:i], n.observers[i+1:]...)
-			return
+			break
 		}
 	}
+	if bo, ok := o.(BatchObserver); ok {
+		for i, x := range n.batchObs {
+			if x == bo {
+				n.batchObs = append(n.batchObs[:i], n.batchObs[i+1:]...)
+				return
+			}
+		}
+	}
+}
+
+// BeginBatch opens a coalescing window: until the matching EndBatch,
+// mutation events destined for BatchObservers are buffered and
+// deduplicated instead of delivered per event. Windows nest; only the
+// outermost EndBatch flushes. Observers that do not implement
+// BatchObserver are unaffected.
+func (n *Network) BeginBatch() {
+	if n.batchEpoch == 0 {
+		n.batchEpoch = 1 // stamp zero value must never equal a live epoch
+	}
+	n.batchDepth++
+}
+
+// EndBatch closes the innermost batch window. Closing the outermost
+// window delivers one GateBatch call per BatchObserver with the
+// coalesced events, then resets the buffer. It panics without a
+// matching BeginBatch.
+func (n *Network) EndBatch() {
+	if n.batchDepth == 0 {
+		panic("network: EndBatch without BeginBatch")
+	}
+	n.batchDepth--
+	if n.batchDepth > 0 || (len(n.batchTouched) == 0 && len(n.batchRemoved) == 0) {
+		return
+	}
+	for _, o := range n.batchObs {
+		o.GateBatch(n.batchTouched, n.batchRemoved)
+	}
+	n.batchTouched = n.batchTouched[:0]
+	n.batchRemoved = n.batchRemoved[:0]
+	n.batchEpoch++
+}
+
+// batching reports whether events should be buffered for batch delivery.
+func (n *Network) batching() bool {
+	return n.batchDepth > 0 && len(n.batchObs) > 0
+}
+
+// bufferTouched records g in the open batch window, deduplicating via an
+// epoch-stamped array indexed by dense gate ID.
+func (n *Network) bufferTouched(g *Gate) {
+	if g.id >= len(n.batchStamp) {
+		// Amortized doubling: fresh gates arrive one id at a time inside
+		// a batch, so growing to exactly nextID would reallocate per add.
+		newLen := n.nextID
+		if min := 2 * len(n.batchStamp); newLen < min {
+			newLen = min
+		}
+		grown := make([]uint64, newLen)
+		copy(grown, n.batchStamp)
+		n.batchStamp = grown
+	}
+	if n.batchStamp[g.id] == n.batchEpoch {
+		return
+	}
+	n.batchStamp[g.id] = n.batchEpoch
+	n.batchTouched = append(n.batchTouched, g)
 }
 
 // touch notifies every observer that the given gates changed. Nil gates
@@ -76,7 +164,20 @@ func (n *Network) touch(gs ...*Gate) {
 	if len(n.observers) == 0 {
 		return
 	}
+	batching := n.batching()
+	if batching {
+		for _, g := range gs {
+			if g != nil {
+				n.bufferTouched(g)
+			}
+		}
+	}
 	for _, o := range n.observers {
+		if batching {
+			if _, ok := o.(BatchObserver); ok {
+				continue
+			}
+		}
 		for _, g := range gs {
 			if g != nil {
 				o.GateTouched(g)
@@ -87,7 +188,16 @@ func (n *Network) touch(gs ...*Gate) {
 
 // notifyRemoved reports the deletion of g.
 func (n *Network) notifyRemoved(g *Gate) {
+	batching := n.batching()
+	if batching {
+		n.batchRemoved = append(n.batchRemoved, g)
+	}
 	for _, o := range n.observers {
+		if batching {
+			if _, ok := o.(BatchObserver); ok {
+				continue
+			}
+		}
 		o.GateRemoved(g)
 	}
 }
@@ -102,6 +212,8 @@ func (n *Network) SetSize(g *Gate, sizeIdx int) {
 		return
 	}
 	g.SizeIdx = sizeIdx
+	batching := n.batching()
+	buffered := false
 	for _, o := range n.observers {
 		if ro, ok := o.(ResizeObserver); ok {
 			ro.GateResized(g)
@@ -109,6 +221,18 @@ func (n *Network) SetSize(g *Gate, sizeIdx int) {
 				ro.GateResized(f)
 			}
 			continue
+		}
+		if batching {
+			if _, ok := o.(BatchObserver); ok {
+				if !buffered {
+					n.bufferTouched(g)
+					for _, f := range g.fanins {
+						n.bufferTouched(f)
+					}
+					buffered = true
+				}
+				continue
+			}
 		}
 		o.GateTouched(g)
 		for _, f := range g.fanins {

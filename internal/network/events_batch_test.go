@@ -1,0 +1,155 @@
+package network
+
+import (
+	"testing"
+
+	"repro/internal/logic"
+)
+
+// batchRecorder implements BatchObserver: inside a batch window it must
+// receive no per-event callbacks, only one coalesced GateBatch.
+type batchRecorder struct {
+	perEvent int
+	batches  [][2][]string
+}
+
+func (r *batchRecorder) GateTouched(g *Gate) { r.perEvent++ }
+func (r *batchRecorder) GateRemoved(g *Gate) { r.perEvent++ }
+func (r *batchRecorder) GateBatch(touched, removed []*Gate) {
+	var b [2][]string
+	for _, g := range touched {
+		b[0] = append(b[0], g.Name())
+	}
+	for _, g := range removed {
+		b[1] = append(b[1], g.Name())
+	}
+	r.batches = append(r.batches, b)
+}
+
+func equalNames(got, want []string) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestBatchDedupFirstTouchOrder: a batch window coalesces repeated
+// touches of the same gate into one entry at its first-touch position,
+// while plain observers keep receiving synchronous per-event callbacks.
+func TestBatchDedupFirstTouchOrder(t *testing.T) {
+	n, sync, _, b, g1, g2 := buildObserved(t)
+	br := &batchRecorder{}
+	n.Observe(br)
+
+	n.BeginBatch()
+	n.SetSize(g2, 1) // touches g2, then its fanin drivers g1, a
+	n.SetSize(g2, 2) // touches the same set again
+	n.SetGateType(g1, logic.Nor)
+	n.EndBatch()
+
+	if br.perEvent != 0 {
+		t.Errorf("BatchObserver got %d per-event callbacks inside the window", br.perEvent)
+	}
+	if len(br.batches) != 1 {
+		t.Fatalf("want exactly one GateBatch, got %d", len(br.batches))
+	}
+	// First-touch order: g2's first SetSize reports g2, g1, a; the second
+	// adds nothing; SetGateType(g1) adds only the unseen fanin b.
+	if got := br.batches[0][0]; !equalNames(got, []string{"g2", "g1", "a", "b"}) {
+		t.Errorf("touched = %v, want [g2 g1 a b]", got)
+	}
+	if len(br.batches[0][1]) != 0 {
+		t.Errorf("unexpected removals: %v", br.batches[0][1])
+	}
+	// The synchronous observer saw every event as it happened.
+	sync.wantTouched(t, "batched SetSize", "g2", "g1", "a", "b")
+	_ = b
+}
+
+// TestBatchTouchedThenRemoved: a gate mutated and then deleted inside
+// one window appears in both slices — touches first, then removals —
+// which reproduces the per-gate interleaved order for idempotent
+// observers (a dead gate is never touched again).
+func TestBatchTouchedThenRemoved(t *testing.T) {
+	n, _, a, _, g1, g2 := buildObserved(t)
+	g3 := n.AddGate("g3", logic.And, a, g1)
+	br := &batchRecorder{}
+	n.Observe(br)
+
+	n.BeginBatch()
+	n.SetSize(g3, 2)
+	n.RemoveGate(g3)
+	n.EndBatch()
+
+	if len(br.batches) != 1 {
+		t.Fatalf("want one GateBatch, got %d", len(br.batches))
+	}
+	touched, removed := br.batches[0][0], br.batches[0][1]
+	if !equalNames(removed, []string{"g3"}) {
+		t.Errorf("removed = %v, want [g3]", removed)
+	}
+	found := false
+	for _, name := range touched {
+		if name == "g3" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("g3 missing from touched slice %v despite the pre-removal SetSize", touched)
+	}
+	_ = g2
+}
+
+// TestBatchNesting: only the outermost EndBatch flushes, and a fresh
+// window after the flush starts empty.
+func TestBatchNesting(t *testing.T) {
+	n, _, _, _, g1, g2 := buildObserved(t)
+	br := &batchRecorder{}
+	n.Observe(br)
+
+	n.BeginBatch()
+	n.SetSize(g1, 1)
+	n.BeginBatch()
+	n.SetSize(g2, 1)
+	n.EndBatch() // inner: must not flush
+	if len(br.batches) != 0 {
+		t.Fatal("inner EndBatch flushed")
+	}
+	n.EndBatch() // outer: one coalesced delivery
+	if len(br.batches) != 1 {
+		t.Fatalf("outer EndBatch delivered %d batches, want 1", len(br.batches))
+	}
+
+	// An empty window after the flush delivers nothing.
+	n.BeginBatch()
+	n.EndBatch()
+	if len(br.batches) != 1 {
+		t.Error("empty batch window produced a delivery")
+	}
+
+	// The next non-empty window must not resurrect the first window's
+	// gates (epoch advance after flush).
+	n.BeginBatch()
+	n.SetSize(g2, 2)
+	n.EndBatch()
+	if got := br.batches[1][0]; !equalNames(got[:1], []string{"g2"}) {
+		t.Errorf("second window touched = %v, want g2 first", got)
+	}
+}
+
+// TestEndBatchUnbalancedPanics: closing a window that was never opened
+// is a programming error.
+func TestEndBatchUnbalancedPanics(t *testing.T) {
+	n, _, _, _, _, _ := buildObserved(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("EndBatch without BeginBatch did not panic")
+		}
+	}()
+	n.EndBatch()
+}

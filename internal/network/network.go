@@ -14,6 +14,7 @@ import (
 	"container/heap"
 	"fmt"
 	"sort"
+	"strconv"
 
 	"repro/internal/logic"
 )
@@ -130,6 +131,17 @@ type Network struct {
 
 	// observers receive mutation events; see events.go.
 	observers []Observer
+
+	// Batch-coalescing state (events.go): while batchDepth > 0, events
+	// for BatchObservers are buffered here instead of delivered per
+	// mutation. batchStamp dedups touched gates by dense ID against
+	// batchEpoch; the epoch bumps on flush so the array resets in O(1).
+	batchObs     []BatchObserver
+	batchDepth   int
+	batchEpoch   uint64
+	batchStamp   []uint64
+	batchTouched []*Gate
+	batchRemoved []*Gate
 }
 
 // New creates an empty network with the given name.
@@ -261,8 +273,12 @@ func (n *Network) MarkOutput(g *Gate) {
 // FreshName returns a gate name based on prefix that is unused in the
 // network.
 func (n *Network) FreshName(prefix string) string {
+	buf := make([]byte, 0, len(prefix)+8)
+	buf = append(buf, prefix...)
+	buf = append(buf, '_')
+	base := len(buf)
 	for i := 0; ; i++ {
-		name := fmt.Sprintf("%s_%d", prefix, i)
+		name := string(strconv.AppendInt(buf[:base], int64(i), 10))
 		if _, used := n.byName[name]; !used {
 			return name
 		}
@@ -377,13 +393,13 @@ func (n *Network) RemoveGate(g *Gate) {
 		n.touch(f)
 	}
 	g.fanins = nil
-	for i, h := range n.gates {
-		if h == g {
-			n.gates[i] = nil
-			n.removed++
-			break
-		}
+	// Gates are appended in id order and slots are never compacted or
+	// reordered, so a live gate always sits at n.gates[g.id].
+	if n.gates[g.id] != g {
+		panic("network: RemoveGate on gate from another network " + g.String())
 	}
+	n.gates[g.id] = nil
+	n.removed++
 	delete(n.byName, g.name)
 	n.notifyRemoved(g)
 }
@@ -393,6 +409,8 @@ func (n *Network) RemoveGate(g *Gate) {
 // never removed.
 func (n *Network) Sweep() int {
 	total := 0
+	n.BeginBatch()
+	defer n.EndBatch()
 	for {
 		removedThisPass := 0
 		for _, g := range n.gates {
@@ -443,6 +461,34 @@ func (n *Network) TopoOrder() []*Gate {
 	}
 	if len(order) != n.NumGates() {
 		panic("network: cycle detected in TopoOrder")
+	}
+	return order
+}
+
+// TopoOrderFast returns the live gates in some valid topological order,
+// preferring the creation order when it is already topological — true
+// for freshly extracted, generated, or cloned networks — verified in
+// O(V+E) with a dense seen-array instead of TopoOrder's heap. When
+// rewiring has made the creation order non-topological it falls back to
+// TopoOrder. The result is deterministic for a given construction
+// history, but it is NOT TopoOrder's id-tie-break order; use it only
+// where any valid order serves (per-gate dataflow like timing passes),
+// not where the specific sequence feeds downstream identity (Clone,
+// Stitch).
+func (n *Network) TopoOrderFast() []*Gate {
+	order := make([]*Gate, 0, n.NumGates())
+	seen := make([]bool, n.nextID)
+	for _, g := range n.gates {
+		if g == nil {
+			continue
+		}
+		for _, f := range g.fanins {
+			if !seen[f.id] {
+				return n.TopoOrder()
+			}
+		}
+		seen[g.id] = true
+		order = append(order, g)
 	}
 	return order
 }
@@ -612,6 +658,49 @@ func (n *Network) Validate() error {
 				}
 			} else {
 				color[g] = black
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+	return nil
+}
+
+// CheckAcyclic verifies the two invariants region-blind rewiring can
+// break — acyclicity and fanin liveness — and returns the first
+// violation, or nil. It is the region scheduler's per-round safety net:
+// the same checks Validate performs, minus the edge-multiset audit, on
+// dense ID-indexed scratch instead of maps, so it is cheap enough to run
+// after every stitched round.
+func (n *Network) CheckAcyclic() error {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	colors := make([]uint8, n.nextID)
+	var stack []*Gate
+	for _, root := range n.gates {
+		if root == nil || colors[root.id] != white {
+			continue
+		}
+		stack = append(stack[:0], root)
+		for len(stack) > 0 {
+			g := stack[len(stack)-1]
+			if colors[g.id] == white {
+				colors[g.id] = gray
+				for _, f := range g.fanins {
+					if n.gates[f.id] != f {
+						return fmt.Errorf("%s has dead fanin %s", g, f)
+					}
+					switch colors[f.id] {
+					case gray:
+						return fmt.Errorf("combinational cycle through %s", f)
+					case white:
+						stack = append(stack, f)
+					}
+				}
+			} else {
+				colors[g.id] = black
 				stack = stack[:len(stack)-1]
 			}
 		}

@@ -136,16 +136,29 @@ type Engine struct {
 }
 
 // NewEngine builds an engine with the given parallelism; workers <= 0
-// selects GOMAXPROCS.
+// selects GOMAXPROCS. The per-worker arenas come from the shared scratch
+// pool, so engines created round after round (the region scheduler builds
+// one engine per concurrency slot) reuse grown arrays instead of paying
+// the warm-up allocations again; Release returns them.
 func NewEngine(workers int) *Engine {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	e := &Engine{workers: workers, state: make([]*workerState, workers)}
 	for i := range e.state {
-		e.state[i] = &workerState{sc: sta.NewScratch()}
+		e.state[i] = &workerState{sc: sta.GetScratch()}
 	}
 	return e
+}
+
+// Release returns the engine's arenas to the shared scratch pool. The
+// engine must not be used afterwards.
+func (e *Engine) Release() {
+	for i, ws := range e.state {
+		sta.PutScratch(ws.sc)
+		e.state[i] = nil
+	}
+	e.state = nil
 }
 
 // Workers returns the engine's parallelism.
@@ -153,6 +166,16 @@ func (e *Engine) Workers() int { return e.workers }
 
 // Stats returns the accumulated candidate-generation counters.
 func (e *Engine) Stats() EvalStats { return e.stats }
+
+// TakeStats returns the accumulated counters and resets them, so one
+// engine can serve several Optimize runs (the region scheduler reuses an
+// engine per concurrency slot across regions and rounds) with each run
+// reporting only its own work.
+func (e *Engine) TakeStats() EvalStats {
+	s := e.stats
+	e.stats = EvalStats{}
+	return s
+}
 
 // Moves generates and scores the strategy's candidates for one phase
 // against the frozen timing view, returning them sorted by (gain, site

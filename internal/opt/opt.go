@@ -105,6 +105,19 @@ type Options struct {
 	// of OptimizeRegioned). It is called synchronously on the
 	// optimizer's goroutine and must not mutate the network.
 	Progress func(PhaseReport)
+
+	// engine, when non-nil, is a caller-owned scoring engine to use
+	// instead of building (and releasing) a fresh one. The region
+	// scheduler hands each concurrency slot one persistent engine so its
+	// scratch arenas survive across regions and rounds. The run consumes
+	// the engine's counters via TakeStats.
+	engine *Engine
+	// skipFinal skips the final from-scratch ground-truth analysis and
+	// reports FinalDelay from the incremental timer instead. The region
+	// scheduler sets it for per-region runs: their FinalDelay is
+	// discarded (the round's single global reconcile is the ground
+	// truth), so each region paying one extra full analysis is waste.
+	skipFinal bool
 }
 
 // PhaseReport is one typed progress milestone of an optimization run.
@@ -214,7 +227,7 @@ func Optimize(ctx context.Context, n *network.Network, lib *library.Library, str
 		o.MaxSwapLeaves = 48
 	}
 	inc := sta.NewIncrementalBounded(n, lib, o.Clock, o.Bounds)
-	defer inc.Close()
+	defer inc.Release()
 	tm := inc.Timing()
 	clock := tm.Clock
 
@@ -224,7 +237,11 @@ func Optimize(ctx context.Context, n *network.Network, lib *library.Library, str
 	// re-extracted, instead of a from-scratch O(network) Extract.
 	cache := supergate.NewCache(n)
 	defer cache.Close()
-	eng := NewEngine(o.Workers)
+	eng := o.engine
+	if eng == nil {
+		eng = NewEngine(o.Workers)
+		defer eng.Release()
+	}
 
 	ext := cache.Extraction()
 	res := Result{
@@ -287,9 +304,11 @@ func Optimize(ctx context.Context, n *network.Network, lib *library.Library, str
 				// The batch regressed globally (a locally-scored move
 				// misled); roll it back and retry with only the single
 				// best move, which is almost always sound.
+				n.BeginBatch()
 				for i := len(undos) - 1; i >= 0; i-- {
 					undos[i]()
 				}
+				n.EndBatch()
 				res.Swaps, res.Resizes = swaps0, resizes0
 				tm = inc.Update()
 				applied, undos = runPhaseCapped(n, tm, strat, obj, o, &res, 1, eng, cache)
@@ -300,9 +319,11 @@ func Optimize(ctx context.Context, n *network.Network, lib *library.Library, str
 				tm = inc.Update()
 				after = tm.Lateness
 				if after > before+eps {
+					n.BeginBatch()
 					for i := len(undos) - 1; i >= 0; i-- {
 						undos[i]()
 					}
+					n.EndBatch()
 					res.Swaps, res.Resizes = swaps0, resizes0
 					tm = inc.Update()
 					report(iter, obj, 0, tm)
@@ -335,11 +356,16 @@ func Optimize(ctx context.Context, n *network.Network, lib *library.Library, str
 	// chains often serve as buffers, and stripping them regresses delay;
 	// inverting swaps already collapse onto inverter drivers instead of
 	// stacking (see rewire.Apply), so nothing accretes.
+	if o.skipFinal {
+		res.FinalDelay = inc.Update().CriticalDelay
+	} else {
+		final := sta.AnalyzeReleased(n, lib, clock, o.Bounds)
+		res.FinalDelay = final.CriticalDelay
+		sta.ReleaseTiming(final)
+	}
 	res.Timer = inc.Stats()
 	res.Extractor = cache.Stats()
-	res.Evals = eng.Stats()
-	final := sta.AnalyzeBounded(n, lib, clock, o.Bounds)
-	res.FinalDelay = final.CriticalDelay
+	res.Evals = eng.TakeStats()
 	res.FinalArea = techmap.Area(n, lib)
 	return res
 }
@@ -359,6 +385,12 @@ func runPhaseCapped(n *network.Network, tm *sta.Timing, strat Strategy, obj sizi
 	applied := 0
 	var undos []Undo
 	sc := eng.state[0].sc
+	// One batch window per application round: the extraction cache sees
+	// the round's mutations as a single coalesced GateBatch at EndBatch
+	// instead of per-move callbacks; the next Extraction call (top of the
+	// following round) is the flush point either way.
+	n.BeginBatch()
+	defer n.EndBatch()
 	for _, m := range moves {
 		if maxApply > 0 && applied >= maxApply {
 			break

@@ -32,6 +32,7 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/library"
 	"repro/internal/network"
@@ -99,7 +100,24 @@ func OptimizeRegioned(ctx context.Context, n *network.Network, lib *library.Libr
 		pw = region.DefaultWindow
 	}
 
-	tm := sta.AnalyzeBounded(n, lib, o.Clock, o.Bounds)
+	// Concurrency cap (not region cap): more regions than processors is
+	// fine — smaller independent subproblems — but running more region
+	// goroutines than GOMAXPROCS buys zero overlap while paying scheduler
+	// churn and peak memory for every in-flight region at once. On a
+	// sequential host (GOMAXPROCS=1) the cap degrades to running the
+	// regions inline on the calling goroutine. Each concurrency slot owns
+	// one persistent scoring engine, so scratch arenas warm up once per
+	// run instead of once per region per round.
+	maxConc := runtime.GOMAXPROCS(0)
+	if maxConc > rs.Regions {
+		maxConc = rs.Regions
+	}
+	engines := make([]*Engine, maxConc)
+
+	// Global analyses cycle through the sta timing pool: each round
+	// replaces tm (or drops a rejected reconcile), so the network-sized
+	// arrays are recycled instead of reallocated per analysis.
+	tm := sta.AnalyzeReleased(n, lib, o.Clock, o.Bounds)
 	clock := tm.Clock
 	ext := supergate.Extract(n)
 	res := Result{
@@ -131,74 +149,233 @@ func OptimizeRegioned(ctx context.Context, n *network.Network, lib *library.Libr
 			break
 		}
 
-		// Extract every region under the same frozen global analysis and
-		// keep a pristine clone for the rollback path.
-		exts := make([]*region.Extracted, len(part.Regions))
-		pre := make([]*network.Network, len(part.Regions))
-		for i, r := range part.Regions {
-			exts[i] = region.Extract(n, tm, r)
-			pre[i], _ = exts[i].Net.Clone()
+		// Hot path: a partition that collapsed to one region covering
+		// (nearly) the whole network — the common case for unwindowed
+		// runs, whose seed window blankets the tied-slack critical core
+		// and grows to almost everything. Extraction exists to isolate
+		// *concurrent* regions from each other; a lone region has no
+		// sibling, so when it also spans ≥90% of the logic the per-round
+		// extract/snapshot/stitch round trip and the subnetwork's
+		// supergate-cache rebuild — both proportional to the whole
+		// network — buy nothing (measured at ~1.5x the sequential wall
+		// clock on generated s38417, where the one region holds 10021 of
+		// 10090 gates). Run the optimizer directly on n instead: its own
+		// lateness guard *is* the global guard here, rewiring mutators
+		// preserve acyclicity, and with no sibling stitches there is no
+		// boundary interaction for a reconcile to reject, so the safety
+		// nets below would be redundant. The direct run may also improve
+		// the few gates the region excluded — a superset of the region's
+		// own candidate space, under the same guard.
+		if len(part.Regions) == 1 &&
+			10*len(part.Regions[0].Interior) >= 9*(n.NumGates()-len(n.Inputs())) {
+			so := o
+			if o.Window <= 0 {
+				so.MaxIters = 1 // same per-round budget as runRegion
+			}
+			so.Clock = clock
+			workers := o.Workers
+			if workers <= 0 {
+				workers = runtime.GOMAXPROCS(0)
+			}
+			so.Workers = workers
+			if engines[0] == nil {
+				engines[0] = NewEngine(workers)
+			}
+			so.engine = engines[0]
+			so.skipFinal = true
+			so.Progress = nil
+			r := Optimize(ctx, n, lib, strat, so)
+			res.Timer.Add(r.Timer)
+			res.Extractor.Add(r.Extractor)
+			res.Evals.Add(r.Evals)
+			res.Iterations = round + 1
+			applied := r.Swaps + r.Resizes
+			if applied == 0 {
+				// Nothing committed: n, and therefore tm, are unchanged.
+				if o.Progress != nil {
+					o.Progress(PhaseReport{
+						Iteration: round + 1, Phase: "round", Applied: 0,
+						Delay: tm.CriticalDelay, Lateness: tm.Lateness,
+						Swaps: res.Swaps, Resizes: res.Resizes,
+					})
+				}
+				break
+			}
+			res.Swaps += r.Swaps
+			res.Resizes += r.Resizes
+			// The in-place run left tm stale; sweep the orphans first so
+			// one fresh analysis serves as both the next round's baseline
+			// and this round's ground truth (no accept decision needs the
+			// pre-sweep lateness — the inner guard already enforced it).
+			n.Sweep()
+			sta.ReleaseTiming(tm)
+			tm = sta.AnalyzeReleased(n, lib, clock, o.Bounds)
+			res.Timer.FullAnalyses++
+			improved := tm.Lateness < bestLateness-eps
+			if tm.Lateness < bestLateness {
+				bestLateness = tm.Lateness
+			}
+			if o.Progress != nil {
+				o.Progress(PhaseReport{
+					Iteration: round + 1, Phase: "round", Applied: applied,
+					Delay: tm.CriticalDelay, Lateness: tm.Lateness,
+					Swaps: res.Swaps, Resizes: res.Resizes,
+				})
+			}
+			if !improved {
+				break
+			}
+			continue
 		}
 
-		// Optimize all subnetworks concurrently. Each goroutine owns its
-		// subnetwork outright (network, timer, cache, engine); the global
-		// network is only read through the frozen bounds captured above.
-		// The scoring-worker budget is split across the regions (scoring
-		// is bit-identical at every worker count, so this only moves CPU
-		// time around).
+		// Extract every region under the same frozen global analysis. The
+		// rollback image for the revert path is snapshotted lazily in the
+		// stitch loop below, so regions that commit nothing never pay for
+		// a pristine copy.
+		exts := make([]*region.Extracted, len(part.Regions))
+		pre := make([]*region.Snapshot, len(part.Regions))
+		for i, r := range part.Regions {
+			exts[i] = region.Extract(n, tm, r)
+		}
+
+		// Optimize all subnetworks with at most maxConc in flight. Each
+		// slot owns its subnetworks outright (network, timer, cache) plus
+		// the slot's persistent engine; the global network is only read
+		// through the frozen bounds captured above. The scoring-worker
+		// budget is split across the concurrency slots, not the region
+		// count (scoring is bit-identical at every worker count, so this
+		// only moves CPU time around).
+		conc := maxConc
+		if conc > len(exts) {
+			conc = len(exts)
+		}
 		workers := o.Workers
 		if workers <= 0 {
 			workers = runtime.GOMAXPROCS(0)
 		}
-		workers /= len(exts)
+		workers /= conc
 		if workers < 1 {
 			workers = 1
 		}
 		results := make([]Result, len(exts))
-		var wg sync.WaitGroup
-		for i := range exts {
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				so := o
-				so.Clock = clock
-				so.Bounds = exts[i].Bounds
-				so.Workers = workers
-				// Per-region phase reports would interleave across
-				// goroutines; the scheduler reports per round instead.
-				so.Progress = nil
-				results[i] = Optimize(ctx, exts[i].Net, lib, strat, so)
-			}(i)
+		runRegion := func(slot, i int) {
+			so := o
+			// Unwindowed regions run a single optimizer iteration per
+			// round: the scheduler's rounds are the outer loop, and
+			// letting every region re-converge privately only re-scores
+			// the same full-cost phases again (measured at ~1.5x the
+			// total candidate evaluations for identical final delay).
+			// Windowed regions keep the caller's iteration budget — their
+			// phases are site-budgeted and cheap, and the extra in-region
+			// iterations are where the window's quality comes from.
+			if o.Window <= 0 {
+				so.MaxIters = 1
+			}
+			so.Clock = clock
+			so.Bounds = exts[i].Bounds
+			so.Workers = workers
+			if engines[slot] == nil {
+				engines[slot] = NewEngine(workers)
+			}
+			so.engine = engines[slot]
+			// The per-region FinalDelay is discarded — the round's global
+			// reconcile below is the ground truth — so skip each region's
+			// final from-scratch analysis.
+			so.skipFinal = true
+			// Per-region phase reports would interleave across
+			// goroutines; the scheduler reports per round instead.
+			so.Progress = nil
+			results[i] = Optimize(ctx, exts[i].Net, lib, strat, so)
 		}
-		wg.Wait()
+		if conc <= 1 {
+			for i := range exts {
+				runRegion(0, i)
+			}
+		} else {
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			wg.Add(conc)
+			for slot := 0; slot < conc; slot++ {
+				go func(slot int) {
+					defer wg.Done()
+					for {
+						i := int(next.Add(1)) - 1
+						if i >= len(exts) {
+							return
+						}
+						runRegion(slot, i)
+					}
+				}(slot)
+			}
+			wg.Wait()
+		}
 
 		// Stitch sequentially (network mutation is single-threaded), in
-		// region order for determinism.
+		// region order for determinism. A region whose optimizer committed
+		// nothing is skipped outright: Extract never mutated the global
+		// network, so its original interior is still in place and the
+		// stitch would only replace it with an identical copy.
 		installed := make([][]*network.Gate, len(exts))
+		anyModified := false
 		for i := range exts {
+			if results[i].Swaps+results[i].Resizes == 0 {
+				continue
+			}
+			// Snapshot the pristine interior (still in place — Extract
+			// never mutated n, and sibling stitches restore boundary
+			// names) right before replacing it; this is the image a
+			// revert stitches back.
+			pre[i] = exts[i].Snapshot()
 			installed[i] = region.Stitch(n, exts[i].Net, exts[i].Region.Interior)
+			anyModified = true
 		}
 		revert := func() {
 			for i := range exts {
-				region.Stitch(n, pre[i], installed[i])
+				if installed[i] != nil {
+					region.Stitch(n, pre[i].Net(n.Name()), installed[i])
+				}
 			}
+		}
+		if !anyModified {
+			// Nothing changed anywhere: the network, and therefore the
+			// analysis, are exactly as before the round. Fold the
+			// per-region work in and stop — an empty round cannot improve.
+			res.Iterations = round + 1
+			for i := range results {
+				res.Timer.Add(results[i].Timer)
+				res.Extractor.Add(results[i].Extractor)
+				res.Evals.Add(results[i].Evals)
+			}
+			if o.Progress != nil {
+				o.Progress(PhaseReport{
+					Iteration: round + 1, Phase: "round", Applied: 0,
+					Delay: tm.CriticalDelay, Lateness: tm.Lateness,
+					Swaps: res.Swaps, Resizes: res.Resizes,
+				})
+			}
+			break
 		}
 
 		// Safety net 1: structural validity (exterior re-entrant paths
-		// can close a cycle region-local rewiring cannot see).
-		if err := n.Validate(); err != nil {
+		// can close a cycle region-local rewiring cannot see). The dense
+		// acyclicity/liveness check covers exactly the damage stitching
+		// can cause at a fraction of a full Validate.
+		if err := n.CheckAcyclic(); err != nil {
 			revert()
-			tm = sta.AnalyzeBounded(n, lib, clock, o.Bounds)
+			sta.ReleaseTiming(tm)
+			tm = sta.AnalyzeReleased(n, lib, clock, o.Bounds)
 			res.Timer.FullAnalyses++
 			break
 		}
 		// Safety net 2: the global reconcile — accept the round only if
 		// the boundary lateness did not regress.
-		after := sta.AnalyzeBounded(n, lib, clock, o.Bounds)
+		after := sta.AnalyzeReleased(n, lib, clock, o.Bounds)
 		res.Timer.FullAnalyses++
 		if after.Lateness > bestLateness+eps {
 			revert()
-			tm = sta.AnalyzeBounded(n, lib, clock, o.Bounds)
+			sta.ReleaseTiming(after)
+			sta.ReleaseTiming(tm)
+			tm = sta.AnalyzeReleased(n, lib, clock, o.Bounds)
 			res.Timer.FullAnalyses++
 			break
 		}
@@ -206,6 +383,7 @@ func OptimizeRegioned(ctx context.Context, n *network.Network, lib *library.Libr
 		// Accepted: fold in the per-region work and clean up gates the
 		// rewiring orphaned (dead boundary drivers stay alive until here
 		// so that a revert could still resolve them by name).
+		sta.ReleaseTiming(tm)
 		tm = after
 		res.Iterations = round + 1
 		improved := after.Lateness < bestLateness-eps
@@ -233,7 +411,8 @@ func OptimizeRegioned(ctx context.Context, n *network.Network, lib *library.Libr
 		// so the next round's partition and pinned bounds need a fresh
 		// analysis whenever the sweep actually removed something.
 		if n.Sweep() > 0 {
-			tm = sta.AnalyzeBounded(n, lib, clock, o.Bounds)
+			sta.ReleaseTiming(tm)
+			tm = sta.AnalyzeReleased(n, lib, clock, o.Bounds)
 			res.Timer.FullAnalyses++
 			// Removing dead sinks only unloads nets, so the post-sweep
 			// lateness is the tighter baseline for the next round.
@@ -245,10 +424,16 @@ func OptimizeRegioned(ctx context.Context, n *network.Network, lib *library.Libr
 			break
 		}
 	}
+	for _, eng := range engines {
+		if eng != nil {
+			eng.Release()
+		}
+	}
 	if cancelled(ctx) {
 		res.Interrupted = true
 	}
 	res.FinalDelay = tm.CriticalDelay
+	sta.ReleaseTiming(tm)
 	res.FinalArea = techmap.Area(n, lib)
 	return res
 }

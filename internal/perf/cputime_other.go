@@ -1,0 +1,9 @@
+//go:build !unix
+
+package perf
+
+import "time"
+
+// processCPUTime is unavailable off unix; the harness falls back to wall
+// clock for its ratios and records cpu_min_ms as 0.
+func processCPUTime() time.Duration { return 0 }

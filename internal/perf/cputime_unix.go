@@ -1,0 +1,19 @@
+//go:build unix
+
+package perf
+
+import (
+	"syscall"
+	"time"
+)
+
+// processCPUTime returns the user+system CPU time consumed by the process
+// so far. Unlike wall clock, it excludes time the host scheduler gave to
+// other tenants, which makes per-arm ratios robust on shared machines.
+func processCPUTime() time.Duration {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return time.Duration(ru.Utime.Nano() + ru.Stime.Nano())
+}

@@ -1,0 +1,103 @@
+package perf
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkMoveGen-1        	       1	76533664 ns/op	 1234567 B/op	    4321 allocs/op
+BenchmarkMoveGen-1        	       1	70000000 ns/op	 1234567 B/op	    4300 allocs/op
+BenchmarkIncrementalSTA-1 	       1	  123456 ns/op	    2048 B/op	      12 allocs/op
+BenchmarkNoMemStats-1     	       5	    9999 ns/op
+PASS
+ok  	repro	2.345s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	got, err := ParseBenchOutput(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("want 3 benchmarks, got %v", got)
+	}
+	// Min across the two MoveGen runs, -1 suffix stripped.
+	mg := got["BenchmarkMoveGen"]
+	if mg.NsPerOp != 70000000 || mg.AllocsPerOp != 4300 || mg.Runs != 2 || !mg.HasMem {
+		t.Errorf("MoveGen parsed wrong: %+v", mg)
+	}
+	if nm := got["BenchmarkNoMemStats"]; nm.HasMem || nm.NsPerOp != 9999 {
+		t.Errorf("NoMemStats parsed wrong: %+v", nm)
+	}
+}
+
+func TestGateDetectsViolations(t *testing.T) {
+	got, err := ParseBenchOutput(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Baseline{Bands: map[string]Band{
+		// Holds: measured 70e6 ns, 4300 allocs.
+		"BenchmarkMoveGen": {MaxNsPerOp: 200e6, MaxAllocsPerOp: 5000},
+		// ns/op violated: measured 123456 > 100000.
+		"BenchmarkIncrementalSTA": {MaxNsPerOp: 100000, MaxAllocsPerOp: 100},
+		// Missing from the run entirely.
+		"BenchmarkRenamedAway": {MaxNsPerOp: 1},
+	}}
+	vs := Compare(base, got)
+	if len(vs) != 2 {
+		t.Fatalf("want 2 violations, got %v", vs)
+	}
+	byBench := map[string]Violation{}
+	for _, v := range vs {
+		byBench[v.Bench] = v
+	}
+	if v := byBench["BenchmarkIncrementalSTA"]; v.Metric != "ns/op" || v.Got != 123456 {
+		t.Errorf("expected ns/op violation, got %+v", v)
+	}
+	if v := byBench["BenchmarkRenamedAway"]; v.Metric != "missing" {
+		t.Errorf("expected missing violation, got %+v", v)
+	}
+
+	// A deliberate alloc regression trips the strict allocs band.
+	base.Bands["BenchmarkMoveGen"] = Band{MaxNsPerOp: 200e6, MaxAllocsPerOp: 4000}
+	vs = Compare(base, got)
+	found := false
+	for _, v := range vs {
+		if v.Bench == "BenchmarkMoveGen" && v.Metric == "allocs/op" && v.Got == 4300 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("allocs/op regression not detected: %v", vs)
+	}
+
+	// The report names every violation readably.
+	rep := FormatReport(base, got, vs)
+	for _, want := range []string{"FAIL", "BenchmarkRenamedAway", "allocs/op", "ns/op"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestGatePassesWithinBands(t *testing.T) {
+	got, err := ParseBenchOutput(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Baseline{Bands: map[string]Band{
+		"BenchmarkMoveGen":        {MaxNsPerOp: 200e6, MaxAllocsPerOp: 5000},
+		"BenchmarkIncrementalSTA": {MaxNsPerOp: 1e6, MaxAllocsPerOp: 100},
+	}}
+	if vs := Compare(base, got); len(vs) != 0 {
+		t.Fatalf("unexpected violations: %v", vs)
+	}
+	if rep := FormatReport(base, got, nil); !strings.Contains(rep, "all bands hold") {
+		t.Errorf("pass report wrong:\n%s", rep)
+	}
+}

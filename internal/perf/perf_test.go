@@ -1,0 +1,81 @@
+package perf
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRunGridSmoke runs the smallest meaningful grid — one tiny circuit,
+// a sequential and a regioned arm — and checks the report invariants the
+// CI smoke job depends on: every arm measured, host facts present, the
+// scaling ratio computed against the sequential baseline, determinism
+// verified, and the JSON round-trippable.
+func TestRunGridSmoke(t *testing.T) {
+	dir := t.TempDir()
+	rep, err := RunGrid(GridConfig{
+		Circuits:   []string{"alu2"},
+		Workers:    []int{1, 2},
+		Regions:    []int{1, 4},
+		Windows:    []float64{0},
+		Reps:       2,
+		MaxIters:   2,
+		ProfileDir: filepath.Join(dir, "profiles"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 4 {
+		t.Fatalf("want 4 arms, got %d", len(rep.Results))
+	}
+	if !rep.DeterminismChecked {
+		t.Error("determinism not checked")
+	}
+	if rep.Host.CPUsAvailable < 1 || rep.Host.GoVersion == "" {
+		t.Errorf("host facts incomplete: %+v", rep.Host)
+	}
+	for _, r := range rep.Results {
+		if r.Reps != 2 {
+			t.Errorf("%s: want 2 reps, got %d", r.Arm, r.Reps)
+		}
+		if r.WallMinMS <= 0 || r.WallMinMS > r.WallMedianMS {
+			t.Errorf("%s: bad wall stats min=%v median=%v", r.Arm, r.WallMinMS, r.WallMedianMS)
+		}
+		if r.FinalDelayNS <= 0 || r.Allocs == 0 {
+			t.Errorf("%s: missing quality/alloc fields: %+v", r.Arm, r)
+		}
+	}
+	// Three non-baseline arms, each with a ratio against w1/r1.
+	if len(rep.Ratios) != 3 {
+		t.Errorf("want 3 scaling ratios, got %v", rep.Ratios)
+	}
+	for arm, ratio := range rep.Ratios {
+		if ratio <= 0 {
+			t.Errorf("ratio for %s not positive: %v", arm, ratio)
+		}
+	}
+
+	// Per-arm profiles from the last rep.
+	profs, _ := filepath.Glob(filepath.Join(dir, "profiles", "*.prof"))
+	if len(profs) != 8 { // cpu+mem per arm
+		t.Errorf("want 8 profile files, got %d: %v", len(profs), profs)
+	}
+
+	// The JSON document round-trips.
+	path := filepath.Join(dir, "report.json")
+	if err := rep.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("report JSON does not parse: %v", err)
+	}
+	if back.PR != 6 || len(back.Results) != 4 {
+		t.Errorf("round-trip mismatch: pr=%d results=%d", back.PR, len(back.Results))
+	}
+}

@@ -1,0 +1,75 @@
+package perf
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// StartProfiles starts the profiling outputs requested by a CLI's
+// -cpuprofile / -memprofile / -trace flags. Empty paths are skipped.
+// The returned stop function finishes the CPU profile and execution
+// trace and writes the heap profile (after a GC, so live bytes are
+// accurate); call it exactly once, after the measured work, and before
+// process exit — os.Exit skips deferred writes, so CLIs must stop
+// explicitly on their error paths too.
+func StartProfiles(cpuPath, memPath, tracePath string) (stop func() error, err error) {
+	var cpuFile, traceFile *os.File
+	cleanup := func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if traceFile != nil {
+			trace.Stop()
+			traceFile.Close()
+		}
+	}
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			cpuFile = nil
+			cleanup()
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+	}
+	if tracePath != "" {
+		traceFile, err = os.Create(tracePath)
+		if err != nil {
+			cleanup()
+			return nil, fmt.Errorf("trace: %w", err)
+		}
+		if err := trace.Start(traceFile); err != nil {
+			traceFile.Close()
+			traceFile = nil
+			cleanup()
+			return nil, fmt.Errorf("trace: %w", err)
+		}
+	}
+	stopped := false
+	return func() error {
+		if stopped {
+			return nil
+		}
+		stopped = true
+		cleanup()
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("mem profile: %w", err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("mem profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

@@ -13,7 +13,9 @@ package region
 import (
 	"fmt"
 	"math"
+	"strconv"
 
+	"repro/internal/logic"
 	"repro/internal/network"
 	"repro/internal/sta"
 )
@@ -33,6 +35,12 @@ type Extracted struct {
 	// BoundaryInputs and BoundaryOutputs count the frozen interface.
 	BoundaryInputs  int
 	BoundaryOutputs int
+
+	// order and interior are the interior-local topological order and
+	// membership set Extract walked; Snapshot reuses them so capturing a
+	// rollback image does not recompute either.
+	order    []*network.Gate
+	interior map[*network.Gate]bool
 }
 
 // Extract lifts region r out of n under the global analysis tm. The
@@ -60,11 +68,14 @@ func Extract(n *network.Network, tm *sta.Timing, r *Region) *Extracted {
 
 	// Interior gates in interior-local topological order.
 	inInterior := func(g *network.Gate) bool { return interior[g] }
-	for _, g := range network.TopoOrderAmong(r.Interior, inInterior) {
-		fanins := make([]*network.Gate, g.NumFanins())
-		for i, f := range g.Fanins() {
+	e.order = network.TopoOrderAmong(r.Interior, inInterior)
+	e.interior = interior
+	var fanins []*network.Gate
+	for _, g := range e.order {
+		fanins = fanins[:0]
+		for _, f := range g.Fanins() {
 			if sf := m[f]; sf != nil {
-				fanins[i] = sf
+				fanins = append(fanins, sf)
 				continue
 			}
 			if interior[f] {
@@ -74,7 +85,7 @@ func Extract(n *network.Network, tm *sta.Timing, r *Region) *Extracted {
 			pi.X, pi.Y, pi.Placed = f.X, f.Y, f.Placed
 			b.PIArrival[pi] = tm.Arrival(f)
 			m[f] = pi
-			fanins[i] = pi
+			fanins = append(fanins, pi)
 			e.BoundaryInputs++
 		}
 		sg := sub.AddGate(g.Name(), g.Type, fanins...)
@@ -128,13 +139,126 @@ func Extract(n *network.Network, tm *sta.Timing, r *Region) *Extracted {
 	return e
 }
 
+// Snapshot is a compact structural record of one region, captured from
+// the live network before its interior is replaced. It stores exactly
+// what a revert needs — names, types, sizes, placement, PO marks, and
+// fanin wiring as dense indices — without building Gate objects or name
+// maps, so capturing costs a few slice passes. Net materializes the
+// record into a standalone subnetwork (gate-for-gate identical to the
+// Net of a bounds-free Extract) only when a revert actually happens.
+type Snapshot struct {
+	gates []snapGate
+}
+
+type snapGate struct {
+	name       string
+	typ        logic.GateType
+	sizeIdx    int
+	x, y       float64
+	placed, po bool
+	fanins     []int32 // indices into gates; -1 never appears (inputs have none)
+}
+
+// CaptureSnapshot records region r from n. The interior must still be in
+// place (Extract never mutates n, and sibling stitches restore boundary
+// names, so capturing any not-yet-stitched region mid-round is sound).
+func CaptureSnapshot(n *network.Network, r *Region) *Snapshot {
+	interior := make(map[*network.Gate]bool, len(r.Interior))
+	for _, g := range r.Interior {
+		interior[g] = true
+	}
+	inInterior := func(g *network.Gate) bool { return interior[g] }
+	return captureSnapshot(network.TopoOrderAmong(r.Interior, inInterior), interior)
+}
+
+// Snapshot captures the rollback image of e's region, reusing the
+// topological order and membership set Extract already computed. The
+// interior must still be in place, as for CaptureSnapshot.
+func (e *Extracted) Snapshot() *Snapshot {
+	return captureSnapshot(e.order, e.interior)
+}
+
+func captureSnapshot(order []*network.Gate, interior map[*network.Gate]bool) *Snapshot {
+	s := &Snapshot{gates: make([]snapGate, 0, len(order)+len(order)/2)}
+	idx := make(map[*network.Gate]int32, len(order))
+	faninIdx := make([]int32, 0, 4*len(order))
+	for _, g := range order {
+		base := len(faninIdx)
+		for _, f := range g.Fanins() {
+			fi, ok := idx[f]
+			if !ok {
+				if interior[f] {
+					panic("region: interior fanin not yet captured: " + f.String())
+				}
+				fi = int32(len(s.gates))
+				idx[f] = fi
+				s.gates = append(s.gates, snapGate{
+					name: f.Name(), typ: logic.Input,
+					x: f.X, y: f.Y, placed: f.Placed,
+				})
+			}
+			faninIdx = append(faninIdx, fi)
+		}
+		gi := int32(len(s.gates))
+		idx[g] = gi
+		s.gates = append(s.gates, snapGate{
+			name: g.Name(), typ: g.Type, sizeIdx: g.SizeIdx,
+			x: g.X, y: g.Y, placed: g.Placed,
+			fanins: faninIdx[base:len(faninIdx):len(faninIdx)],
+		})
+	}
+	for _, g := range order {
+		exterior := g.PO
+		if !exterior {
+			for _, sk := range g.Fanouts() {
+				if !interior[sk] {
+					exterior = true
+					break
+				}
+			}
+		}
+		if exterior {
+			s.gates[idx[g]].po = true
+		}
+	}
+	return s
+}
+
+// Net materializes the snapshot into a standalone subnetwork, the
+// rollback image a revert re-stitches.
+func (s *Snapshot) Net(name string) *network.Network {
+	sub := network.New(name)
+	built := make([]*network.Gate, len(s.gates))
+	var fanins []*network.Gate
+	for i := range s.gates {
+		sg := &s.gates[i]
+		var g *network.Gate
+		if sg.typ == logic.Input {
+			g = sub.AddInput(sg.name)
+		} else {
+			fanins = fanins[:0]
+			for _, fi := range sg.fanins {
+				fanins = append(fanins, built[fi])
+			}
+			g = sub.AddGate(sg.name, sg.typ, fanins...)
+			g.SizeIdx = sg.sizeIdx
+		}
+		g.X, g.Y, g.Placed = sg.x, sg.y, sg.placed
+		if sg.po {
+			sub.MarkOutput(g)
+		}
+		built[i] = g
+	}
+	return sub
+}
+
 // Stitch replaces the gates of oldInterior in n with the logic of sub:
 // fresh gates are instantiated for every non-input subnetwork gate (wired
 // to the boundary drivers resolved *by name*, so stitches of sibling
 // regions may run in any order), the fanouts and PO flags of every
 // subnetwork primary output transfer from the like-named old gate to its
-// replacement, the old interior is deleted, and the replacements take over
-// the subnetwork names wherever those are free (always, for boundary
+// replacement, the old interior is deleted, and the replacements take the
+// subnetwork names wherever those are free (always, for boundary
 // outputs). It returns the installed gates — the oldInterior of a
 // subsequent Stitch that wants to replace this one (the scheduler's
 // rollback path).
@@ -144,31 +268,60 @@ func Extract(n *network.Network, tm *sta.Timing, r *Region) *Extracted {
 // runs a global traversal of n, so it works — deliberately — even when n
 // is temporarily cyclic during a multi-region rollback.
 func Stitch(n *network.Network, sub *network.Network, oldInterior []*network.Gate) []*network.Gate {
-	oldSet := make(map[*network.Gate]bool, len(oldInterior))
+	// One coalesced event batch for the whole stitch: observers that opt
+	// in see the add/transfer/remove storm as a single delivery.
+	n.BeginBatch()
+	defer n.EndBatch()
+
+	// Rename the old interior out of the way up front: the old holders are
+	// the only reason the replacement names would collide, so with them on
+	// scratch names every replacement can be created directly under its
+	// final name instead of minting a fresh name and renaming after the
+	// removal. The scratch names are NUL-prefixed — impossible in a
+	// netlist, unique by gate ID — and every holder dies before Stitch
+	// returns (the whole old interior is removed below).
+	oldByName := make(map[string]*network.Gate, len(oldInterior))
+	var scratch []byte
 	for _, g := range oldInterior {
-		oldSet[g] = true
+		oldByName[g.Name()] = g
+		scratch = append(scratch[:0], '\x00')
+		n.Rename(g, string(strconv.AppendInt(scratch, int64(g.ID()), 10)))
 	}
 
 	order := sub.TopoOrder()
-	m := make(map[*network.Gate]*network.Gate, len(order))
+	// Subnetwork gate IDs are dense, so the sub→global correspondence is
+	// an ID-indexed slice rather than a pointer-keyed map.
+	m := make([]*network.Gate, sub.IDBound())
 	installed := make([]*network.Gate, 0, len(order))
+	var fanins []*network.Gate
 	for _, sg := range order {
 		if sg.IsInput() {
 			d := n.FindGate(sg.Name())
 			if d == nil {
 				panic(fmt.Sprintf("region: boundary driver %q missing from network", sg.Name()))
 			}
-			m[sg] = d
+			m[sg.ID()] = d
 			continue
 		}
-		fanins := make([]*network.Gate, sg.NumFanins())
-		for i, f := range sg.Fanins() {
-			fanins[i] = m[f]
+		fanins = fanins[:0]
+		for _, f := range sg.Fanins() {
+			fanins = append(fanins, m[f.ID()])
 		}
-		ng := n.AddGate(n.FreshName(sg.Name()+"_st"), sg.Type, fanins...)
+		// Names are restored best-effort: a name the optimizer minted
+		// inside the subnetwork can collide with an unrelated global gate,
+		// in which case a fresh stitch name stands. Boundary outputs must
+		// get their names back (the functional interface is name-keyed).
+		name := sg.Name()
+		if n.FindGate(name) != nil {
+			if sg.PO {
+				panic(fmt.Sprintf("region: boundary output name %q already taken in network", name))
+			}
+			name = n.FreshName(name + "_st")
+		}
+		ng := n.AddGate(name, sg.Type, fanins...)
 		ng.SizeIdx = sg.SizeIdx
 		ng.X, ng.Y, ng.Placed = sg.X, sg.Y, sg.Placed
-		m[sg] = ng
+		m[sg.ID()] = ng
 		installed = append(installed, ng)
 	}
 
@@ -180,31 +333,14 @@ func Stitch(n *network.Network, sub *network.Network, oldInterior []*network.Gat
 		if sg.IsInput() || !sg.PO {
 			continue
 		}
-		old := n.FindGate(sg.Name())
-		if old == nil || !oldSet[old] {
+		old := oldByName[sg.Name()]
+		if old == nil {
 			panic(fmt.Sprintf("region: boundary output %q is not an old-interior gate", sg.Name()))
 		}
-		n.TransferFanouts(old, m[sg])
+		n.TransferFanouts(old, m[sg.ID()])
 	}
 
 	removeInterior(n, oldInterior)
-
-	// Reclaim the subnetwork names now that the old holders are gone.
-	// Boundary outputs must get their names back (the functional
-	// interface is name-keyed); interior names are restored best-effort —
-	// a name the optimizer minted inside the subnetwork can collide with
-	// an unrelated global gate, in which case the fresh stitch name
-	// stands.
-	for _, sg := range order {
-		if sg.IsInput() || m[sg].Name() == sg.Name() {
-			continue
-		}
-		if n.FindGate(sg.Name()) == nil {
-			n.Rename(m[sg], sg.Name())
-		} else if sg.PO {
-			panic(fmt.Sprintf("region: boundary output name %q still taken after stitch", sg.Name()))
-		}
-	}
 	return installed
 }
 
@@ -212,16 +348,16 @@ func Stitch(n *network.Network, sub *network.Network, oldInterior []*network.Gat
 // none remain (the interior is a DAG whose external observers were all
 // transferred away, so the peel always terminates).
 func removeInterior(n *network.Network, interior []*network.Gate) {
-	inSet := make(map[*network.Gate]bool, len(interior))
+	const inSet, queued = 1, 2 // flag bits: interior member, already scheduled
+	flags := make(map[*network.Gate]uint8, len(interior))
 	for _, g := range interior {
-		inSet[g] = true
+		flags[g] = inSet
 	}
 	var ready []*network.Gate
-	queued := make(map[*network.Gate]bool, len(interior))
 	for _, g := range interior {
 		if g.NumFanouts() == 0 && !g.PO {
 			ready = append(ready, g)
-			queued[g] = true
+			flags[g] = inSet | queued
 		}
 	}
 	removed := 0
@@ -233,9 +369,9 @@ func removeInterior(n *network.Network, interior []*network.Gate) {
 		n.RemoveGate(g)
 		removed++
 		for _, f := range fanins {
-			if inSet[f] && !queued[f] && f.NumFanouts() == 0 && !f.PO {
+			if flags[f] == inSet && f.NumFanouts() == 0 && !f.PO {
 				ready = append(ready, f)
-				queued[f] = true
+				flags[f] = inSet | queued
 			}
 		}
 	}

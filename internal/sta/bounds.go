@@ -37,6 +37,41 @@ type Bounds struct {
 	// POLoad adds extra capacitance (pF, may be negative) to the total
 	// load of the listed gates, on top of the net and the PO pad.
 	POLoad map[*network.Gate]float64
+
+	// loadDense and reqDense are ID-indexed views of POLoad and
+	// PORequired, built by densify the first time an analysis attaches.
+	// extraLoadOf sits on the per-net hot path of bounded analyses and
+	// requiredOf on the per-output lateness rescan, and a dense-ID read
+	// beats hashing a gate pointer there. Bounds are frozen once an
+	// analysis starts, so the views never go stale; gates created after
+	// densify (IDs past the end) correctly read the defaults. reqSet
+	// marks which reqDense entries are pinned.
+	loadDense []float64
+	reqDense  []Edge
+	reqSet    []bool
+}
+
+// densify builds the dense views for gate IDs below bound. Calling it
+// again with a larger bound rebuilds; with the same or smaller, it is a
+// no-op.
+func (b *Bounds) densify(bound int) {
+	if b == nil || len(b.loadDense) >= bound {
+		return
+	}
+	b.loadDense = make([]float64, bound)
+	for g, l := range b.POLoad {
+		if g.ID() < bound {
+			b.loadDense[g.ID()] = l
+		}
+	}
+	b.reqDense = make([]Edge, bound)
+	b.reqSet = make([]bool, bound)
+	for g, r := range b.PORequired {
+		if g.ID() < bound {
+			b.reqDense[g.ID()] = r
+			b.reqSet[g.ID()] = true
+		}
+	}
 }
 
 // arrivalOf returns the pinned arrival of primary input g, or zero.
@@ -51,7 +86,13 @@ func (b *Bounds) arrivalOf(g *network.Gate) Edge {
 // clock.
 func (b *Bounds) requiredOf(g *network.Gate, clock float64) Edge {
 	if b != nil {
-		if r, ok := b.PORequired[g]; ok {
+		if b.reqSet != nil {
+			// PORequired is frozen once densified: an out-of-range ID is
+			// a gate created after the freeze, which is never pinned.
+			if id := g.ID(); id < len(b.reqSet) && b.reqSet[id] {
+				return b.reqDense[id]
+			}
+		} else if r, ok := b.PORequired[g]; ok {
 			return r
 		}
 	}
@@ -61,6 +102,14 @@ func (b *Bounds) requiredOf(g *network.Gate, clock float64) Edge {
 // extraLoadOf returns the exterior load correction for g in pF.
 func (b *Bounds) extraLoadOf(g *network.Gate) float64 {
 	if b == nil {
+		return 0
+	}
+	if b.loadDense != nil {
+		// POLoad is frozen once densified: an out-of-range ID is a gate
+		// created after the freeze, which never carries a correction.
+		if id := g.ID(); id < len(b.loadDense) {
+			return b.loadDense[id]
+		}
 		return 0
 	}
 	return b.POLoad[g]

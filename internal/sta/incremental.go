@@ -36,11 +36,18 @@
 // When a batch dirties more than FullFraction of the network, Update falls
 // back to a seeded full Analyze — at that size the from-scratch three-pass
 // walk is cheaper than chasing the frontier.
+//
+// All bookkeeping — the dirty set, logic levels, the level-ordered
+// propagation queues, and the PO set — is held in dense gate-ID-indexed
+// arrays with epoch stamps (no per-event map operations): the PR 6 profile
+// showed the per-move notification cost and the per-update map churn were
+// a measurable slice of the region scheduler's overhead.
 package sta
 
 import (
 	"container/heap"
 	"math"
+	"sync"
 
 	"repro/internal/library"
 	"repro/internal/network"
@@ -95,6 +102,64 @@ func (s IncStats) AvgDirty() float64 {
 	return float64(s.DirtyGates) / float64(s.IncrementalUpdates)
 }
 
+// gateSet is a deduplicating set of gates: an epoch-stamped dense array
+// for O(1) membership plus an insertion-ordered slice for iteration.
+// Reset is O(1) (epoch bump); the backing arrays persist across batches.
+type gateSet struct {
+	stamp []uint64
+	epoch uint64
+	list  []*network.Gate
+}
+
+func (s *gateSet) grow(bound int) {
+	if bound > len(s.stamp) {
+		s.stamp = append(s.stamp, make([]uint64, bound-len(s.stamp))...)
+	}
+}
+
+func (s *gateSet) reset() {
+	s.epoch++
+	s.list = s.list[:0]
+}
+
+// add inserts g, growing the stamp array if g is newer than the last grow.
+func (s *gateSet) add(g *network.Gate) {
+	id := g.ID()
+	if id >= len(s.stamp) {
+		s.grow(id + 1)
+	}
+	if s.stamp[id] == s.epoch {
+		return
+	}
+	s.stamp[id] = s.epoch
+	s.list = append(s.list, g)
+}
+
+func (s *gateSet) has(g *network.Gate) bool {
+	id := g.ID()
+	return id < len(s.stamp) && s.stamp[id] == s.epoch
+}
+
+// remove drops g from the set (the list entry stays; iterators must check
+// has()).
+func (s *gateSet) remove(g *network.Gate) {
+	if id := g.ID(); id < len(s.stamp) && s.stamp[id] == s.epoch {
+		s.stamp[id] = 0
+	}
+}
+
+// size returns the number of live members (list entries that still pass
+// has()); removals are rare, so the common case is len(list).
+func (s *gateSet) size() int {
+	c := 0
+	for _, g := range s.list {
+		if s.has(g) {
+			c++
+		}
+	}
+	return c
+}
+
 // Incremental is a mutation-tracked timer over one network. Create it with
 // NewIncremental, mutate the network through Network methods (which feed
 // the event layer), and call Update to bring timing current. Close it when
@@ -110,10 +175,22 @@ type Incremental struct {
 	// first Update after construction.
 	FullFraction float64
 
-	dirty  map[*network.Gate]struct{}
-	levels map[*network.Gate]int
-	pos    map[*network.Gate]struct{} // current primary outputs
-	stats  IncStats
+	dirty  gateSet
+	levels []int32 // logic level by dense gate ID
+
+	// PO tracking: posList caches n.Outputs(); poMember mirrors each
+	// gate's PO flag so a touch that flips it marks the list stale without
+	// any per-event allocation.
+	posList  []*network.Gate
+	poMember []bool
+	posStale bool
+
+	// Propagation scratch, persistent across updates.
+	fwdQ, bwdQ levelQueue
+	backSeeds  gateSet
+	forced     gateSet
+
+	stats IncStats
 }
 
 // NewIncremental builds the timer with one full ground-truth Analyze and
@@ -123,72 +200,161 @@ func NewIncremental(n *network.Network, lib *library.Library, clock float64) *In
 	return NewIncrementalBounded(n, lib, clock, nil)
 }
 
+// incPool recycles whole Incremental timers — their Timing arrays, level
+// arrays, stamped sets, and propagation queues. The region scheduler
+// builds one timer per region per round; recycling makes the steady-state
+// cost of a new timer one full analysis, with no array warm-up.
+var incPool = sync.Pool{New: func() interface{} { return new(Incremental) }}
+
 // NewIncrementalBounded is NewIncremental under pinned boundary conditions
 // (see Bounds): every analysis the timer runs — the construction seed,
 // dirty-region updates, and threshold fallbacks — honors them.
 func NewIncrementalBounded(n *network.Network, lib *library.Library, clock float64, b *Bounds) *Incremental {
-	it := &Incremental{
-		n:            n,
-		lib:          lib,
-		bounds:       b,
-		FullFraction: DefaultFullFraction,
-		dirty:        make(map[*network.Gate]struct{}),
+	it := incPool.Get().(*Incremental)
+	it.n = n
+	it.lib = lib
+	it.bounds = b
+	it.FullFraction = DefaultFullFraction
+	it.stats = IncStats{}
+	if it.t == nil {
+		it.t = timingPool.Get().(*Timing)
 	}
-	it.t = AnalyzeBounded(n, lib, clock, b)
-	it.clock = it.t.Clock
-	it.levels = n.Levels()
-	it.rebuildPOs()
-	it.stats.FullAnalyses++
+	it.t.n, it.t.lib, it.t.bounds = n, lib, b
+	it.fwdQ.init(it, false)
+	it.bwdQ.init(it, true)
+	it.seed(clock)
 	n.Observe(it)
 	return it
 }
 
-func (it *Incremental) rebuildPOs() {
-	it.pos = make(map[*network.Gate]struct{})
-	for _, po := range it.n.Outputs() {
-		it.pos[po] = struct{}{}
+// seed runs the ground-truth analysis and rebuilds levels and the PO list.
+func (it *Incremental) seed(clock float64) {
+	// Levels and the analysis passes are all value-level dataflow, so the
+	// cheap any-valid-order walk serves; see TopoOrderFast.
+	order := it.n.TopoOrderFast()
+	it.t.analyzeInto(clock, order)
+	it.clock = it.t.Clock
+	it.rebuildLevels(order)
+	it.rebuildPOs()
+	bound := it.n.IDBound()
+	it.dirty.reset()
+	it.dirty.grow(bound)
+	// Pre-size the propagation scratch too, so the first updates don't
+	// regrow each stamped set by appending.
+	it.backSeeds.grow(bound)
+	it.forced.grow(bound)
+	it.fwdQ.h.qset.grow(bound)
+	it.bwdQ.h.qset.grow(bound)
+	it.stats.FullAnalyses++
+}
+
+// rebuildLevels recomputes every live gate's logic level from a
+// topological order into the dense array.
+func (it *Incremental) rebuildLevels(order []*network.Gate) {
+	bound := it.n.IDBound()
+	if cap(it.levels) < bound {
+		it.levels = make([]int32, bound)
 	}
+	it.levels = it.levels[:bound]
+	for i := range it.levels {
+		it.levels[i] = 0
+	}
+	for _, g := range order {
+		var lv int32
+		for _, f := range g.Fanins() {
+			if l := it.levels[f.ID()] + 1; l > lv {
+				lv = l
+			}
+		}
+		it.levels[g.ID()] = lv
+	}
+}
+
+// levelOf reads a gate's cached logic level (0 for gates created after the
+// last repair; the propagation sweep fixes them up).
+func (it *Incremental) levelOf(g *network.Gate) int32 {
+	if id := g.ID(); id < len(it.levels) {
+		return it.levels[id]
+	}
+	return 0
+}
+
+func (it *Incremental) setLevel(g *network.Gate, lv int32) {
+	id := g.ID()
+	if id >= len(it.levels) {
+		it.levels = append(it.levels, make([]int32, id+1-len(it.levels))...)
+	}
+	it.levels[id] = lv
+}
+
+func (it *Incremental) rebuildPOs() {
+	it.posList = it.n.Outputs()
+	bound := it.n.IDBound()
+	if cap(it.poMember) < bound {
+		it.poMember = make([]bool, bound)
+	}
+	it.poMember = it.poMember[:bound]
+	for i := range it.poMember {
+		it.poMember[i] = false
+	}
+	for _, po := range it.posList {
+		it.poMember[po.ID()] = true
+	}
+	it.posStale = false
 }
 
 // Close unregisters the timer from the network. The last Timing stays
 // readable but no longer tracks mutations.
 func (it *Incremental) Close() { it.n.Unobserve(it) }
 
+// Release is Close plus recycling: the timer — including its Timing view —
+// goes back to the pool for the next NewIncremental. Neither the timer nor
+// any Timing pointer it handed out may be used afterwards. The optimizers
+// release their private timers; hold Close for timers whose view outlives
+// them.
+func (it *Incremental) Release() {
+	it.n.Unobserve(it)
+	it.n, it.lib, it.bounds = nil, nil, nil
+	it.posList = it.posList[:0]
+	incPool.Put(it)
+}
+
 // Timing returns the current timing view, valid as of the last Update (or
-// construction). The view is updated in place — and replaced wholesale by
-// a fallback full analysis — so always read through the pointer returned
-// by the most recent Update.
+// construction). The view is updated in place, so always read through the
+// pointer returned by the most recent Update.
 func (it *Incremental) Timing() *Timing { return it.t }
 
 // Stats returns the accumulated work counters.
 func (it *Incremental) Stats() IncStats { return it.stats }
 
 // Pending returns the number of gates currently awaiting propagation.
-func (it *Incremental) Pending() int { return len(it.dirty) }
+func (it *Incremental) Pending() int { return it.dirty.size() }
 
 // GateTouched records a mutated gate; part of network.Observer. PO-flag
 // changes only ever arrive through evented mutators (MarkOutput,
-// TransferFanouts), so the PO set can be maintained here.
+// TransferFanouts), so the PO list's staleness can be detected here.
 func (it *Incremental) GateTouched(g *network.Gate) {
-	it.dirty[g] = struct{}{}
-	if g.PO {
-		it.pos[g] = struct{}{}
-	} else {
-		delete(it.pos, g)
+	it.dirty.add(g)
+	id := g.ID()
+	if id >= len(it.poMember) {
+		it.poMember = append(it.poMember, make([]bool, id+1-len(it.poMember))...)
+	}
+	if it.poMember[id] != g.PO {
+		it.poMember[id] = g.PO
+		it.posStale = true
 	}
 }
 
-// GateRemoved drops a deleted gate from every map; part of
+// GateRemoved drops a deleted gate from every structure; part of
 // network.Observer. The gate's former fanins were reported touched by the
 // removal itself.
 func (it *Incremental) GateRemoved(g *network.Gate) {
-	delete(it.dirty, g)
-	delete(it.pos, g)
-	delete(it.levels, g)
-	delete(it.t.arrival, g)
-	delete(it.t.required, g)
-	delete(it.t.load, g)
-	delete(it.t.wireCache, g)
+	it.dirty.remove(g)
+	if id := g.ID(); id < len(it.poMember) && it.poMember[id] {
+		it.poMember[id] = false
+		it.posStale = true
+	}
+	it.t.forget(g)
 }
 
 // Update brings the timing current with the network and returns the view.
@@ -196,32 +362,36 @@ func (it *Incremental) GateRemoved(g *network.Gate) {
 // propagates through the affected region only; past the FullFraction
 // threshold it falls back to a full Analyze.
 func (it *Incremental) Update() *Timing {
-	if len(it.dirty) == 0 {
+	if len(it.dirty.list) == 0 {
 		return it.t
 	}
-	if float64(len(it.dirty)) > it.FullFraction*float64(it.n.NumGates()) {
+	pending := it.dirty.size()
+	if pending == 0 {
+		it.dirty.reset()
+		return it.t
+	}
+	if float64(pending) > it.FullFraction*float64(it.n.NumGates()) {
 		it.full()
 		return it.t
 	}
-	it.incremental()
+	it.incremental(pending)
 	return it.t
 }
 
-// full re-runs the ground-truth analysis under the frozen clock.
+// full re-runs the ground-truth analysis under the frozen clock, reusing
+// the Timing's arrays in place.
 func (it *Incremental) full() {
-	it.t = AnalyzeBounded(it.n, it.lib, it.clock, it.bounds)
-	it.levels = it.n.Levels()
-	it.rebuildPOs()
-	it.dirty = make(map[*network.Gate]struct{})
-	it.stats.FullAnalyses++
+	it.seed(it.clock)
 }
 
-func (it *Incremental) incremental() {
+func (it *Incremental) incremental(pending int) {
 	it.stats.IncrementalUpdates++
-	it.stats.DirtyGates += len(it.dirty)
-	if len(it.dirty) > it.stats.MaxDirty {
-		it.stats.MaxDirty = len(it.dirty)
+	it.stats.DirtyGates += pending
+	if pending > it.stats.MaxDirty {
+		it.stats.MaxDirty = pending
 	}
+	it.t.grow(it.n.IDBound())
+	it.dirty.grow(it.n.IDBound())
 
 	// Backward seeds: every dirty gate (its sink set or wire model moved)
 	// plus its fanin drivers (the dirty gate's cell delay and load feed its
@@ -229,26 +399,33 @@ func (it *Incremental) incremental() {
 	// dirty gate must push its fanins even when its own required time lands
 	// unchanged, because its delay still moved. Both sets are collected
 	// before the forward pass consumes the dirty set.
-	forced := make(map[*network.Gate]struct{}, len(it.dirty))
-	backSeeds := make(map[*network.Gate]struct{}, 2*len(it.dirty))
-	for g := range it.dirty {
-		forced[g] = struct{}{}
-		backSeeds[g] = struct{}{}
+	it.backSeeds.reset()
+	it.forced.reset()
+	for _, g := range it.dirty.list {
+		if !it.dirty.has(g) {
+			continue // removed after being touched
+		}
+		it.forced.add(g)
+		it.backSeeds.add(g)
 		for _, f := range g.Fanins() {
-			backSeeds[f] = struct{}{}
+			it.backSeeds.add(f)
 		}
 	}
 
 	it.propagateArrivals()
-	it.propagateRequired(backSeeds, forced)
+	it.propagateRequired()
+	it.dirty.reset()
 
 	// Rescan the tracked primary outputs for the critical delay and the
 	// boundary lateness — O(#POs), not O(network). The lateness term is
 	// poLatenessOne, shared with Analyze's scan.
+	if it.posStale {
+		it.rebuildPOs()
+	}
 	cd := 0.0
 	lat := math.Inf(-1)
-	for po := range it.pos {
-		if m := it.t.arrival[po].Max(); m > cd {
+	for _, po := range it.posList {
+		if m := it.t.Arrival(po).Max(); m > cd {
 			cd = m
 		}
 		if l := poLatenessOne(it.t, po); l > lat {
@@ -269,43 +446,45 @@ func (it *Incremental) incremental() {
 // only while levels are being repaired) is simply re-enqueued when that
 // fanin's value settles, so the sweep converges on exact values.
 func (it *Incremental) propagateArrivals() {
-	q := newLevelQueue(it.levels, false)
-	for g := range it.dirty {
-		q.push(g)
+	q := &it.fwdQ
+	q.reset()
+	for _, g := range it.dirty.list {
+		if it.dirty.has(g) {
+			q.push(g)
+		}
 	}
 	var pinArr []Edge
 	for q.Len() > 0 {
 		g := q.pop()
-		lv := 0
+		var lv int32
 		for _, f := range g.Fanins() {
-			if l := it.levels[f] + 1; l > lv {
+			if l := it.levelOf(f) + 1; l > lv {
 				lv = l
 			}
 		}
-		levelChanged := it.levels[g] != lv
-		it.levels[g] = lv
+		levelChanged := it.levelOf(g) != lv
+		it.setLevel(g, lv)
 
-		_, isDirty := it.dirty[g]
+		isDirty := it.dirty.has(g)
 		if isDirty {
-			delete(it.dirty, g)
-			info := it.t.ComputeNet(g, g.Fanouts())
-			it.t.wireCache[g] = info
-			it.t.load[g] = info.Load + it.t.padLoad(g)
+			it.dirty.remove(g)
+			w := it.t.setNet(g, g.Fanouts())
+			it.t.load[g.ID()] = w.load + it.t.padLoad(g)
 		}
 
 		arr := it.bounds.arrivalOf(g)
 		if !g.IsInput() {
 			pinArr = pinArr[:0]
 			for _, d := range g.Fanins() {
-				w := it.t.wireCache[d].SinkDelay[g]
-				pinArr = append(pinArr, it.t.arrival[d].add(w))
+				w := it.t.WireDelay(d, g)
+				pinArr = append(pinArr, it.t.Arrival(d).add(w))
 			}
-			arr = it.t.GateOutput(g, pinArr, it.t.load[g])
+			arr = it.t.GateOutput(g, pinArr, it.t.Load(g))
 		}
 		it.stats.ArrivalRecomputes++
-		old, had := it.t.arrival[g]
-		it.t.arrival[g] = arr
-		if isDirty || levelChanged || !had || old != arr {
+		old := it.t.arrival[g.ID()]
+		it.t.arrival[g.ID()] = arr
+		if isDirty || levelChanged || old != arr {
 			for _, s := range g.Fanouts() {
 				q.push(s)
 			}
@@ -318,9 +497,10 @@ func (it *Incremental) propagateArrivals() {
 // required times, delays, and wire models, and enqueuing fanins whenever
 // the value moved — or unconditionally for gates in forced, whose own
 // delay changed.
-func (it *Incremental) propagateRequired(seeds, forced map[*network.Gate]struct{}) {
-	q := newLevelQueue(it.levels, true)
-	for g := range seeds {
+func (it *Incremental) propagateRequired() {
+	q := &it.bwdQ
+	q.reset()
+	for _, g := range it.backSeeds.list {
 		q.push(g)
 	}
 	for q.Len() > 0 {
@@ -329,9 +509,8 @@ func (it *Incremental) propagateRequired(seeds, forced map[*network.Gate]struct{
 		if g.PO {
 			req = it.bounds.requiredOf(g, it.t.Clock)
 		}
-		net := it.t.wireCache[g]
 		for _, s := range g.Fanouts() {
-			cand := requiredCandidate(it.t, s, net.SinkDelay[s])
+			cand := requiredCandidate(it.t, s, it.t.WireDelay(g, s))
 			if cand.Rise < req.Rise {
 				req.Rise = cand.Rise
 			}
@@ -340,10 +519,9 @@ func (it *Incremental) propagateRequired(seeds, forced map[*network.Gate]struct{
 			}
 		}
 		it.stats.RequiredRecomputes++
-		old, had := it.t.required[g]
-		it.t.required[g] = req
-		_, isForced := forced[g]
-		if isForced || !had || old != req {
+		old := it.t.required[g.ID()]
+		it.t.required[g.ID()] = req
+		if it.forced.has(g) || old != req {
 			for _, f := range g.Fanins() {
 				q.push(f)
 			}
@@ -356,8 +534,8 @@ func (it *Incremental) propagateRequired(seeds, forced map[*network.Gate]struct{
 // applies.
 func requiredCandidate(t *Timing, s *network.Gate, w float64) Edge {
 	cell := t.cellOf(s)
-	dRise, dFall := cell.Delay(t.load[s])
-	reqS := t.required[s]
+	dRise, dFall := cell.Delay(t.Load(s))
+	reqS := t.Required(s)
 	switch edgeBehavior(s.Type) {
 	case inverting:
 		return Edge{Rise: reqS.Fall - dFall - w, Fall: reqS.Rise - dRise - w}
@@ -375,46 +553,50 @@ func requiredCandidate(t *Timing, s *network.Gate, w float64) Edge {
 
 // levelQueue is a deduplicating priority queue of gates ordered by logic
 // level — ascending for the forward sweep, descending for the backward
-// sweep. Levels are read through the shared map at comparison time, so
-// repairs made mid-sweep take effect on the next push.
+// sweep. Levels are read through the owning timer at comparison time, so
+// repairs made mid-sweep take effect on the next push. The dedup set is an
+// epoch-stamped dense array; the queue persists across updates so its
+// backing storage amortizes.
 type levelQueue struct {
 	h levelHeap
 }
 
 type levelHeap struct {
-	gates  []*network.Gate
-	levels map[*network.Gate]int
-	desc   bool
-	queued map[*network.Gate]bool
+	gates []*network.Gate
+	it    *Incremental
+	desc  bool
+	qset  gateSet
 }
 
-func newLevelQueue(levels map[*network.Gate]int, desc bool) *levelQueue {
-	return &levelQueue{h: levelHeap{
-		levels: levels,
-		desc:   desc,
-		queued: make(map[*network.Gate]bool),
-	}}
+func (q *levelQueue) init(it *Incremental, desc bool) {
+	q.h.it = it
+	q.h.desc = desc
+}
+
+func (q *levelQueue) reset() {
+	q.h.gates = q.h.gates[:0]
+	q.h.qset.reset()
 }
 
 func (q *levelQueue) Len() int { return len(q.h.gates) }
 
 func (q *levelQueue) push(g *network.Gate) {
-	if q.h.queued[g] {
+	if q.h.qset.has(g) {
 		return
 	}
-	q.h.queued[g] = true
+	q.h.qset.add(g)
 	heap.Push(&q.h, g)
 }
 
 func (q *levelQueue) pop() *network.Gate {
 	g := heap.Pop(&q.h).(*network.Gate)
-	delete(q.h.queued, g)
+	q.h.qset.remove(g)
 	return g
 }
 
 func (h levelHeap) Len() int { return len(h.gates) }
 func (h levelHeap) Less(i, j int) bool {
-	li, lj := h.levels[h.gates[i]], h.levels[h.gates[j]]
+	li, lj := h.it.levelOf(h.gates[i]), h.it.levelOf(h.gates[j])
 	if li != lj {
 		if h.desc {
 			return li > lj
@@ -423,7 +605,7 @@ func (h levelHeap) Less(i, j int) bool {
 	}
 	// Ties break on dense gate ID so pop order — and with it the exact
 	// propagation work — is deterministic no matter what order the dirty
-	// set (a map) seeded the queue in.
+	// set seeded the queue in.
 	return h.gates[i].ID() < h.gates[j].ID()
 }
 func (h levelHeap) Swap(i, j int) { h.gates[i], h.gates[j] = h.gates[j], h.gates[i] }

@@ -1,0 +1,98 @@
+package sta
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/logic"
+)
+
+// TestScratchEpochRollover pins the wraparound clause in Begin: after
+// 2^32 evaluations the epoch counter returns to values used by long-dead
+// evaluations, so stale stamps written back then would alias the new
+// epoch and resurrect their entries. Begin must clear the stamp arrays
+// at the wrap. The test writes entries at epoch 1, fast-forwards the
+// counter to MaxUint32, and checks the next Begin — which lands on
+// epoch 1 again, the exact aliasing scenario — sees none of them.
+func TestScratchEpochRollover(t *testing.T) {
+	n := chain()
+	l := lib()
+	tm := Analyze(n, l, 0)
+	g := n.FindGate("i1")
+
+	sc := NewScratch()
+	sc.Begin(tm) // epoch 0 -> 1
+	if sc.epoch != 1 {
+		t.Fatalf("first Begin: epoch = %d, want 1", sc.epoch)
+	}
+	sc.SetArrival(g, Edge{Rise: 1, Fall: 2})
+	if !sc.MarkSeen(g) {
+		t.Fatal("first MarkSeen returned false")
+	}
+	sc.Net(tm, g, g.Fanouts())
+	if sc.NetOf(g) == nil {
+		t.Fatal("registered net not found in the same evaluation")
+	}
+
+	// Simulate 2^32-1 further evaluations.
+	sc.epoch = math.MaxUint32
+
+	sc.Begin(tm) // wraps: stamps cleared, epoch back to 1
+	if sc.epoch != 1 {
+		t.Fatalf("post-rollover epoch = %d, want 1", sc.epoch)
+	}
+	if _, ok := sc.HypArrival(g); ok {
+		t.Error("stale arrival survived the epoch rollover")
+	}
+	if sc.NetOf(g) != nil {
+		t.Error("stale net registration survived the epoch rollover")
+	}
+	if !sc.MarkSeen(g) {
+		t.Error("stale seen-stamp survived the epoch rollover")
+	}
+}
+
+// TestScratchReuseAfterPut covers the GetScratch/PutScratch lifecycle:
+// an arena recycled through the pool must not leak the previous
+// evaluation's entries into the next one, and Begin must grow the stamp
+// arrays to cover gates created after the arena was first sized.
+func TestScratchReuseAfterPut(t *testing.T) {
+	n := chain()
+	l := lib()
+	tm := Analyze(n, l, 0)
+	g := n.FindGate("i2")
+
+	sc := GetScratch()
+	sc.Begin(tm)
+	sc.SetArrival(g, Edge{Rise: 3, Fall: 4})
+	sc.MarkSeen(g)
+	PutScratch(sc)
+
+	// The pool may or may not hand the same arena back; the contract is
+	// the same either way — Begin opens a clean evaluation.
+	sc2 := GetScratch()
+	defer PutScratch(sc2)
+	sc2.Begin(tm)
+	if _, ok := sc2.HypArrival(g); ok {
+		t.Error("recycled arena leaked an arrival from a previous evaluation")
+	}
+	if !sc2.MarkSeen(g) {
+		t.Error("recycled arena leaked a seen-stamp from a previous evaluation")
+	}
+
+	// Gates created after the arena was sized: the next Begin must cover
+	// their IDs (indexing them before it would panic).
+	ReleaseTiming(tm)
+	fresh := n.AddGate("fresh", logic.Inv, n.FindGate("f"))
+	n.MarkOutput(fresh)
+	tm = Analyze(n, l, 0)
+	sc2.Begin(tm)
+	sc2.SetArrival(fresh, Edge{Rise: 5, Fall: 5})
+	if e, ok := sc2.HypArrival(fresh); !ok || e.Rise != 5 {
+		t.Errorf("arrival for freshly created gate: got %v, %v", e, ok)
+	}
+	if !sc2.MarkSeen(fresh) {
+		t.Error("fresh gate already marked seen in a new evaluation")
+	}
+	ReleaseTiming(tm)
+}

@@ -15,10 +15,18 @@
 // subscribes to network mutation events and, on Update, re-propagates
 // timing only through the dirty region — the optimizers' hot path. See
 // incremental.go for the invalidation rules.
+//
+// Per-gate state lives in dense gate-ID-indexed arrays, not maps: gate IDs
+// are dense and never reused (network.IDBound), and the profile-guided
+// pass of PR 6 found pointer-keyed map lookups (Arrival, WireDelay, Slack,
+// level ordering) were ~30 % of the optimizer's total CPU. Array indexing
+// replaces hashing everywhere on the hot path; accessors bounds-check so a
+// gate created after the analysis reads as zero, exactly like a map miss.
 package sta
 
 import (
 	"math"
+	"sync"
 
 	"repro/internal/library"
 	"repro/internal/logic"
@@ -52,6 +60,31 @@ func (e Edge) add(d float64) Edge { return Edge{e.Rise + d, e.Fall + d} }
 
 const inf = math.MaxFloat64
 
+// wireEntry is one driver's cached star model: the total net load and the
+// wire delay to each sink, in parallel slices reused across rebuilds (an
+// incremental update that re-models a dirty net truncates and refills them
+// in place instead of allocating a fresh map per net).
+type wireEntry struct {
+	valid  bool
+	load   float64
+	sinks  []*network.Gate
+	delays []float64
+}
+
+// sinkDelay returns the wire delay to sink s — the worst over duplicate
+// entries, 0 when s is not a sink. Nets average a few pins, so the linear
+// scan beats any map.
+func (w *wireEntry) sinkDelay(s *network.Gate) float64 {
+	d, found := 0.0, false
+	for i, t := range w.sinks {
+		if t == s && (!found || w.delays[i] > d) {
+			d = w.delays[i]
+			found = true
+		}
+	}
+	return d
+}
+
 // Timing holds the results of one analysis. It is invalidated by any
 // structural, sizing, or placement change; run Analyze again, or keep it
 // live through an Incremental timer (the optimizers use
@@ -61,10 +94,19 @@ type Timing struct {
 	lib    *library.Library
 	bounds *Bounds
 
-	arrival   map[*network.Gate]Edge
-	required  map[*network.Gate]Edge
-	load      map[*network.Gate]float64
-	wireCache map[*network.Gate]NetInfo
+	// Dense gate-ID-indexed state. A gate with ID beyond the array bound
+	// (created after the last analysis/update) reads as the zero value
+	// through the accessors, mirroring the map-miss semantics this layout
+	// replaced.
+	arrival  []Edge
+	required []Edge
+	load     []float64
+	wire     []wireEntry
+
+	// nsc is the net-model scratch setNet rebuilds committed nets through;
+	// only its geometry buffers persist (sink/delay slices belong to the
+	// wire entries).
+	nsc NetModel
 
 	// Clock is the PO required time used; equals CriticalDelay when
 	// Analyze was called without a positive clock.
@@ -80,6 +122,49 @@ type Timing struct {
 	Lateness float64
 }
 
+// grow extends the per-gate arrays to cover IDs below bound. Existing
+// entries keep their values; new slots are zero (invalid wire entries).
+func (t *Timing) grow(bound int) {
+	if bound <= len(t.arrival) {
+		return
+	}
+	t.arrival = append(t.arrival, make([]Edge, bound-len(t.arrival))...)
+	t.required = append(t.required, make([]Edge, bound-len(t.required))...)
+	t.load = append(t.load, make([]float64, bound-len(t.load))...)
+	t.wire = append(t.wire, make([]wireEntry, bound-len(t.wire))...)
+}
+
+// forget zeroes every per-gate entry of a removed gate, restoring the
+// exact map-miss reads the deleted keys used to produce.
+func (t *Timing) forget(g *network.Gate) {
+	id := g.ID()
+	if id >= len(t.arrival) {
+		return
+	}
+	t.arrival[id] = Edge{}
+	t.required[id] = Edge{}
+	t.load[id] = 0
+	t.wire[id].valid = false
+}
+
+// setNet installs the committed star model of driver d, reusing the
+// entry's slices for the sink/delay pairs and the Timing-held scratch for
+// the star geometry, so a net rebuild allocates only on first growth.
+func (t *Timing) setNet(d *network.Gate, sinks []*network.Gate) *wireEntry {
+	w := &t.wire[d.ID()]
+	w.valid = true
+	m := &t.nsc
+	m.sinks = w.sinks[:0]
+	m.delays = w.delays[:0]
+	t.computeNetInto(nil, m, d, sinks)
+	w.load = m.Load
+	w.sinks = m.sinks
+	w.delays = m.delays
+	m.sinks = nil // the entry owns these now; never reuse them as scratch
+	m.delays = nil
+	return w
+}
+
 // Analyze runs a full timing analysis of the mapped, placed network. If
 // clock <= 0 the PO required time is set to the measured critical delay.
 func Analyze(n *network.Network, lib *library.Library, clock float64) *Timing {
@@ -92,41 +177,85 @@ func Analyze(n *network.Network, lib *library.Library, clock float64) *Timing {
 // clock, and gates listed in b.POLoad drive the given extra capacitance.
 // A nil b is exactly Analyze.
 func AnalyzeBounded(n *network.Network, lib *library.Library, clock float64, b *Bounds) *Timing {
-	t := &Timing{
-		n:         n,
-		lib:       lib,
-		bounds:    b,
-		arrival:   make(map[*network.Gate]Edge, n.NumGates()),
-		required:  make(map[*network.Gate]Edge, n.NumGates()),
-		load:      make(map[*network.Gate]float64, n.NumGates()),
-		wireCache: make(map[*network.Gate]NetInfo, n.NumGates()),
+	t := &Timing{n: n, lib: lib, bounds: b}
+	t.analyzeInto(clock, nil)
+	return t
+}
+
+// timingPool recycles the dense per-gate arrays of released analyses. The
+// region scheduler runs many short-lived analyses per round (one global
+// reconcile plus one seed per region); without recycling, each pays a
+// fresh allocation of four network-sized arrays plus the per-net sink
+// slices, which PR 6's memory profile showed as the largest allocator in
+// the regioned flow.
+var timingPool = sync.Pool{New: func() interface{} { return &Timing{} }}
+
+// AnalyzeReleased is AnalyzeBounded on a pooled Timing: the returned
+// analysis reuses arrays from an earlier ReleaseTiming when available.
+// Callers that drop the analysis after reading it should hand it back
+// with ReleaseTiming.
+func AnalyzeReleased(n *network.Network, lib *library.Library, clock float64, b *Bounds) *Timing {
+	t := timingPool.Get().(*Timing)
+	t.n, t.lib, t.bounds = n, lib, b
+	t.analyzeInto(clock, nil)
+	return t
+}
+
+// ReleaseTiming returns an analysis obtained from AnalyzeReleased (or an
+// Incremental released with Release) to the pool. The Timing must not be
+// read afterwards.
+func ReleaseTiming(t *Timing) {
+	t.n, t.lib, t.bounds = nil, nil, nil
+	timingPool.Put(t)
+}
+
+// analyzeInto runs the three-pass analysis in place, reusing the per-gate
+// arrays (the incremental timer's threshold fallback re-analyzes into the
+// same Timing so its array capacity amortizes across the run). order may
+// be nil, in which case a fresh topological order is computed.
+func (t *Timing) analyzeInto(clock float64, order []*network.Gate) {
+	n := t.n
+	t.bounds.densify(n.IDBound())
+	if order == nil {
+		// Any valid topological order serves: every write below is
+		// ID-indexed dataflow, so the values are order-independent.
+		order = n.TopoOrderFast()
 	}
-	order := n.TopoOrder()
+	bound := n.IDBound()
+	// Reset: zero the reused prefix, then grow to the current bound.
+	for i := range t.arrival {
+		t.arrival[i] = Edge{}
+		t.required[i] = Edge{}
+		t.load[i] = 0
+		t.wire[i].valid = false
+	}
+	t.grow(bound)
+	t.CriticalDelay = 0
 
 	// Pass 1: driver loads (wire + sink pins + PO pad). The star models are
 	// kept in the wire cache so passes 2-3 (and the incremental timer) never
 	// rebuild them.
 	for _, g := range order {
-		net := t.ComputeNet(g, g.Fanouts())
-		t.wireCache[g] = net
-		t.load[g] = net.Load + t.padLoad(g)
+		w := t.setNet(g, g.Fanouts())
+		t.load[g.ID()] = w.load + t.padLoad(g)
 	}
 
 	// Pass 2: arrivals.
 	var pinArr []Edge
 	for _, g := range order {
 		if g.IsInput() {
-			t.arrival[g] = b.arrivalOf(g)
+			t.arrival[g.ID()] = t.bounds.arrivalOf(g)
 			continue
 		}
 		pinArr = pinArr[:0]
 		for _, d := range g.Fanins() {
-			pinArr = append(pinArr, t.arrival[d].add(t.WireDelay(d, g)))
+			pinArr = append(pinArr, t.arrival[d.ID()].add(t.WireDelay(d, g)))
 		}
-		t.arrival[g] = t.GateOutput(g, pinArr, t.load[g])
+		t.arrival[g.ID()] = t.GateOutput(g, pinArr, t.load[g.ID()])
 	}
-	for _, po := range n.Outputs() {
-		if a := t.arrival[po].Max(); a > t.CriticalDelay {
+	pos := n.Outputs()
+	for _, po := range pos {
+		if a := t.arrival[po.ID()].Max(); a > t.CriticalDelay {
 			t.CriticalDelay = a
 		}
 	}
@@ -134,14 +263,14 @@ func AnalyzeBounded(n *network.Network, lib *library.Library, clock float64, b *
 	if t.Clock <= 0 {
 		t.Clock = t.CriticalDelay
 	}
-	t.Lateness = poLateness(t, n.Outputs())
+	t.Lateness = poLateness(t, pos)
 
 	// Pass 3: required times, walking in reverse topological order.
 	for _, g := range order {
-		t.required[g] = Edge{inf, inf}
+		t.required[g.ID()] = Edge{inf, inf}
 	}
-	for _, po := range n.Outputs() {
-		t.required[po] = b.requiredOf(po, t.Clock)
+	for _, po := range pos {
+		t.required[po.ID()] = t.bounds.requiredOf(po, t.Clock)
 	}
 	for i := len(order) - 1; i >= 0; i-- {
 		s := order[i]
@@ -152,17 +281,16 @@ func AnalyzeBounded(n *network.Network, lib *library.Library, clock float64, b *
 			// requiredCandidate is the single source of the arc equation,
 			// shared with the incremental timer's backward sweep.
 			cand := requiredCandidate(t, s, t.WireDelay(d, s))
-			cur := t.required[d]
+			cur := t.required[d.ID()]
 			if cand.Rise < cur.Rise {
 				cur.Rise = cand.Rise
 			}
 			if cand.Fall < cur.Fall {
 				cur.Fall = cand.Fall
 			}
-			t.required[d] = cur
+			t.required[d.ID()] = cur
 		}
 	}
-	return t
 }
 
 // padLoad returns the non-net load of g: the PO pad when g is a primary
@@ -180,7 +308,7 @@ func (t *Timing) padLoad(g *network.Gate) float64 {
 // and the incremental timer's rescan both reduce over it, so the guard
 // metric has exactly one definition.
 func poLatenessOne(t *Timing, po *network.Gate) float64 {
-	a := t.arrival[po]
+	a := t.Arrival(po)
 	req := t.bounds.requiredOf(po, t.Clock)
 	return math.Max(a.Rise-req.Rise, a.Fall-req.Fall)
 }
@@ -252,10 +380,11 @@ func (t *Timing) ComputeNet(d *network.Gate, sinks []*network.Gate) NetInfo {
 // s under the current (committed) netlist. It never mutates the Timing —
 // Analyze and the incremental timer keep the per-driver star cache
 // complete, so concurrent scoring workers can all call it; an uncached
-// driver (possible only on a hand-rolled Timing) recomputes on the fly.
+// driver (possible only for gates created after the analysis) recomputes
+// on the fly.
 func (t *Timing) WireDelay(d, s *network.Gate) float64 {
-	if info, ok := t.wireCache[d]; ok {
-		return info.SinkDelay[s]
+	if id := d.ID(); id < len(t.wire) && t.wire[id].valid {
+		return t.wire[id].sinkDelay(s)
 	}
 	return t.ComputeNet(d, d.Fanouts()).SinkDelay[s]
 }
@@ -319,18 +448,33 @@ func (t *Timing) SinkRequired(s *network.Gate, w float64) Edge {
 }
 
 // Arrival returns the out-pin arrival time of g.
-func (t *Timing) Arrival(g *network.Gate) Edge { return t.arrival[g] }
+func (t *Timing) Arrival(g *network.Gate) Edge {
+	if id := g.ID(); id < len(t.arrival) {
+		return t.arrival[id]
+	}
+	return Edge{}
+}
 
 // Required returns the out-pin required time of g. Gates that reach no
 // primary output have +inf required time.
-func (t *Timing) Required(g *network.Gate) Edge { return t.required[g] }
+func (t *Timing) Required(g *network.Gate) Edge {
+	if id := g.ID(); id < len(t.required) {
+		return t.required[id]
+	}
+	return Edge{}
+}
 
 // Load returns the total output load of g in pF.
-func (t *Timing) Load(g *network.Gate) float64 { return t.load[g] }
+func (t *Timing) Load(g *network.Gate) float64 {
+	if id := g.ID(); id < len(t.load) {
+		return t.load[id]
+	}
+	return 0
+}
 
 // Slack returns the worst-edge slack of g.
 func (t *Timing) Slack(g *network.Gate) float64 {
-	a, r := t.arrival[g], t.required[g]
+	a, r := t.Arrival(g), t.Required(g)
 	return math.Min(r.Rise-a.Rise, r.Fall-a.Fall)
 }
 
@@ -365,7 +509,7 @@ func (t *Timing) SlackSum() float64 {
 func (t *Timing) CriticalPath() []*network.Gate {
 	var worst *network.Gate
 	for _, po := range t.n.Outputs() {
-		if worst == nil || t.arrival[po].Max() > t.arrival[worst].Max() {
+		if worst == nil || t.Arrival(po).Max() > t.Arrival(worst).Max() {
 			worst = po
 		}
 	}
@@ -383,7 +527,7 @@ func (t *Timing) CriticalPath() []*network.Gate {
 		var best *network.Gate
 		bestArr := -inf
 		for _, d := range g.Fanins() {
-			a := t.arrival[d].Max() + t.WireDelay(d, g)
+			a := t.Arrival(d).Max() + t.WireDelay(d, g)
 			if a > bestArr {
 				bestArr = a
 				best = d

@@ -120,6 +120,22 @@ func (c *Cache) Stats() CacheStats { return c.stats }
 // network.Observer.
 func (c *Cache) GateTouched(g *network.Gate) { c.dirty[g] = struct{}{} }
 
+// GateBatch implements network.BatchObserver: one coalesced round of
+// mutations arrives as a single call instead of per-event callbacks.
+// Touches are applied before removals, which reproduces the interleaved
+// per-gate event order (a dead gate is never touched again, so per gate
+// the removal is always the last event), and the cache's handlers are
+// idempotent and commute across distinct gates, so the final dirty/pool
+// state is identical to per-event delivery.
+func (c *Cache) GateBatch(touched, removed []*network.Gate) {
+	for _, g := range touched {
+		c.dirty[g] = struct{}{}
+	}
+	for _, g := range removed {
+		c.GateRemoved(g)
+	}
+}
+
 // GateResized implements network.ResizeObserver: cell sizes never affect
 // the decomposition, so pure resizes invalidate nothing.
 func (c *Cache) GateResized(g *network.Gate) {}

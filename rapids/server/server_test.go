@@ -360,8 +360,11 @@ func TestCacheHitDeterminism(t *testing.T) {
 func TestCancelMidJob(t *testing.T) {
 	_, ts := startServer(t, Config{})
 	verify := 8
+	// A mid-size circuit so the run comfortably outlives the DELETE round
+	// trip: the cancel must land while phases are still being emitted, and
+	// alu2-sized jobs now finish faster than an HTTP exchange.
 	req := JobRequest{
-		Generate: "alu2",
+		Generate: "s13207",
 		Place:    &PlaceSpec{Moves: 5},
 		Options:  rapids.Spec{Iters: 10, Workers: 1, VerifyRounds: &verify},
 	}
