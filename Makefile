@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race bench bench-smoke bench-scaling bench-scaling-smoke perf-gate table1 fuzz cover fmt-check api api-check docs-check serve-smoke
+.PHONY: all vet build test race bench bench-smoke bench-scaling bench-scaling-smoke perf-gate table1 fuzz cover fmt-check api api-check docs-check serve-smoke chaos
 
 all: vet fmt-check api-check build test docs-check
 
@@ -81,10 +81,22 @@ docs-check:
 # End-to-end service smoke under the race detector: boots the real
 # rapidsd binary, submits a job, streams SSE, asserts Result equality
 # with a direct facade run, takes a cache hit, cancels mid-job
-# (best-so-far), checks goroutine hygiene, and drains on SIGTERM.
+# (best-so-far), checks goroutine hygiene, drains on SIGTERM — and
+# SIGKILLs a journaled daemon mid-batch, restarts it, and proves
+# bit-identical completion of every accepted job.
 serve-smoke:
-	$(GO) test -race -count=1 -run 'TestServeSmoke' -v ./cmd/rapidsd
+	$(GO) test -race -count=1 -run 'TestServeSmoke|TestKillRestartRecovery' -v ./cmd/rapidsd
 	$(GO) test -race -count=1 -run 'TestCancelMidJob|TestNoGoroutineLeaks|TestGracefulDrain' ./rapids/server
+
+# Fault-injection suite under the race detector (DESIGN.md §5a): the
+# journal package, worker panic isolation, retry/backoff, job
+# timeouts, journal write failures, in-process journal recovery, cache
+# corruption detection, the DELETE state table, readiness, and the
+# chaos sweep.
+chaos:
+	$(GO) test -race -count=1 ./rapids/server/journal
+	$(GO) test -race -count=1 -run 'TestWorkerPanicIsolation|TestTransientPanicRetries|TestJobTimeoutRetriesThenFails|TestRequestTimeoutMS|TestJournalWriteErrorTurnsUnready|TestRecoveryRequeuesAcceptedJobs|TestRecoveryRebirthsTerminalJobs|TestCacheCorruptionDetected|TestDeleteStateTable|TestReadyz|TestChaosSweepLosesNothing|TestCacheConcurrentAccess' -v ./rapids/server
+	$(GO) test -race -count=1 -run 'TestRunBatchRespectsRetryAfter|TestRunBatchRidesOutRestarts' ./internal/harness
 
 # Coverage profile + per-function summary (cover.out is the CI artifact).
 cover:

@@ -7,6 +7,7 @@
 // Usage:
 //
 //	rapidsd [-addr :8347] [-opt-workers N] [-queue N] [-cache N]
+//	        [-journal jobs.journal] [-job-timeout 0] [-job-retries 2]
 //	        [-drain-timeout 30s] [-v]
 //
 // Submit a job and read it back:
@@ -15,11 +16,20 @@
 //	curl -s localhost:8347/v1/jobs/<id>
 //	curl -sN localhost:8347/v1/jobs/<id>/events        # SSE stream
 //	curl -s -X DELETE localhost:8347/v1/jobs/<id>      # cancel, keep best-so-far
+//	curl -s localhost:8347/readyz                      # readiness (503 while draining)
 //
-// On SIGINT/SIGTERM the daemon stops accepting work, drains queued and
-// running jobs, and — past -drain-timeout — cancels stragglers, which
-// finish with best-so-far results under the facade's anytime contract.
-// See DESIGN.md §5 for the service architecture.
+// With -journal, every job transition is appended to the named file
+// and replayed on the next start: jobs accepted before a crash are
+// re-run (deterministically, so results are bit-identical) or reborn
+// terminal with their recorded results. -job-timeout bounds each
+// optimization attempt; timed-out and panicked attempts retry up to
+// -job-retries times with exponential backoff.
+//
+// On SIGINT/SIGTERM the daemon flips /readyz to 503, stops accepting
+// work, drains queued and running jobs, and — past -drain-timeout —
+// cancels stragglers, which finish with best-so-far results under the
+// facade's anytime contract. See DESIGN.md §5 for the service
+// architecture and §5a for the failure model.
 package main
 
 import (
@@ -36,26 +46,48 @@ import (
 	"time"
 
 	"repro/rapids/server"
+	"repro/rapids/server/journal"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8347", "listen address (host:port; port 0 picks a free port)")
-		workers = flag.Int("opt-workers", 1, "concurrent optimization runs (each already parallelizes scoring across GOMAXPROCS)")
-		queue   = flag.Int("queue", 16, "job queue capacity; a full queue rejects submissions with 503")
-		cache   = flag.Int("cache", 64, "result cache entries (negative disables caching)")
-		drain   = flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on shutdown; running jobs are cancelled past it")
-		verbose = flag.Bool("v", false, "log job life-cycle transitions")
+		addr       = flag.String("addr", ":8347", "listen address (host:port; port 0 picks a free port)")
+		workers    = flag.Int("opt-workers", 1, "concurrent optimization runs (each already parallelizes scoring across GOMAXPROCS)")
+		queue      = flag.Int("queue", 16, "job queue capacity; a full queue rejects submissions with 503")
+		cache      = flag.Int("cache", 64, "result cache entries (negative disables caching)")
+		jpath      = flag.String("journal", "", "persistent job journal file; replayed on start so accepted jobs survive a crash (empty disables)")
+		jobTimeout = flag.Duration("job-timeout", 0, "per-attempt wall-clock bound for each job (0 = none); expiry retries like any transient failure")
+		jobRetries = flag.Int("job-retries", 2, "automatic retries after a transient failure (worker panic, job timeout); negative disables")
+		drain      = flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on shutdown; running jobs are cancelled past it")
+		verbose    = flag.Bool("v", false, "log job life-cycle transitions")
 	)
 	flag.Parse()
 	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
 	log.SetPrefix("rapidsd: ")
 
-	cfg := server.Config{Workers: *workers, QueueCap: *queue, CacheCap: *cache}
+	cfg := server.Config{
+		Workers: *workers, QueueCap: *queue, CacheCap: *cache,
+		JobTimeout: *jobTimeout, MaxRetries: *jobRetries,
+	}
+	if *jobRetries == 0 {
+		cfg.MaxRetries = -1 // flag 0 means "no retries"; Config 0 means default
+	}
 	if *verbose {
 		cfg.Logf = log.Printf
 	}
-	srv := server.New(cfg)
+	if *jpath != "" {
+		jnl, err := journal.OpenFile(*jpath)
+		if err != nil {
+			log.Fatalf("journal: %v", err)
+		}
+		defer jnl.Close()
+		cfg.Journal = jnl
+		log.Printf("journal at %s", *jpath)
+	}
+	srv, err := server.New(cfg)
+	if err != nil {
+		log.Fatalf("server: %v", err)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -81,13 +113,15 @@ func main() {
 
 	dctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
-	// Stop the listener first so no submission can slip in behind the
-	// draining flag, then drain the job queue.
+	// Drain the job queue first — srv.Shutdown flips /readyz to 503
+	// immediately and rejects new submissions, while the listener keeps
+	// serving status polls and SSE streams for the jobs being drained.
+	drainErr := srv.Shutdown(dctx)
 	if err := httpSrv.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("http shutdown: %v", err)
 	}
-	if err := srv.Shutdown(dctx); err != nil {
-		log.Printf("drain incomplete: %v (running jobs cancelled, best-so-far results kept)", err)
+	if drainErr != nil {
+		log.Printf("drain incomplete: %v (running jobs cancelled, best-so-far results kept)", drainErr)
 		fmt.Fprintln(os.Stderr, "rapidsd: stopped")
 		os.Exit(1)
 	}

@@ -1,0 +1,203 @@
+package main
+
+// TestKillRestartRecovery is the crash-safety acceptance test
+// (DESIGN.md §5a): a real rapidsd with a journal is SIGKILLed in the
+// middle of a 20-job batch, restarted on the same journal, and must
+// finish every accepted job with results bit-identical to
+// uninterrupted in-process runs. The harness's RideOutRestarts +
+// RebaseURL carry the batch client across the restart.
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"path/filepath"
+	"reflect"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/harness"
+	"repro/rapids"
+	"repro/rapids/server"
+)
+
+// kill sends SIGKILL — no drain, no journal close, the crash the
+// journal exists for — and reaps the process.
+func (d *daemon) kill(t *testing.T) {
+	t.Helper()
+	if err := d.cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	d.cmd.Wait()
+}
+
+// jobCounts polls GET /v1/jobs for (accepted, done) totals; zeros on
+// transport errors so callers can poll across a restart window.
+func jobCounts(base string) (total, done int) {
+	resp, err := http.Get(base + "/v1/jobs")
+	if err != nil {
+		return 0, 0
+	}
+	defer resp.Body.Close()
+	var list []server.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		return 0, 0
+	}
+	for _, st := range list {
+		if st.State == server.StateDone {
+			done++
+		}
+	}
+	return len(list), done
+}
+
+// uninterruptedRun is the oracle: the same request through the facade
+// in-process, never crashed, never restarted.
+func uninterruptedRun(t *testing.T, req server.JobRequest) *rapids.Result {
+	t.Helper()
+	c, err := rapids.Generate(req.Generate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Place(rapids.PlaceSeed(req.Place.Seed), rapids.PlaceMoves(req.Place.Moves))
+	res, err := c.Optimize(context.Background(), req.Options.Options()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestKillRestartRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots, kills, and restarts a daemon over a 20-job batch")
+	}
+	jpath := filepath.Join(t.TempDir(), "jobs.journal")
+	args := []string{"-journal", jpath, "-queue", "64", "-opt-workers", "1", "-drain-timeout", "30s"}
+	d1 := startDaemon(t, args...)
+
+	// The batch client follows base across the restart.
+	var base atomic.Value
+	base.Store(d1.base)
+
+	// 20 distinct jobs (seed grid over three benchmarks): distinct
+	// cache keys, so every completion is a real run.
+	verify := 4
+	var reqs []server.JobRequest
+	for _, bench := range []string{"c432", "c499", "alu2"} {
+		for seed := int64(1); seed <= 7 && len(reqs) < 20; seed++ {
+			reqs = append(reqs, server.JobRequest{
+				Generate: bench,
+				Place:    &server.PlaceSpec{Seed: seed, Moves: 5},
+				Options:  rapids.Spec{Iters: 1, Workers: 1, VerifyRounds: &verify},
+			})
+		}
+	}
+	if len(reqs) != 20 {
+		t.Fatalf("built %d requests", len(reqs))
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Second)
+	defer cancel()
+	batchDone := make(chan struct{})
+	var rows []harness.BatchRow
+	var batchErr error
+	go func() {
+		defer close(batchDone)
+		rows, batchErr = harness.RunBatch(ctx, harness.BatchConfig{
+			RebaseURL:       func() string { return base.Load().(string) },
+			Requests:        reqs,
+			Concurrency:     32,
+			PollInterval:    10 * time.Millisecond,
+			RideOutRestarts: true,
+		})
+	}()
+
+	// SIGKILL once the whole batch is journaled and some — but far from
+	// all — jobs completed: the crash lands mid-drain with a mix of
+	// done, running, and queued jobs.
+	killDeadline := time.Now().Add(120 * time.Second)
+	for {
+		total, done := jobCounts(d1.base)
+		if total >= len(reqs) && done >= 2 {
+			break
+		}
+		if time.Now().After(killDeadline) {
+			t.Fatalf("kill point never reached: %d accepted, %d done", total, done)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	d1.kill(t)
+
+	// Restart on the same journal; repoint the batch.
+	d2 := startDaemon(t, args...)
+	base.Store(d2.base)
+
+	// The restarted daemon is ready (journal writable, queue below the
+	// high-water mark) even while it chews through recovered jobs.
+	if resp, err := http.Get(d2.base + "/readyz"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("restarted daemon not ready: %d", resp.StatusCode)
+		}
+	}
+
+	select {
+	case <-batchDone:
+	case <-ctx.Done():
+		t.Fatal("batch did not finish after the restart")
+	}
+	if batchErr != nil {
+		t.Fatalf("batch: %v", batchErr)
+	}
+
+	// Every job completed, and every result is bit-identical to an
+	// uninterrupted in-process run — recovery re-executes
+	// deterministically, it does not approximate.
+	recovered, rodeOut := 0, 0
+	for i, row := range rows {
+		if row.State != server.StateDone || row.Err != "" || row.Result == nil {
+			t.Fatalf("job %d (%s seed %d) lost to the crash: %+v",
+				i, row.Name, reqs[i].Place.Seed, row)
+		}
+		if row.Recovered {
+			recovered++
+		}
+		rodeOut += row.RetriedTransport
+		want := uninterruptedRun(t, reqs[i])
+		got := *row.Result
+		w := *want
+		got.Elapsed, w.Elapsed = 0, 0
+		if !reflect.DeepEqual(got, w) {
+			t.Fatalf("job %d (%s seed %d): result diverged across the crash:\nwant %+v\ngot  %+v",
+				i, row.Name, reqs[i].Place.Seed, w, got)
+		}
+	}
+	if recovered == 0 {
+		t.Fatal("no job was journal-recovered; the kill landed too late to test anything")
+	}
+	if rodeOut == 0 {
+		t.Fatal("no transport retries recorded; the batch never noticed the restart")
+	}
+	t.Logf("recovered %d/%d jobs across SIGKILL (%d transport retries ridden out)",
+		recovered, len(rows), rodeOut)
+
+	// And the second incarnation still drains cleanly.
+	if err := d2.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- d2.cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("restarted rapidsd exited non-zero after SIGTERM: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		d2.cmd.Process.Kill()
+		t.Fatal("restarted rapidsd did not drain within 60s of SIGTERM")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"net/http"
@@ -28,6 +29,34 @@ import (
 	"repro/rapids/server"
 )
 
+// daemonBin is the rapidsd binary under test, built once by TestMain
+// (with -race) and shared by the smoke and recovery tests.
+var daemonBin string
+
+func TestMain(m *testing.M) {
+	flag.Parse()
+	dir := ""
+	if !testing.Short() {
+		var err error
+		dir, err = os.MkdirTemp("", "rapidsd-test")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		daemonBin = filepath.Join(dir, "rapidsd")
+		if out, err := exec.Command("go", "build", "-race", "-o", daemonBin, ".").CombinedOutput(); err != nil {
+			fmt.Fprintf(os.Stderr, "building rapidsd: %v\n%s", err, out)
+			os.RemoveAll(dir)
+			os.Exit(1)
+		}
+	}
+	code := m.Run()
+	if dir != "" {
+		os.RemoveAll(dir)
+	}
+	os.Exit(code)
+}
+
 // daemon is one running rapidsd process under test.
 type daemon struct {
 	cmd    *exec.Cmd
@@ -35,21 +64,17 @@ type daemon struct {
 	stderr *os.File
 }
 
-func startDaemon(t *testing.T) *daemon {
+// startDaemon boots the prebuilt rapidsd on a free port with the extra
+// args appended, and waits for the listen address.
+func startDaemon(t *testing.T, args ...string) *daemon {
 	t.Helper()
 	dir := t.TempDir()
-	bin := filepath.Join(dir, "rapidsd")
-	build := exec.Command("go", "build", "-race", "-o", bin, ".")
-	if out, err := build.CombinedOutput(); err != nil {
-		t.Fatalf("building rapidsd: %v\n%s", err, out)
-	}
-
 	logPath := filepath.Join(dir, "rapidsd.log")
 	logFile, err := os.Create(logPath)
 	if err != nil {
 		t.Fatal(err)
 	}
-	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-v", "-drain-timeout", "30s")
+	cmd := exec.Command(daemonBin, append([]string{"-addr", "127.0.0.1:0", "-v"}, args...)...)
 	cmd.Stderr = logFile
 	cmd.Stdout = logFile
 	if err := cmd.Start(); err != nil {
@@ -159,7 +184,7 @@ func TestServeSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("boots a daemon and optimizes real circuits")
 	}
-	d := startDaemon(t)
+	d := startDaemon(t, "-drain-timeout", "30s")
 	verify := 8
 
 	// Daemon-side goroutine baseline, before any job ran.

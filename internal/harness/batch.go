@@ -5,15 +5,21 @@ package harness
 // service* — submitting one job per benchmark over HTTP with bounded
 // concurrency and polling each to completion — so queueing,
 // backpressure, caching, and drain behavior can be exercised at
-// Table 1 scale (EXPERIMENTS.md "Load-testing rapidsd").
+// Table 1 scale (EXPERIMENTS.md "Load-testing rapidsd"). With
+// RideOutRestarts it doubles as the kill-and-restart client of the
+// crash-recovery tests: transport failures are ridden out with backoff
+// and RebaseURL repoints every request at the restarted instance.
 
 import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
+	"strconv"
 	"time"
 
 	"repro/rapids"
@@ -24,25 +30,40 @@ import (
 type BatchConfig struct {
 	// BaseURL locates the rapidsd instance (e.g. "http://localhost:8347").
 	BaseURL string
+	// RebaseURL, when non-nil, is consulted before every request and
+	// overrides BaseURL when it returns a non-empty string — the
+	// kill-and-restart tests repoint the batch at the new listener
+	// mid-flight.
+	RebaseURL func() string
 	// Benchmarks lists the circuits to submit; nil means all of Table 1.
 	Benchmarks []string
+	// Requests, when non-nil, overrides Benchmarks with an explicit job
+	// list — grids of distinct seeds and option sets, not just names.
+	Requests []server.JobRequest
 	// PlaceSeed and PlaceMoves mirror Config (defaults 1 and 30).
 	PlaceSeed  int64
 	PlaceMoves int
-	// Spec is the option set submitted with every job.
+	// Spec is the option set submitted with every job (Benchmarks mode;
+	// Requests carry their own).
 	Spec rapids.Spec
 	// Concurrency bounds the in-flight submissions (default 4). The
 	// server applies its own backpressure on top: a 503 (full queue)
-	// is retried with backoff until the context expires.
+	// is retried — after the server's Retry-After hint when present,
+	// with exponential backoff otherwise — until the context expires.
 	Concurrency int
 	// PollInterval is the status poll period (default 50ms).
 	PollInterval time.Duration
+	// RideOutRestarts retries transport-level failures (connection
+	// refused/reset — a restarting server) with backoff instead of
+	// failing the row. Submissions journaled before a crash keep their
+	// ids across the restart, so polling resumes seamlessly.
+	RideOutRestarts bool
 	// Client is the HTTP client (default http.DefaultClient).
 	Client *http.Client
 }
 
 func (c *BatchConfig) fill() {
-	if c.Benchmarks == nil {
+	if c.Benchmarks == nil && c.Requests == nil {
 		c.Benchmarks = rapids.Benchmarks()
 	}
 	if c.PlaceSeed == 0 {
@@ -62,12 +83,30 @@ func (c *BatchConfig) fill() {
 	}
 }
 
+// base resolves the URL for the next request.
+func (c *BatchConfig) base() string {
+	if c.RebaseURL != nil {
+		if u := c.RebaseURL(); u != "" {
+			return u
+		}
+	}
+	return c.BaseURL
+}
+
 // BatchRow is the outcome of one submitted job.
 type BatchRow struct {
 	Name   string
 	JobID  string
 	State  string // terminal server.State*
 	Cached bool
+	// Recovered marks a job the server restored from its journal after
+	// a restart.
+	Recovered bool
+	// Retried503 counts submissions rejected by backpressure and
+	// retried; RetriedTransport counts requests that failed at the
+	// transport level and were ridden out (RideOutRestarts).
+	Retried503       int
+	RetriedTransport int
 	// Result is the service's structured result (nil when the job
 	// failed before optimizing).
 	Result *rapids.Result
@@ -78,57 +117,68 @@ type BatchRow struct {
 	Err string
 }
 
-// RunBatch submits every configured benchmark to a running rapidsd and
-// waits for all of them, returning rows in benchmark order. The
-// returned error is non-nil only for setup-level failures (an
-// unreachable server, a cancelled context); per-job failures land in
-// BatchRow.Err so a long load test keeps going.
+// RunBatch submits every configured job to a running rapidsd and waits
+// for all of them, returning rows in submission order. The returned
+// error is non-nil only for setup-level failures (an unreachable
+// server, a cancelled context); per-job failures land in BatchRow.Err
+// so a long load test keeps going.
 func RunBatch(ctx context.Context, cfg BatchConfig) ([]BatchRow, error) {
 	cfg.fill()
-	if cfg.BaseURL == "" {
+	if cfg.BaseURL == "" && cfg.RebaseURL == nil {
 		return nil, fmt.Errorf("harness: BatchConfig.BaseURL is required")
 	}
 
-	rows := make([]BatchRow, len(cfg.Benchmarks))
+	reqs := cfg.Requests
+	if reqs == nil {
+		reqs = make([]server.JobRequest, len(cfg.Benchmarks))
+		for i, name := range cfg.Benchmarks {
+			reqs[i] = server.JobRequest{
+				Generate: name,
+				Place:    &server.PlaceSpec{Seed: cfg.PlaceSeed, Moves: cfg.PlaceMoves},
+				Options:  cfg.Spec,
+			}
+		}
+	}
+
+	rows := make([]BatchRow, len(reqs))
 	sem := make(chan struct{}, cfg.Concurrency)
-	done := make(chan int, len(cfg.Benchmarks))
-	for i, name := range cfg.Benchmarks {
-		go func(i int, name string) {
+	done := make(chan int, len(reqs))
+	for i, req := range reqs {
+		go func(i int, req server.JobRequest) {
 			defer func() { done <- i }()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			rows[i] = runOne(ctx, cfg, name)
-		}(i, name)
+			rows[i] = runOne(ctx, cfg, req)
+		}(i, req)
 	}
 	// Every worker is joined even on cancellation — runOne observes
 	// ctx in all of its waits, so this cannot hang, and returning
 	// earlier would race the rows[i] writes.
-	for range cfg.Benchmarks {
+	for range reqs {
 		<-done
 	}
 	return rows, ctx.Err()
 }
 
-func runOne(ctx context.Context, cfg BatchConfig, name string) BatchRow {
-	row := BatchRow{Name: name}
+func runOne(ctx context.Context, cfg BatchConfig, req server.JobRequest) BatchRow {
+	row := BatchRow{Name: req.Generate}
+	if row.Name == "" {
+		row.Name = "inline netlist"
+	}
 	start := time.Now()
 
-	req := server.JobRequest{
-		Generate: name,
-		Place:    &server.PlaceSpec{Seed: cfg.PlaceSeed, Moves: cfg.PlaceMoves},
-		Options:  cfg.Spec,
-	}
 	body, err := json.Marshal(req)
 	if err != nil {
 		row.Err = err.Error()
 		return row
 	}
 
-	// Submit, riding out 503 backpressure with backoff.
+	// Submit, riding out 503 backpressure (and, if configured,
+	// transport failures of a restarting server) with backoff.
 	var st server.JobStatus
 	backoff := cfg.PollInterval
 	for {
-		st, err = postJob(ctx, cfg.Client, cfg.BaseURL, body)
+		st, err = postJob(ctx, cfg.Client, cfg.base(), body)
 		if err == nil {
 			break
 		}
@@ -136,12 +186,23 @@ func runOne(ctx context.Context, cfg BatchConfig, name string) BatchRow {
 			row.Err = ctx.Err().Error()
 			return row
 		}
-		if !isBackpressure(err) {
+		delay := backoff
+		var bp errBackpressure
+		switch {
+		case errors.As(err, &bp):
+			row.Retried503++
+			// The server's Retry-After hint wins over local backoff.
+			if bp.retryAfter > 0 {
+				delay = bp.retryAfter
+			}
+		case cfg.RideOutRestarts && isTransport(err):
+			row.RetriedTransport++
+		default:
 			row.Err = err.Error()
 			return row
 		}
 		select {
-		case <-time.After(backoff):
+		case <-time.After(delay):
 		case <-ctx.Done():
 			row.Err = ctx.Err().Error()
 			return row
@@ -153,7 +214,8 @@ func runOne(ctx context.Context, cfg BatchConfig, name string) BatchRow {
 	row.JobID = st.ID
 	row.Cached = st.Cached
 
-	// Poll to a terminal state.
+	// Poll to a terminal state. A journaled job keeps its id across a
+	// restart, so transport failures here are ridden out the same way.
 	for st.State == server.StateQueued || st.State == server.StateRunning {
 		select {
 		case <-time.After(cfg.PollInterval):
@@ -161,13 +223,19 @@ func runOne(ctx context.Context, cfg BatchConfig, name string) BatchRow {
 			row.Err = ctx.Err().Error()
 			return row
 		}
-		st, err = getJob(ctx, cfg.Client, cfg.BaseURL, row.JobID)
+		next, err := getJob(ctx, cfg.Client, cfg.base(), row.JobID)
 		if err != nil {
+			if cfg.RideOutRestarts && isTransport(err) && ctx.Err() == nil {
+				row.RetriedTransport++
+				continue // st keeps its last known state
+			}
 			row.Err = err.Error()
 			return row
 		}
+		st = next
 	}
 	row.State = st.State
+	row.Recovered = st.Recovered
 	row.Result = st.Result
 	row.Elapsed = time.Since(start)
 	if st.State != server.StateDone {
@@ -176,14 +244,20 @@ func runOne(ctx context.Context, cfg BatchConfig, name string) BatchRow {
 	return row
 }
 
-// errBackpressure tags a 503 so the submit loop can retry it.
-type errBackpressure struct{ msg string }
+// errBackpressure tags a 503 so the submit loop can retry it, carrying
+// the server's Retry-After hint when the response had one.
+type errBackpressure struct {
+	msg        string
+	retryAfter time.Duration
+}
 
 func (e errBackpressure) Error() string { return e.msg }
 
-func isBackpressure(err error) bool {
-	_, ok := err.(errBackpressure)
-	return ok
+// isTransport reports a failure below HTTP — the request never got a
+// response (connection refused, reset: a dead or restarting server).
+func isTransport(err error) bool {
+	var uerr *url.Error
+	return errors.As(err, &uerr)
 }
 
 func postJob(ctx context.Context, client *http.Client, base string, body []byte) (server.JobStatus, error) {
@@ -203,7 +277,13 @@ func postJob(ctx context.Context, client *http.Client, base string, body []byte)
 		return st, json.NewDecoder(resp.Body).Decode(&st)
 	case http.StatusServiceUnavailable:
 		b, _ := io.ReadAll(resp.Body)
-		return st, errBackpressure{fmt.Sprintf("503: %s", bytes.TrimSpace(b))}
+		e := errBackpressure{msg: fmt.Sprintf("503: %s", bytes.TrimSpace(b))}
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+				e.retryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		return st, e
 	default:
 		b, _ := io.ReadAll(resp.Body)
 		return st, fmt.Errorf("submit: %d: %s", resp.StatusCode, bytes.TrimSpace(b))

@@ -2,7 +2,10 @@ package harness
 
 import (
 	"context"
+	"encoding/json"
+	"net/http"
 	"net/http/httptest"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -18,7 +21,10 @@ func TestRunBatch(t *testing.T) {
 	if testing.Short() {
 		t.Skip("optimizes several circuits")
 	}
-	srv := server.New(server.Config{Workers: 2, QueueCap: 2})
+	srv, err := server.New(server.Config{Workers: 2, QueueCap: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 	defer func() {
@@ -94,6 +100,101 @@ func TestRunBatch(t *testing.T) {
 		if row.Result.FinalDelayNS != rows[i].Result.FinalDelayNS {
 			t.Fatalf("cached result differs for %s", row.Name)
 		}
+	}
+}
+
+// TestRunBatchRespectsRetryAfter: a 503 carrying a Retry-After header
+// delays the resubmission by the server's hint, not the client's much
+// shorter local backoff.
+func TestRunBatchRespectsRetryAfter(t *testing.T) {
+	var posts atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost {
+			if posts.Add(1) == 1 {
+				w.Header().Set("Retry-After", "1")
+				w.WriteHeader(http.StatusServiceUnavailable)
+				json.NewEncoder(w).Encode(server.ErrorBody{Error: "queue full"})
+				return
+			}
+			w.WriteHeader(http.StatusAccepted)
+		}
+		json.NewEncoder(w).Encode(server.JobStatus{ID: "j1", State: server.StateDone, Result: &rapids.Result{}})
+	}))
+	defer ts.Close()
+
+	start := time.Now()
+	rows, err := RunBatch(context.Background(), BatchConfig{
+		BaseURL:      ts.URL,
+		Benchmarks:   []string{"c432"},
+		PollInterval: time.Millisecond, // local backoff would retry almost instantly
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := rows[0]
+	if row.State != server.StateDone || row.Retried503 != 1 {
+		t.Fatalf("row: %+v", row)
+	}
+	// The hint (1s) governed the delay, not the 1ms local backoff.
+	if elapsed := time.Since(start); elapsed < 900*time.Millisecond {
+		t.Fatalf("Retry-After ignored: resubmitted after %v", elapsed)
+	}
+}
+
+// TestRunBatchRidesOutRestarts: with RideOutRestarts, transport-level
+// failures (a dead or restarting server) are retried until the server
+// answers again; without it they fail the row.
+func TestRunBatchRidesOutRestarts(t *testing.T) {
+	var down atomic.Bool
+	down.Store(true)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if down.Load() {
+			panic(http.ErrAbortHandler) // connection dies mid-flight
+		}
+		if r.Method == http.MethodPost {
+			w.WriteHeader(http.StatusAccepted)
+			json.NewEncoder(w).Encode(server.JobStatus{ID: "j1", State: server.StateQueued})
+			return
+		}
+		json.NewEncoder(w).Encode(server.JobStatus{
+			ID: "j1", State: server.StateDone, Recovered: true, Result: &rapids.Result{},
+		})
+	}))
+	defer ts.Close()
+
+	cfg := BatchConfig{
+		BaseURL:      ts.URL,
+		Benchmarks:   []string{"c432"},
+		PollInterval: 2 * time.Millisecond,
+	}
+
+	// Without ride-out: the aborted connection fails the row.
+	rows, err := RunBatch(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].Err == "" {
+		t.Fatalf("transport failure should fail the row without RideOutRestarts: %+v", rows[0])
+	}
+
+	// With ride-out: the batch outlives the outage.
+	time.AfterFunc(150*time.Millisecond, func() { down.Store(false) })
+	cfg.RideOutRestarts = true
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	rows, err = RunBatch(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := rows[0]
+	if row.State != server.StateDone || row.Err != "" {
+		t.Fatalf("row: %+v", row)
+	}
+	if row.RetriedTransport == 0 {
+		t.Fatal("no transport retries recorded; the outage was not exercised")
+	}
+	if !row.Recovered {
+		t.Fatal("Recovered flag lost between server and row")
 	}
 }
 

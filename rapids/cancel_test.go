@@ -117,6 +117,28 @@ func TestOptimizeDeadline(t *testing.T) {
 	}
 }
 
+// TestOptimizeWithDeadlineOption: WithDeadline rides the same
+// cancellation path as a caller-supplied deadline, including with a
+// nil context.
+func TestOptimizeWithDeadlineOption(t *testing.T) {
+	c := placedBench(t, "alu2", 5)
+	orig := c.Clone()
+	res, err := c.Optimize(nil, rapids.WithIters(8), rapids.WithWorkers(1),
+		rapids.WithDeadline(time.Millisecond))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+	if !res.Interrupted || res.Verification != rapids.VerifySkipped {
+		t.Fatalf("deadline run must be interrupted and unverified: %+v", res)
+	}
+	if res.FinalDelayNS > res.InitialDelayNS+1e-9 {
+		t.Fatalf("best-so-far slower than input: %+v", res)
+	}
+	if err := c.EquivalentTo(orig, 16, 7); err != nil {
+		t.Fatalf("deadline run broke equivalence: %v", err)
+	}
+}
+
 // TestCancelledRunsLeakNoGoroutines runs cancelled whole-network and
 // region-partitioned optimizations and requires the goroutine count to
 // settle back to the baseline: neither the scoring pool nor the region

@@ -10,6 +10,7 @@ package rapids
 import (
 	"encoding/json"
 	"fmt"
+	"time"
 )
 
 // MarshalJSON encodes the strategy as its ParseStrategy spelling
@@ -114,6 +115,12 @@ type Spec struct {
 	// DefaultVerifyRounds, an explicit value <= 0 disables, > 0 runs
 	// that many rounds.
 	VerifyRounds *int `json:"verify_rounds,omitempty"`
+	// TimeoutMS mirrors WithDeadline in whole milliseconds (the wire
+	// granularity; sub-millisecond deadlines round up to 1). 0 sets no
+	// deadline. Like Workers it never changes a completed Result — a
+	// deadline that fires yields an interrupted run, which rapids/server
+	// never caches — so the server excludes it from the cache key.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
 // Options expands the spec into the equivalent Option list. Passing the
@@ -132,6 +139,9 @@ func (s Spec) Options() []Option {
 	}
 	if s.VerifyRounds != nil {
 		opts = append(opts, WithVerification(*s.VerifyRounds))
+	}
+	if s.TimeoutMS > 0 {
+		opts = append(opts, WithDeadline(time.Duration(s.TimeoutMS)*time.Millisecond))
 	}
 	return opts
 }
@@ -167,6 +177,9 @@ func NewSpec(opts ...Option) Spec {
 	}
 	if vr := max(cfg.verifyRounds, 0); vr != DefaultVerifyRounds {
 		s.VerifyRounds = &vr
+	}
+	if cfg.deadline > 0 {
+		s.TimeoutMS = max(cfg.deadline.Milliseconds(), 1)
 	}
 	return s
 }

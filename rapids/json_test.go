@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"reflect"
 	"testing"
+	"time"
 )
 
 // applyOpts expands an option list onto a fresh default config.
@@ -25,7 +26,8 @@ func applyOpts(opts ...Option) optConfig {
 
 // canonConfig maps a config onto its documented semantics: every
 // non-positive knob means "default/disabled" (regions additionally
-// treats 1 as whole-network), and progress has no wire form.
+// treats 1 as whole-network), the deadline rounds up to the wire's
+// millisecond granularity, and progress has no wire form.
 func canonConfig(c optConfig) optConfig {
 	c.progress = nil
 	c.clock = max(c.clock, 0)
@@ -36,6 +38,11 @@ func canonConfig(c optConfig) optConfig {
 		c.regions = 0
 	}
 	c.verifyRounds = max(c.verifyRounds, 0)
+	if c.deadline <= 0 {
+		c.deadline = 0
+	} else {
+		c.deadline = time.Duration(max(c.deadline.Milliseconds(), 1)) * time.Millisecond
+	}
 	return c
 }
 
@@ -62,10 +69,12 @@ func TestSpecRoundTripsEveryOption(t *testing.T) {
 		{"verify-neg", []Option{WithVerification(-1)}},
 		{"verify-custom", []Option{WithVerification(7)}},
 		{"verify-default-explicit", []Option{WithVerification(DefaultVerifyRounds)}},
+		{"deadline", []Option{WithDeadline(1500 * time.Millisecond)}},
+		{"deadline-sub-ms", []Option{WithDeadline(100 * time.Microsecond)}},
 		{"everything", []Option{
 			WithClock(2.25), WithStrategy(GS), WithIters(5), WithWorkers(3),
 			WithWindow(0.005), WithRegions(8), WithVerification(4),
-			WithProgress(func(Event) {}),
+			WithDeadline(30 * time.Second), WithProgress(func(Event) {}),
 		}},
 	}
 	for _, tc := range cases {
@@ -112,6 +121,7 @@ func TestNewSpecCanonicalizesEquivalentSpellings(t *testing.T) {
 		{"window unset", []Option{WithWindow(-0.5)}, nil},
 		{"iters default", []Option{WithIters(-3)}, []Option{WithIters(0)}},
 		{"workers default", []Option{WithWorkers(-1)}, nil},
+		{"deadline unset", []Option{WithDeadline(-time.Second)}, nil},
 	}
 	for _, e := range equiv {
 		if sa, sb := NewSpec(e.a...), NewSpec(e.b...); !reflect.DeepEqual(sa, sb) {

@@ -165,6 +165,19 @@ func (c *Circuit) Optimize(ctx context.Context, opts ...Option) (*Result, error)
 		return nil, ErrNotPlaced
 	}
 
+	// WithDeadline rides the existing context-cancellation path: the
+	// run under a deadline is indistinguishable from one whose caller
+	// cancelled at that instant.
+	if cfg.deadline > 0 {
+		base := ctx
+		if base == nil {
+			base = context.Background()
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(base, cfg.deadline)
+		defer cancel()
+	}
+
 	emit := func(ev Event) {
 		if cfg.progress != nil {
 			ev.Circuit = c.net.Name()

@@ -2,6 +2,7 @@ package rapids
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/opt"
 )
@@ -52,6 +53,7 @@ type optConfig struct {
 	window       float64
 	regions      int
 	verifyRounds int
+	deadline     time.Duration
 	progress     func(Event)
 }
 
@@ -109,6 +111,17 @@ func WithRegions(n int) Option {
 // CLIs' -verify flags are documented in its terms.
 func WithVerification(rounds int) Option {
 	return func(c *optConfig) { c.verifyRounds = rounds }
+}
+
+// WithDeadline bounds the run to d of wall-clock time. When it expires
+// the run stops at the next phase boundary exactly as if the caller's
+// context had been cancelled (the anytime contract): the circuit holds
+// the best-so-far network, Result.Interrupted is set, and the error
+// wraps context.DeadlineExceeded. The deadline composes with the
+// caller's context — whichever expires first wins. d <= 0 (the
+// default) sets no deadline.
+func WithDeadline(d time.Duration) Option {
+	return func(c *optConfig) { c.deadline = d }
 }
 
 // WithProgress subscribes fn to the run's typed Event stream. fn is

@@ -38,6 +38,10 @@ func cacheKey(req JobRequest, format rapids.Format) string {
 		Place:    place.withDefaults(),
 		Options:  spec,
 	}
+	// Like Workers, a deadline never changes a *completed* Result —
+	// runs it interrupts are never cached — so it must not fragment
+	// the cache either.
+	spec.TimeoutMS = 0
 	if req.Netlist != "" {
 		// Auto parses as BLIF for inline payloads (no file name to
 		// dispatch on), so the two spellings share one key.
@@ -56,13 +60,38 @@ func cacheKey(req JobRequest, format rapids.Format) string {
 }
 
 // cacheEntry is one cached run: the result plus the identity fields a
-// born-done job needs for its status and synthesized EventDone.
+// born-done job needs for its status and synthesized EventDone. sum is
+// the integrity checksum of the result at insertion time; get re-checks
+// it so a corrupted entry is dropped and re-run instead of served.
 type cacheEntry struct {
 	circuit  string
 	gates    int
 	strategy rapids.Strategy
 	result   *rapids.Result
+	sum      string
 }
+
+// resultSum digests a result for the cache's integrity check.
+func resultSum(r *rapids.Result) string {
+	b, err := json.Marshal(r)
+	if err != nil {
+		// Result is a plain struct of marshalable fields.
+		panic("server: result checksum encoding: " + err.Error())
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// newCacheEntry builds an entry with its checksum sealed in.
+func newCacheEntry(circuit string, gates int, res *rapids.Result) *cacheEntry {
+	return &cacheEntry{
+		circuit: circuit, gates: gates,
+		strategy: res.Strategy, result: res, sum: resultSum(res),
+	}
+}
+
+// intact re-verifies the checksum.
+func (e *cacheEntry) intact() bool { return resultSum(e.result) == e.sum }
 
 // resultCache is a small LRU over content-hash keys. Entries are
 // immutable once inserted (the Result of a finished run is never
@@ -116,6 +145,19 @@ func (c *resultCache) put(key string, e *cacheEntry) {
 		oldest := c.l.Back()
 		c.l.Remove(oldest)
 		delete(c.m, oldest.Value.(*lruItem).key)
+	}
+}
+
+// remove drops an entry (the integrity-check failure path).
+func (c *resultCache) remove(key string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		c.l.Remove(el)
+		delete(c.m, key)
 	}
 }
 

@@ -71,6 +71,13 @@ type JobStatus struct {
 	Gates   int    `json:"gates,omitempty"`
 	// Error explains failed (and canceled-before-start) jobs.
 	Error string `json:"error,omitempty"`
+	// Attempts counts optimization attempts; > 1 means automatic
+	// retries after transient failures (worker panic, job timeout).
+	Attempts int `json:"attempts,omitempty"`
+	// Recovered marks a job restored from the journal after a restart
+	// (re-enqueued if it was live at crash time, reborn terminal
+	// otherwise).
+	Recovered bool `json:"recovered,omitempty"`
 	// Result is the structured rapids.Result once the job finished.
 	// Canceled jobs that had started carry the best-so-far result with
 	// Result.Interrupted set (the facade's anytime contract).
@@ -81,20 +88,23 @@ type JobStatus struct {
 type job struct {
 	id     string
 	key    string // content-hash cache key
+	seq    int    // submission sequence number (journal replay restores it)
 	req    JobRequest
 	ctx    context.Context
 	cancel context.CancelFunc
 
-	mu      sync.Mutex
-	state   string
-	cached  bool
-	circuit string
-	gates   int
-	errmsg  string
-	result  *rapids.Result
-	events  []rapids.Event
-	closed  bool          // terminal: no more events will arrive
-	wake    chan struct{} // closed and replaced on every change
+	mu        sync.Mutex
+	state     string
+	cached    bool
+	recovered bool // restored from the journal by a restarted server
+	attempt   int  // optimization attempts begun (retries increment)
+	circuit   string
+	gates     int
+	errmsg    string
+	result    *rapids.Result
+	events    []rapids.Event
+	closed    bool          // terminal: no more events will arrive
+	wake      chan struct{} // closed and replaced on every change
 }
 
 func newJob(id, key string, req JobRequest) *job {
@@ -120,6 +130,36 @@ func (j *job) setRunning(circuit string, gates int) {
 	j.circuit = circuit
 	j.gates = gates
 	j.notify()
+}
+
+// setQueued moves a transiently-failed job back behind the workers
+// while its retry backoff elapses.
+func (j *job) setQueued() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = StateQueued
+	j.notify()
+}
+
+// nextAttempt registers the start of an optimization attempt and
+// returns its 1-based number.
+func (j *job) nextAttempt() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.attempt++
+	return j.attempt
+}
+
+func (j *job) attempts() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.attempt
+}
+
+func (j *job) stateNow() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
 }
 
 // appendEvent records one rapids.Event (the WithProgress sink; also
@@ -160,7 +200,8 @@ func (j *job) status() JobStatus {
 	return JobStatus{
 		ID: j.id, State: j.state, Cached: j.cached,
 		Circuit: j.circuit, Gates: j.gates,
-		Error: j.errmsg, Result: j.result,
+		Error: j.errmsg, Attempts: j.attempt, Recovered: j.recovered,
+		Result: j.result,
 	}
 }
 

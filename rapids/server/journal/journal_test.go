@@ -1,0 +1,205 @@
+package journal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func entry(op Op, id string, seq int) Entry {
+	return Entry{Time: time.Unix(1700000000, 0).UTC(), Op: op, JobID: id, Seq: seq, Key: "k" + id}
+}
+
+func replayAll(t *testing.T, j Journal) []Entry {
+	t.Helper()
+	var got []Entry
+	if err := j.Replay(func(e Entry) error { got = append(got, e); return nil }); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return got
+}
+
+// TestFileRoundTrip: entries appended across two open/close cycles
+// replay in order, byte-faithful.
+func TestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := replayAll(t, j); len(got) != 0 {
+		t.Fatalf("fresh journal replayed %d entries", len(got))
+	}
+	want := []Entry{entry(OpAccepted, "j1", 1), entry(OpStarted, "j1", 0), entry(OpDone, "j1", 0)}
+	for _, e := range want {
+		if err := j.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(entry(OpFailed, "j1", 0)); err == nil {
+		t.Fatal("append after close must error")
+	}
+
+	j2, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	got := replayAll(t, j2)
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d entries, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Op != want[i].Op || got[i].JobID != want[i].JobID || got[i].Seq != want[i].Seq {
+			t.Fatalf("entry %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+	// Appends after replay continue the log.
+	if err := j2.Append(entry(OpAccepted, "j2", 2)); err != nil {
+		t.Fatal(err)
+	}
+	j3, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	if got := replayAll(t, j3); len(got) != 4 || got[3].JobID != "j2" {
+		t.Fatalf("continued log: %+v", got)
+	}
+}
+
+// TestFileTornTail: a crash mid-append leaves a truncated final line;
+// replay must keep every whole entry, drop the torn one, and position
+// appends on a clean line.
+func TestFileTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append(entry(OpAccepted, "j1", 1))
+	j.Append(entry(OpStarted, "j1", 0))
+	j.Close()
+
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"op":"done","job_id":"j1","resu`) // torn write, no newline
+	f.Close()
+
+	j2, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := replayAll(t, j2)
+	if len(got) != 2 || got[1].Op != OpStarted {
+		t.Fatalf("torn tail replay: %+v", got)
+	}
+	if err := j2.Append(entry(OpDone, "j1", 0)); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+
+	data, _ := os.ReadFile(path)
+	if strings.Contains(string(data), "resu") {
+		t.Fatalf("torn line survived truncation:\n%s", data)
+	}
+	j3, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	if got := replayAll(t, j3); len(got) != 3 || got[2].Op != OpDone {
+		t.Fatalf("post-repair replay: %+v", got)
+	}
+}
+
+// TestFileCorruptMiddleRejected: garbage with valid entries after it is
+// real corruption, not a torn tail, and must fail loudly.
+func TestFileCorruptMiddleRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	good := `{"time":"2023-11-14T22:13:20Z","op":"accepted","job_id":"j1","seq":1}`
+	if err := os.WriteFile(path, []byte(good+"\nnot json\n"+good+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if err := j.Replay(func(Entry) error { return nil }); err == nil {
+		t.Fatal("mid-journal corruption must fail replay")
+	}
+}
+
+// TestFileConcurrentAppends: parallel appends interleave without
+// tearing lines (run under -race in the chaos CI job).
+func TestFileConcurrentAppends(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, per = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := j.Append(entry(OpStarted, fmt.Sprintf("j%d-%d", w, i), 0)); err != nil {
+					t.Errorf("append: %v", err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	j.Close()
+
+	j2, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if got := replayAll(t, j2); len(got) != writers*per {
+		t.Fatalf("replayed %d entries, want %d", len(got), writers*per)
+	}
+}
+
+// TestMemSurvivesIncarnations: the test journal replays everything the
+// previous "server" appended, and Close is a no-op.
+func TestMemSurvivesIncarnations(t *testing.T) {
+	m := NewMem()
+	m.Append(entry(OpAccepted, "j1", 1))
+	m.Append(entry(OpDone, "j1", 0))
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := replayAll(t, m); len(got) != 2 || got[1].Op != OpDone {
+		t.Fatalf("mem replay: %+v", got)
+	}
+	m.Append(entry(OpAccepted, "j2", 2))
+	if got := m.Entries(); len(got) != 3 {
+		t.Fatalf("entries: %+v", got)
+	}
+}
+
+// TestOpTerminal pins the terminal set.
+func TestOpTerminal(t *testing.T) {
+	for op, want := range map[Op]bool{
+		OpAccepted: false, OpStarted: false, OpRetried: false,
+		OpCancelRequested: false, OpDone: true, OpCanceled: true, OpFailed: true,
+	} {
+		if op.Terminal() != want {
+			t.Errorf("%s.Terminal() = %v, want %v", op, !want, want)
+		}
+	}
+}

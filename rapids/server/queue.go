@@ -1,0 +1,65 @@
+package server
+
+import "sync"
+
+// jobQueue is the worker feed: an unbounded FIFO under a condition
+// variable. The *submission* bound (Config.QueueCap, the backpressure
+// contract) is enforced by handleSubmit, not here — journal recovery
+// and automatic retries must be able to re-enqueue past the cap, since
+// rejecting either would lose an already-accepted job.
+type jobQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	list   []*job
+	closed bool
+}
+
+func newJobQueue() *jobQueue {
+	q := &jobQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push appends j; false once the queue is closed (the job was not
+// enqueued and the caller owns its fate).
+func (q *jobQueue) push(j *job) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false
+	}
+	q.list = append(q.list, j)
+	q.cond.Signal()
+	return true
+}
+
+// pop blocks for the next job; ok is false once the queue is closed
+// and drained.
+func (q *jobQueue) pop() (j *job, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.list) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.list) == 0 {
+		return nil, false
+	}
+	j = q.list[0]
+	q.list = q.list[1:]
+	return j, true
+}
+
+func (q *jobQueue) len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.list)
+}
+
+// close stops pop from blocking once the backlog drains; pushes after
+// close are refused.
+func (q *jobQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}

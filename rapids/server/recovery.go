@@ -1,0 +1,121 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/rapids"
+	"repro/rapids/server/journal"
+)
+
+// replayState folds one job's journal entries during recovery.
+type replayState struct {
+	j        *job
+	terminal journal.Op // zero while the job was still live at crash time
+	result   *rapids.Result
+	errmsg   string
+	circuit  string
+	gates    int
+	cached   bool
+	canceled bool // a cancel-requested entry with no terminal entry yet
+}
+
+// replayJournal rebuilds the server's job table from Config.Journal
+// before the workers start. Terminal jobs are reborn with their
+// recorded results — done results re-seed the cache — and jobs that
+// were queued or running at crash time are re-enqueued under their
+// original ids. Determinism per seed makes the re-run equivalent to
+// the one the crash interrupted: the completed result is
+// bit-identical. Called from newServer; replay errors fail New.
+func (s *Server) replayJournal() error {
+	if s.cfg.Journal == nil {
+		return nil
+	}
+	states := make(map[string]*replayState)
+	var order []string
+	err := s.cfg.Journal.Replay(func(e journal.Entry) error {
+		if e.Op == journal.OpAccepted {
+			var req JobRequest
+			if err := json.Unmarshal(e.Request, &req); err != nil {
+				return fmt.Errorf("accepted entry for job %s: bad request payload: %w", e.JobID, err)
+			}
+			j := newJob(e.JobID, e.Key, req)
+			j.seq = e.Seq
+			states[e.JobID] = &replayState{j: j}
+			order = append(order, e.JobID)
+			if e.Seq > s.seq {
+				s.seq = e.Seq
+			}
+			return nil
+		}
+		st, ok := states[e.JobID]
+		if !ok {
+			return fmt.Errorf("journal entry %s for job %s precedes its accepted entry", e.Op, e.JobID)
+		}
+		switch e.Op {
+		case journal.OpStarted, journal.OpRetried:
+			st.j.attempt = e.Attempt
+		case journal.OpCancelRequested:
+			st.canceled = true
+		case journal.OpDone, journal.OpCanceled, journal.OpFailed:
+			st.terminal = e.Op
+			st.errmsg = e.Error
+			st.circuit, st.gates, st.cached = e.Circuit, e.Gates, e.Cached
+			st.result = nil
+			if len(e.Result) > 0 {
+				var res rapids.Result
+				if err := json.Unmarshal(e.Result, &res); err != nil {
+					return fmt.Errorf("terminal entry for job %s: bad result payload: %w", e.JobID, err)
+				}
+				st.result = &res
+			}
+		default:
+			return fmt.Errorf("unknown journal op %q for job %s", e.Op, e.JobID)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	requeued, reborn := 0, 0
+	for _, id := range order {
+		st := states[id]
+		j := st.j
+		j.recovered = true
+		s.jobs[id] = j
+		s.order = append(s.order, id)
+		if st.terminal == "" {
+			// Live at crash time: re-run. A pending cancel intent is
+			// honored by re-canceling the context — the worker turns
+			// the job canceled without running it.
+			if st.canceled {
+				j.cancel()
+			}
+			s.queue.push(j)
+			requeued++
+			continue
+		}
+		reborn++
+		j.mu.Lock()
+		j.circuit, j.gates, j.cached = st.circuit, st.gates, st.cached
+		j.mu.Unlock()
+		switch st.terminal {
+		case journal.OpDone:
+			if st.result != nil {
+				j.appendEvent(doneEvent(st.circuit, st.result))
+				s.cache.put(j.key, newCacheEntry(st.circuit, st.gates, st.result))
+			}
+			j.finish(StateDone, st.result, st.errmsg)
+		case journal.OpCanceled:
+			j.finish(StateCanceled, st.result, st.errmsg)
+		default:
+			j.finish(StateFailed, st.result, st.errmsg)
+		}
+	}
+	if len(order) > 0 {
+		s.logf("server: journal replayed: %d jobs (%d terminal, %d re-enqueued)",
+			len(order), reborn, requeued)
+	}
+	return nil
+}

@@ -10,8 +10,18 @@
 //	GET    /v1/jobs             list all jobs, submission order
 //	GET    /v1/jobs/{id}        JobStatus, including the rapids.Result once finished
 //	GET    /v1/jobs/{id}/events SSE stream of the run's typed events, replayed from the start
-//	DELETE /v1/jobs/{id}        cancel: the facade's anytime contract keeps the best-so-far result
+//	DELETE /v1/jobs/{id}        cancel: best-so-far result (anytime contract); 409 once terminal
 //	GET    /healthz             liveness, queue depths, goroutine count
+//	GET    /readyz              readiness: 503 while draining, journal-broken, or queue at high water
+//
+// Crash safety: with Config.Journal set, every job transition is
+// appended to a persistent journal and New replays it on startup —
+// terminal jobs are reborn with their results (re-seeding the cache),
+// live jobs are re-enqueued and re-run. Because Optimize is
+// deterministic per seed, a replayed run completes bit-identical to
+// the one the crash interrupted. Worker panics are confined to the
+// attempt, and transient failures (panic, job timeout) retry with
+// exponential backoff.
 //
 // DESIGN.md §5 documents the architecture — backpressure, cancellation,
 // drain, and the cache-key determinism guarantee. cmd/rapidsd is the
@@ -24,13 +34,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net/http"
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/rapids"
+	"repro/rapids/server/journal"
 )
 
 // maxBody bounds a POST /v1/jobs payload (inline netlists included).
@@ -45,11 +58,31 @@ type Config struct {
 	Workers int
 	// QueueCap bounds the jobs waiting for a worker (default 16). A
 	// full queue rejects POST /v1/jobs with 503 Service Unavailable
-	// and a Retry-After header — backpressure, not buffering.
+	// and a Retry-After header — backpressure, not buffering. The cap
+	// binds submissions only: journal recovery and automatic retries
+	// re-enqueue past it rather than lose an accepted job.
 	QueueCap int
 	// CacheCap bounds the result-cache entries (default 64); negative
 	// disables caching.
 	CacheCap int
+	// Journal, when non-nil, records every job transition and is
+	// replayed by New: accepted jobs survive a crash. The server does
+	// not own the journal — the caller opens and closes it.
+	Journal journal.Journal
+	// JobTimeout bounds each optimization attempt's wall clock (0 =
+	// none). A request's own options.timeout_ms tightens but never
+	// loosens it. Expiry is a transient failure: the attempt stops at
+	// the next phase boundary and is retried.
+	JobTimeout time.Duration
+	// MaxRetries caps automatic re-runs after a transient failure
+	// (worker panic, job timeout). 0 means the default of 2; negative
+	// disables retries.
+	MaxRetries int
+	// RetryBackoff is the first retry's delay (default 100ms); each
+	// further retry doubles it, plus jitter.
+	RetryBackoff time.Duration
+	// Hooks injects failures for the chaos tests; nil in production.
+	Hooks *FaultHooks
 	// Logf, when non-nil, receives one line per job life-cycle
 	// transition (log.Printf-shaped).
 	Logf func(format string, args ...any)
@@ -65,43 +98,73 @@ func (c Config) withDefaults() Config {
 	if c.CacheCap == 0 {
 		c.CacheCap = 64
 	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 2
+	}
+	if c.RetryBackoff == 0 {
+		c.RetryBackoff = 100 * time.Millisecond
+	}
 	return c
+}
+
+// maxAttempts is the per-job attempt budget (first run + retries).
+func (c Config) maxAttempts() int {
+	if c.MaxRetries < 0 {
+		return 1
+	}
+	return 1 + c.MaxRetries
 }
 
 // Server is the batch-optimization service. Create one with New, serve
 // it as an http.Handler, and stop it with Shutdown. All methods are
 // safe for concurrent use.
 type Server struct {
-	cfg   Config
-	mux   *http.ServeMux
-	queue chan *job
-	cache *resultCache
-	wg    sync.WaitGroup
+	cfg     Config
+	mux     *http.ServeMux
+	queue   *jobQueue
+	cache   *resultCache
+	wg      sync.WaitGroup // workers
+	retryWG sync.WaitGroup // pending retry timers
+	drainc  chan struct{}  // closed when Shutdown begins
+	retries atomic.Int64   // total retry attempts scheduled
 
 	mu       sync.Mutex
 	jobs     map[string]*job
 	order    []string // submission order, for GET /v1/jobs
 	seq      int
 	draining bool
+
+	// jmu guards the sticky journal-append error separately from s.mu:
+	// appends happen while s.mu is held (submit) and while it is not
+	// (workers), and readiness must never block on either.
+	jmu        sync.Mutex
+	journalErr error
 }
 
-// New builds a Server and starts its worker pool.
-func New(cfg Config) *Server {
-	s := newServer(cfg)
+// New builds a Server, replays its journal (if Config.Journal is set),
+// and starts the worker pool. A replay error — a corrupt journal, an
+// unreadable file — fails construction rather than silently dropping
+// accepted jobs.
+func New(cfg Config) (*Server, error) {
+	s, err := newServer(cfg)
+	if err != nil {
+		return nil, err
+	}
 	s.start()
-	return s
+	return s, nil
 }
 
 // newServer builds the Server without starting workers (tests use this
 // to observe queue states deterministically).
-func newServer(cfg Config) *Server {
+func newServer(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:   cfg,
-		mux:   http.NewServeMux(),
-		queue: make(chan *job, cfg.QueueCap),
-		cache: newResultCache(cfg.CacheCap),
-		jobs:  make(map[string]*job),
+		cfg:    cfg,
+		mux:    http.NewServeMux(),
+		queue:  newJobQueue(),
+		cache:  newResultCache(cfg.CacheCap),
+		drainc: make(chan struct{}),
+		jobs:   make(map[string]*job),
 	}
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
@@ -109,7 +172,11 @@ func newServer(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	return s
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
+	if err := s.replayJournal(); err != nil {
+		return nil, fmt.Errorf("server: journal replay: %w", err)
+	}
+	return s, nil
 }
 
 func (s *Server) start() {
@@ -130,14 +197,46 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// Shutdown gracefully drains the server: new submissions are rejected
-// with 503 immediately, queued and running jobs keep running, and
+// appendJournal records one transition. The hook (if any) runs first
+// and its error counts as a failed append. The latest append outcome is
+// kept as the sticky journal error readiness reports — a later
+// successful append clears it, so a transiently full disk self-heals.
+func (s *Server) appendJournal(e journal.Entry) error {
+	if s.cfg.Journal == nil {
+		return nil
+	}
+	e.Time = time.Now().UTC()
+	var err error
+	if h := s.cfg.Hooks; h != nil && h.JournalAppend != nil {
+		err = h.JournalAppend(e)
+	}
+	if err == nil {
+		err = s.cfg.Journal.Append(e)
+	}
+	s.jmu.Lock()
+	s.journalErr = err
+	s.jmu.Unlock()
+	if err != nil {
+		s.logf("journal: append %s for job %s failed: %v", e.Op, e.JobID, err)
+	}
+	return err
+}
+
+func (s *Server) journalStatus() error {
+	s.jmu.Lock()
+	defer s.jmu.Unlock()
+	return s.journalErr
+}
+
+// Shutdown gracefully drains the server: readiness flips to 503 and new
+// submissions are rejected immediately, pending retries are abandoned
+// (journaled failed), queued and running jobs keep running, and
 // Shutdown returns once every worker has finished. If ctx expires
 // first, all unfinished jobs are cancelled — the facade's anytime
 // contract turns them into best-so-far canceled results — the workers
 // are still waited for (they stop at the next phase boundary), and
 // ctx.Err() is returned. Shutdown is idempotent; later calls return an
-// error without waiting.
+// error without waiting. The journal is left open for the caller.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	if s.draining {
@@ -145,9 +244,14 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		return errors.New("server: already shut down")
 	}
 	s.draining = true
-	close(s.queue) // submits are guarded by s.mu + draining, so no send-after-close
+	close(s.drainc) // submits are guarded by s.mu + draining
 	s.mu.Unlock()
-	s.logf("server: draining (%d queued)", len(s.queue))
+	s.logf("server: draining (%d queued)", s.queue.len())
+
+	// Retry timers either fire into the queue or abandon on drainc;
+	// wait them out before closing the queue so no push is refused.
+	s.retryWG.Wait()
+	s.queue.close()
 
 	done := make(chan struct{})
 	go func() { s.wg.Wait(); close(done) }()
@@ -170,23 +274,32 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // worker runs queued jobs until the queue is closed and drained.
 func (s *Server) worker() {
 	defer s.wg.Done()
-	for j := range s.queue {
+	for {
+		j, ok := s.queue.pop()
+		if !ok {
+			return
+		}
 		s.run(j)
 	}
 }
 
-// run executes one job through the facade.
+// run executes one attempt of a job through the facade and classifies
+// the outcome: success, cancel, permanent failure, or a transient
+// failure (panic, timeout) that earns a retry. Each attempt reloads
+// and re-places the circuit, so a retried or crash-recovered run is a
+// fresh deterministic run — bit-identical to an undisturbed one.
 func (s *Server) run(j *job) {
 	if j.ctx.Err() != nil {
-		j.finish(StateCanceled, nil, "canceled before start")
-		s.logf("job %s: canceled before start", j.id)
+		s.finishJob(j, StateCanceled, nil, "canceled before start")
 		return
 	}
 
+	attempt := j.nextAttempt()
+	s.appendJournal(journal.Entry{Op: journal.OpStarted, JobID: j.id, Key: j.key, Seq: j.seq, Attempt: attempt})
+
 	c, err := loadCircuit(j.req)
 	if err != nil {
-		j.finish(StateFailed, nil, err.Error())
-		s.logf("job %s: load failed: %v", j.id, err)
+		s.finishJob(j, StateFailed, nil, err.Error())
 		return
 	}
 	place := j.req.Place
@@ -201,28 +314,164 @@ func (s *Server) run(j *job) {
 	// hit must mirror the original job's status exactly.
 	circuit, gates := c.Name(), c.Gates()
 	j.setRunning(circuit, gates)
-	s.logf("job %s: running %s (%d gates)", j.id, circuit, gates)
+	s.logf("job %s: running %s (%d gates), attempt %d", j.id, circuit, gates, attempt)
 
-	opts := append(j.req.Options.Options(), rapids.WithProgress(j.appendEvent))
-	res, err := c.Optimize(j.ctx, opts...)
+	res, err, timedOut := s.attempt(j, c, attempt)
+	var pe *WorkerPanicError
 	switch {
 	case err == nil:
-		j.finish(StateDone, res, "")
-		s.cache.put(j.key, &cacheEntry{
-			circuit: circuit, gates: gates,
-			strategy: res.Strategy, result: res,
-		})
+		e := newCacheEntry(circuit, gates, res)
+		if h := s.cfg.Hooks; h != nil && h.CorruptResult != nil && h.CorruptResult(j.key) {
+			// Simulate memory corruption after the checksum is sealed;
+			// the next lookup's intact() check must catch it.
+			clone := *res
+			clone.FinalDelayNS += 1
+			e.result = &clone
+		}
+		s.cache.put(j.key, e)
+		s.finishJob(j, StateDone, res, "")
 		s.logf("job %s: done, delay %.3f -> %.3f ns", j.id, res.InitialDelayNS, res.FinalDelayNS)
+	case errors.As(err, &pe):
+		s.retryOrFail(j, err)
+	case timedOut:
+		s.retryOrFail(j, fmt.Errorf("job %s attempt %d: %w after %v",
+			j.id, attempt, context.DeadlineExceeded, s.jobDeadline(j)))
 	case res != nil && res.Interrupted:
 		// DELETE or drain-deadline cancellation: the circuit holds the
 		// best-so-far network and res describes it (never cached — the
 		// run did not converge).
-		j.finish(StateCanceled, res, err.Error())
+		s.finishJob(j, StateCanceled, res, err.Error())
 		s.logf("job %s: canceled, best-so-far delay %.3f ns", j.id, res.FinalDelayNS)
 	default:
 		// Verification failure or optimizer error.
-		j.finish(StateFailed, res, err.Error())
+		s.finishJob(j, StateFailed, res, err.Error())
 		s.logf("job %s: failed: %v", j.id, err)
+	}
+}
+
+// attempt runs one optimization attempt with panic confinement and the
+// job deadline applied. timedOut reports an expiry of the *attempt's*
+// deadline specifically: j.ctx is still clean, so this was not a DELETE
+// or a drain cancellation.
+func (s *Server) attempt(j *job, c *rapids.Circuit, attempt int) (res *rapids.Result, err error, timedOut bool) {
+	actx := j.ctx
+	if d := s.jobDeadline(j); d > 0 {
+		var cancel context.CancelFunc
+		actx, cancel = context.WithTimeout(j.ctx, d)
+		defer cancel()
+	}
+	func() {
+		defer func() {
+			if v := recover(); v != nil {
+				res, err = nil, &WorkerPanicError{JobID: j.id, Attempt: attempt, Value: fmt.Sprint(v)}
+			}
+		}()
+		if h := s.cfg.Hooks; h != nil && h.BeforeAttempt != nil {
+			h.BeforeAttempt(actx, j.id, attempt)
+		}
+		// The server owns the deadline (applied to actx above), so the
+		// request's own timeout_ms is stripped from the option set.
+		reqOpts := j.req.Options
+		reqOpts.TimeoutMS = 0
+		opts := append(reqOpts.Options(), rapids.WithProgress(j.appendEvent))
+		res, err = c.Optimize(actx, opts...)
+	}()
+	timedOut = errors.Is(actx.Err(), context.DeadlineExceeded) && j.ctx.Err() == nil
+	return res, err, timedOut
+}
+
+// jobDeadline is the effective per-attempt wall-clock bound: the
+// tighter of the server's JobTimeout and the request's timeout_ms.
+func (s *Server) jobDeadline(j *job) time.Duration {
+	d := s.cfg.JobTimeout
+	if ms := j.req.Options.TimeoutMS; ms > 0 {
+		if r := time.Duration(ms) * time.Millisecond; d <= 0 || r < d {
+			d = r
+		}
+	}
+	return d
+}
+
+// retryOrFail handles a transient failure: retry with exponential
+// backoff and jitter while attempts remain and the server is not
+// draining; otherwise fail the job for good.
+func (s *Server) retryOrFail(j *job, cause error) {
+	attempt := j.attempts()
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		s.finishJob(j, StateFailed, nil, cause.Error()+" (retry abandoned: server draining)")
+		return
+	}
+	if attempt >= s.cfg.maxAttempts() {
+		s.finishJob(j, StateFailed, nil, fmt.Sprintf("%v (gave up after %d attempts)", cause, attempt))
+		return
+	}
+	s.appendJournal(journal.Entry{Op: journal.OpRetried, JobID: j.id, Key: j.key, Seq: j.seq, Attempt: attempt, Error: cause.Error()})
+	j.setQueued()
+	s.retries.Add(1)
+	backoff := s.cfg.RetryBackoff << (attempt - 1)
+	if backoff > 30*time.Second {
+		backoff = 30 * time.Second
+	}
+	backoff += time.Duration(rand.Int63n(int64(backoff)/2 + 1))
+	s.logf("job %s: transient failure (%v), retry %d/%d in %v",
+		j.id, cause, attempt, s.cfg.maxAttempts()-1, backoff)
+	s.retryWG.Add(1)
+	go func() {
+		defer s.retryWG.Done()
+		t := time.NewTimer(backoff)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-j.ctx.Done():
+			s.finishJob(j, StateCanceled, nil, "canceled while waiting to retry")
+			return
+		case <-s.drainc:
+			s.finishJob(j, StateFailed, nil, cause.Error()+" (retry abandoned: server draining)")
+			return
+		}
+		if !s.queue.push(j) {
+			s.finishJob(j, StateFailed, nil, cause.Error()+" (retry abandoned: server draining)")
+		}
+	}()
+}
+
+// finishJob moves a job to a terminal state and journals the
+// transition, result included — replay can then rebirth the job
+// without re-running it.
+func (s *Server) finishJob(j *job, state string, res *rapids.Result, errmsg string) {
+	j.finish(state, res, errmsg)
+	st := j.status()
+	e := journal.Entry{
+		JobID: j.id, Key: j.key, Seq: j.seq, Attempt: st.Attempts,
+		Error: errmsg, Circuit: st.Circuit, Gates: st.Gates, Cached: st.Cached,
+	}
+	switch state {
+	case StateDone:
+		e.Op = journal.OpDone
+	case StateCanceled:
+		e.Op = journal.OpCanceled
+	default:
+		e.Op = journal.OpFailed
+	}
+	if res != nil {
+		if b, err := json.Marshal(res); err == nil {
+			e.Result = b
+		}
+	}
+	s.appendJournal(e)
+}
+
+// doneEvent synthesizes the EventDone of a run that is not being
+// re-executed (cache hits, journal-recovered terminal jobs).
+func doneEvent(circuit string, res *rapids.Result) rapids.Event {
+	return rapids.Event{
+		Kind: rapids.EventDone, Circuit: circuit, Strategy: res.Strategy,
+		DelayNS: res.FinalDelayNS, Swaps: res.Swaps,
+		Resizes: res.Resizes, Verification: res.Verification,
+		Result: res,
 	}
 }
 
@@ -260,48 +509,67 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	// A cache hit is served as a job born in state done: the id is
 	// real and GET /v1/jobs/{id} and the SSE stream work uniformly.
+	// A failed integrity check drops the entry and falls through to a
+	// fresh run.
 	if e, ok := s.cache.get(key); ok {
-		j := s.register(key, req)
-		if j == nil {
-			httpError(w, http.StatusServiceUnavailable, "server is shutting down")
+		if !e.intact() {
+			s.cache.remove(key)
+			s.logf("cache: integrity check failed for key %s, entry dropped", key[:8])
+		} else {
+			s.mu.Lock()
+			if s.draining {
+				s.mu.Unlock()
+				httpError(w, http.StatusServiceUnavailable, "server is shutting down")
+				return
+			}
+			j := s.registerLocked(key, req)
+			if err := s.acceptLocked(j, req); err != nil {
+				s.unregisterLocked(j)
+				s.mu.Unlock()
+				httpError(w, http.StatusServiceUnavailable, "journal unavailable: %v", err)
+				return
+			}
+			s.mu.Unlock()
+			j.mu.Lock()
+			j.cached = true
+			j.circuit, j.gates = e.circuit, e.gates
+			j.mu.Unlock()
+			j.appendEvent(doneEvent(e.circuit, e.result))
+			s.finishJob(j, StateDone, e.result, "")
+			s.logf("job %s: cache hit (%s)", j.id, e.circuit)
+			s.writeJob(w, http.StatusOK, j)
 			return
 		}
-		j.mu.Lock()
-		j.cached = true
-		j.circuit, j.gates = e.circuit, e.gates
-		j.mu.Unlock()
-		j.appendEvent(rapids.Event{
-			Kind: rapids.EventDone, Circuit: e.circuit, Strategy: e.strategy,
-			DelayNS: e.result.FinalDelayNS, Swaps: e.result.Swaps,
-			Resizes: e.result.Resizes, Verification: e.result.Verification,
-			Result: e.result,
-		})
-		j.finish(StateDone, e.result, "")
-		s.logf("job %s: cache hit (%s)", j.id, e.circuit)
-		s.writeJob(w, http.StatusOK, j)
-		return
 	}
 
-	// Registration and enqueue are one critical section with the
-	// draining flag, so a submit cannot race Shutdown's close(queue).
+	// Registration, the journal's accepted record, and enqueue are one
+	// critical section with the draining flag, so a submit cannot race
+	// Shutdown's queue close, and the journal's accepted order is the
+	// id order.
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
 		httpError(w, http.StatusServiceUnavailable, "server is shutting down")
 		return
 	}
-	j := s.registerLocked(key, req)
-	select {
-	case s.queue <- j:
-		s.mu.Unlock()
-	default:
-		// Backpressure: bounded queue, explicit rejection.
-		s.unregisterLocked(j)
+	if s.queue.len() >= s.cfg.QueueCap {
+		// Backpressure: bounded submissions, explicit rejection.
 		s.mu.Unlock()
 		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusServiceUnavailable, "job queue is full (capacity %d)", s.cfg.QueueCap)
 		return
 	}
+	j := s.registerLocked(key, req)
+	if err := s.acceptLocked(j, req); err != nil {
+		// An unjournaled accepted job would be lost by a crash —
+		// reject instead, and readiness turns 503 until appends heal.
+		s.unregisterLocked(j)
+		s.mu.Unlock()
+		httpError(w, http.StatusServiceUnavailable, "journal unavailable: %v", err)
+		return
+	}
+	s.queue.push(j)
+	s.mu.Unlock()
 	src := req.Generate
 	if src == "" {
 		src = "inline netlist"
@@ -310,20 +578,26 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.writeJob(w, http.StatusAccepted, j)
 }
 
-// register adds a job under s.mu; nil when draining.
-func (s *Server) register(key string, req JobRequest) *job {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.draining {
+// acceptLocked journals the accepted transition with the full request,
+// the replay seed of a recovery. Callers hold s.mu.
+func (s *Server) acceptLocked(j *job, req JobRequest) error {
+	if s.cfg.Journal == nil {
 		return nil
 	}
-	return s.registerLocked(key, req)
+	b, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	return s.appendJournal(journal.Entry{
+		Op: journal.OpAccepted, JobID: j.id, Key: j.key, Seq: j.seq, Request: b,
+	})
 }
 
 func (s *Server) registerLocked(key string, req JobRequest) *job {
 	s.seq++
 	id := fmt.Sprintf("j%d-%s", s.seq, key[:8])
 	j := newJob(id, key, req)
+	j.seq = s.seq
 	s.jobs[id] = j
 	s.order = append(s.order, id)
 	return j
@@ -366,23 +640,33 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleCancel is DELETE /v1/jobs/{id}: it cancels the job's context
-// and returns the current status immediately. A running job stops at
-// the next phase boundary with the best-so-far result (see the anytime
-// semantics of rapids.Circuit.Optimize); a queued job is discarded when
-// a worker picks it up; a finished job is left untouched.
+// and returns the current status with 202 Accepted. A running job
+// stops at the next phase boundary with the best-so-far result (see
+// the anytime semantics of rapids.Circuit.Optimize); a queued job is
+// discarded when a worker picks it up. A job already in a terminal
+// state cannot be canceled: 409 Conflict with Code
+// "job_already_terminal" and the state in the error body.
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.lookup(r)
 	if !ok {
 		httpError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
 		return
 	}
-	code := http.StatusOK
-	if !j.terminal() {
-		j.cancel()
-		s.logf("job %s: cancel requested", j.id)
-		code = http.StatusAccepted
+	if j.terminal() {
+		st := j.stateNow()
+		writeJSON(w, http.StatusConflict, ErrorBody{
+			Error: fmt.Sprintf("job %s is already %s", j.id, st),
+			Code:  CodeJobAlreadyTerminal,
+			State: st,
+		})
+		return
 	}
-	s.writeJob(w, code, j)
+	// The cancel intent is journaled so a crash between DELETE and the
+	// job's terminal entry still cancels the job after recovery.
+	s.appendJournal(journal.Entry{Op: journal.OpCancelRequested, JobID: j.id, Key: j.key, Seq: j.seq})
+	j.cancel()
+	s.logf("job %s: cancel requested", j.id)
+	s.writeJob(w, http.StatusAccepted, j)
 }
 
 // handleEvents is GET /v1/jobs/{id}/events: a Server-Sent-Events
@@ -436,7 +720,9 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// handleHealth is GET /healthz.
+// handleHealth is GET /healthz: liveness plus observability counters.
+// It always returns 200 while the process serves — readiness lives at
+// /readyz.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	counts := map[string]int{}
@@ -450,15 +736,56 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		status = "draining"
 	}
 	s.mu.Unlock()
+	jstatus := "off"
+	if s.cfg.Journal != nil {
+		jstatus = "ok"
+		if err := s.journalStatus(); err != nil {
+			jstatus = err.Error()
+		}
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":       status,
 		"workers":      s.cfg.Workers,
 		"queue_cap":    s.cfg.QueueCap,
-		"queue_len":    len(s.queue),
+		"queue_len":    s.queue.len(),
 		"jobs":         counts,
 		"cache_len":    s.cache.len(),
+		"journal":      jstatus,
+		"retries":      s.retries.Load(),
 		"goroutines":   runtime.NumGoroutine(),
 		"generated_at": time.Now().UTC().Format(time.RFC3339),
+	})
+}
+
+// handleReady is GET /readyz: 200 when the server can accept work, 503
+// (with the reasons) while it is draining, its journal is failing
+// appends, or the queue is at the high-water mark. Load balancers and
+// the kill-restart harness key on this.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	reasons := []string{}
+	if draining {
+		reasons = append(reasons, "draining")
+	}
+	if err := s.journalStatus(); err != nil {
+		reasons = append(reasons, "journal: "+err.Error())
+	}
+	qlen := s.queue.len()
+	if qlen >= s.cfg.QueueCap {
+		reasons = append(reasons, fmt.Sprintf("queue at high-water mark (%d/%d)", qlen, s.cfg.QueueCap))
+	}
+	ready := len(reasons) == 0
+	code := http.StatusOK
+	if !ready {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"ready":     ready,
+		"reasons":   reasons,
+		"queue_len": qlen,
+		"queue_cap": s.cfg.QueueCap,
 	})
 }
 
@@ -475,7 +802,22 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc.Encode(v)
 }
 
-// httpError writes the error contract: a JSON body {"error": "..."}.
+// ErrorBody is the JSON body of every non-2xx response.
+type ErrorBody struct {
+	// Error is the human-readable message.
+	Error string `json:"error"`
+	// Code is a stable machine-readable discriminator for errors a
+	// client is expected to branch on; empty for generic errors.
+	Code string `json:"code,omitempty"`
+	// State carries the job's state for CodeJobAlreadyTerminal.
+	State string `json:"state,omitempty"`
+}
+
+// CodeJobAlreadyTerminal is the ErrorBody.Code of a DELETE on a job
+// that already reached a terminal state (409 Conflict).
+const CodeJobAlreadyTerminal = "job_already_terminal"
+
+// httpError writes the error contract: a JSON ErrorBody.
 func httpError(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+	writeJSON(w, code, ErrorBody{Error: fmt.Sprintf(format, args...)})
 }

@@ -63,7 +63,10 @@ func sameResult(a, b *rapids.Result) bool {
 
 func startServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s)
 	t.Cleanup(func() {
 		ts.Close()
@@ -415,15 +418,22 @@ func TestCancelMidJob(t *testing.T) {
 		t.Fatalf("interrupted runs skip verification: %v", final.Result.Verification)
 	}
 
-	// A second DELETE is a no-op on a terminal job.
+	// A second DELETE hits a terminal job: 409 with the typed error.
 	del, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+st.ID, nil)
 	dresp, err := http.DefaultClient.Do(del)
 	if err != nil {
 		t.Fatal(err)
 	}
-	dresp.Body.Close()
-	if dresp.StatusCode != http.StatusOK {
-		t.Fatalf("DELETE on finished job: want 200, got %d", dresp.StatusCode)
+	defer dresp.Body.Close()
+	if dresp.StatusCode != http.StatusConflict {
+		t.Fatalf("DELETE on finished job: want 409, got %d", dresp.StatusCode)
+	}
+	var eb ErrorBody
+	if err := json.NewDecoder(dresp.Body).Decode(&eb); err != nil {
+		t.Fatal(err)
+	}
+	if eb.Code != CodeJobAlreadyTerminal || eb.State != StateCanceled {
+		t.Fatalf("409 body: %+v", eb)
 	}
 }
 
@@ -431,7 +441,10 @@ func TestCancelMidJob(t *testing.T) {
 // are fully deterministic: QueueCap jobs are accepted, the next is
 // rejected with 503, and starting the workers drains everything.
 func TestQueueBackpressure(t *testing.T) {
-	s := newServer(Config{Workers: 1, QueueCap: 2})
+	s, err := newServer(Config{Workers: 1, QueueCap: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s)
 	defer ts.Close()
 
@@ -603,7 +616,10 @@ func TestNoGoroutineLeaks(t *testing.T) {
 	before := runtime.NumGoroutine()
 
 	func() {
-		s := New(Config{Workers: 2})
+		s, err := New(Config{Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
 		ts := httptest.NewServer(s)
 		defer ts.Close()
 
@@ -711,7 +727,7 @@ func TestCacheEviction(t *testing.T) {
 
 func ExampleServer() {
 	// A compact end-to-end tour: boot, submit, read the result.
-	s := New(Config{Workers: 1})
+	s, _ := New(Config{Workers: 1})
 	ts := httptest.NewServer(s)
 	defer ts.Close()
 
