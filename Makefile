@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race bench bench-smoke bench-scaling bench-scaling-smoke perf-gate table1 fuzz cover fmt-check api api-check docs-check serve-smoke chaos
+.PHONY: all vet build test race bench bench-smoke bench-scaling bench-scaling-smoke perf-gate table1 fuzz cover fmt-check api api-check docs-check serve-smoke chaos metrics-smoke
 
 all: vet fmt-check api-check build test docs-check
 
@@ -97,6 +97,15 @@ chaos:
 	$(GO) test -race -count=1 ./rapids/server/journal
 	$(GO) test -race -count=1 -run 'TestWorkerPanicIsolation|TestTransientPanicRetries|TestJobTimeoutRetriesThenFails|TestRequestTimeoutMS|TestJournalWriteErrorTurnsUnready|TestRecoveryRequeuesAcceptedJobs|TestRecoveryRebirthsTerminalJobs|TestCacheCorruptionDetected|TestDeleteStateTable|TestReadyz|TestChaosSweepLosesNothing|TestCacheConcurrentAccess' -v ./rapids/server
 	$(GO) test -race -count=1 -run 'TestRunBatchRespectsRetryAfter|TestRunBatchRidesOutRestarts' ./internal/harness
+
+# Metrics smoke (DESIGN.md §5b): the exposition-format unit tests, the
+# concurrent scrape-and-reconcile test over a live server, the
+# journaled job timings, and the harness's before/after metrics-delta
+# reconciliation — all under the race detector.
+metrics-smoke:
+	$(GO) test -race -count=1 ./internal/metrics
+	$(GO) test -race -count=1 -run 'TestMetricsEndpointUnderLoad|TestMetricsDisabled|TestJobTimingsReported|TestRetryMetrics|TestRetryBackoffNoOverflow' -v ./rapids/server
+	$(GO) test -race -count=1 -run 'TestRunBatchMetricsDelta|TestParseRetryAfter|TestRunBatchHTTPDateRetryAfter|TestBatchReusesConnections' ./internal/harness
 
 # Coverage profile + per-function summary (cover.out is the CI artifact).
 cover:

@@ -8,7 +8,7 @@
 //
 //	rapidsd [-addr :8347] [-opt-workers N] [-queue N] [-cache N]
 //	        [-journal jobs.journal] [-job-timeout 0] [-job-retries 2]
-//	        [-drain-timeout 30s] [-v]
+//	        [-drain-timeout 30s] [-metrics] [-v]
 //
 // Submit a job and read it back:
 //
@@ -17,6 +17,14 @@
 //	curl -sN localhost:8347/v1/jobs/<id>/events        # SSE stream
 //	curl -s -X DELETE localhost:8347/v1/jobs/<id>      # cancel, keep best-so-far
 //	curl -s localhost:8347/readyz                      # readiness (503 while draining)
+//	curl -s localhost:8347/metrics                     # Prometheus text exposition
+//
+// The /metrics endpoint (on by default; -metrics=false removes it)
+// serves every rapidsd_* instrument in Prometheus text format —
+// submission outcomes, queue depth and waits, per-attempt run
+// durations, retry/panic/timeout counters, cache and journal
+// accounting, and per-phase optimizer timings. DESIGN.md §5b documents
+// the taxonomy.
 //
 // With -journal, every job transition is appended to the named file
 // and replayed on the next start: jobs accepted before a crash are
@@ -59,6 +67,7 @@ func main() {
 		jobTimeout = flag.Duration("job-timeout", 0, "per-attempt wall-clock bound for each job (0 = none); expiry retries like any transient failure")
 		jobRetries = flag.Int("job-retries", 2, "automatic retries after a transient failure (worker panic, job timeout); negative disables")
 		drain      = flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on shutdown; running jobs are cancelled past it")
+		metricsOn  = flag.Bool("metrics", true, "serve the Prometheus text exposition at GET /metrics")
 		verbose    = flag.Bool("v", false, "log job life-cycle transitions")
 	)
 	flag.Parse()
@@ -68,6 +77,7 @@ func main() {
 	cfg := server.Config{
 		Workers: *workers, QueueCap: *queue, CacheCap: *cache,
 		JobTimeout: *jobTimeout, MaxRetries: *jobRetries,
+		DisableMetrics: !*metricsOn,
 	}
 	if *jobRetries == 0 {
 		cfg.MaxRetries = -1 // flag 0 means "no retries"; Config 0 means default

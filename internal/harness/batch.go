@@ -20,8 +20,10 @@ import (
 	"net/http"
 	"net/url"
 	"strconv"
+	"strings"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/rapids"
 	"repro/rapids/server"
 )
@@ -58,6 +60,13 @@ type BatchConfig struct {
 	// failing the row. Submissions journaled before a crash keep their
 	// ids across the restart, so polling resumes seamlessly.
 	RideOutRestarts bool
+	// ScrapeMetrics, when set, scrapes GET /metrics before and after
+	// the run; RunBatchReport returns the two snapshots as a
+	// MetricsDelta so the caller can reconcile server-side counters
+	// against the per-row outcomes. Scrape failures fail the run —
+	// asking for metrics from a server not exposing them is a
+	// configuration error, not a soft miss.
+	ScrapeMetrics bool
 	// Client is the HTTP client (default http.DefaultClient).
 	Client *http.Client
 }
@@ -117,15 +126,46 @@ type BatchRow struct {
 	Err string
 }
 
+// BatchReport is RunBatchReport's full outcome: the per-job rows plus
+// the optional before/after metrics scrape.
+type BatchReport struct {
+	Rows []BatchRow
+	// Metrics holds the /metrics snapshots bracketing the run; nil
+	// unless BatchConfig.ScrapeMetrics was set.
+	Metrics *MetricsDelta
+}
+
 // RunBatch submits every configured job to a running rapidsd and waits
 // for all of them, returning rows in submission order. The returned
 // error is non-nil only for setup-level failures (an unreachable
 // server, a cancelled context); per-job failures land in BatchRow.Err
 // so a long load test keeps going.
 func RunBatch(ctx context.Context, cfg BatchConfig) ([]BatchRow, error) {
+	rep, err := RunBatchReport(ctx, cfg)
+	if rep == nil {
+		return nil, err
+	}
+	return rep.Rows, err
+}
+
+// RunBatchReport is RunBatch plus the metrics bracket: with
+// BatchConfig.ScrapeMetrics set it scrapes GET /metrics before the
+// first submission and after the last job settles, so the caller can
+// check that the server's own accounting reconciles with what the
+// client observed (see MetricsDelta.Reconcile).
+func RunBatchReport(ctx context.Context, cfg BatchConfig) (*BatchReport, error) {
 	cfg.fill()
 	if cfg.BaseURL == "" && cfg.RebaseURL == nil {
 		return nil, fmt.Errorf("harness: BatchConfig.BaseURL is required")
+	}
+
+	rep := &BatchReport{}
+	if cfg.ScrapeMetrics {
+		before, err := scrapeMetrics(ctx, cfg.Client, cfg.base())
+		if err != nil {
+			return nil, fmt.Errorf("harness: metrics scrape before run: %w", err)
+		}
+		rep.Metrics = &MetricsDelta{Before: before}
 	}
 
 	reqs := cfg.Requests
@@ -157,7 +197,92 @@ func RunBatch(ctx context.Context, cfg BatchConfig) ([]BatchRow, error) {
 	for range reqs {
 		<-done
 	}
-	return rows, ctx.Err()
+	rep.Rows = rows
+	if rep.Metrics != nil && ctx.Err() == nil {
+		after, err := scrapeMetrics(ctx, cfg.Client, cfg.base())
+		if err != nil {
+			return rep, fmt.Errorf("harness: metrics scrape after run: %w", err)
+		}
+		rep.Metrics.After = after
+	}
+	return rep, ctx.Err()
+}
+
+// MetricsDelta is a pair of /metrics scrapes bracketing a batch run.
+// Samples are keyed exactly as metrics.Parse returns them, e.g.
+// `rapidsd_submissions_total{outcome="accepted"}`.
+type MetricsDelta struct {
+	Before, After map[string]float64
+}
+
+// Delta returns After minus Before for one sample; samples absent from
+// a scrape (a counter never incremented) count as zero.
+func (d *MetricsDelta) Delta(sample string) float64 {
+	return d.After[sample] - d.Before[sample]
+}
+
+// Reconcile checks the server's counter movement against the rows the
+// client observed, returning an error describing every mismatch. The
+// checks assume this batch was the server's only client between the
+// scrapes and that the server was not restarted (a restart resets the
+// registry, voiding the delta):
+//
+//   - submissions accepted + cache_hit == rows that obtained a job id
+//   - submissions rejected (queue_full + draining + journal) == the
+//     rows' total 503-retry count
+//   - jobs_completed{state} == rows that ended in that state
+func (d *MetricsDelta) Reconcile(rows []BatchRow) error {
+	var submitted, retried503 int
+	states := map[string]int{}
+	for _, r := range rows {
+		retried503 += r.Retried503
+		if r.JobID == "" {
+			continue
+		}
+		submitted++
+		if r.State != "" {
+			states[r.State]++
+		}
+	}
+
+	var errs []string
+	sub := func(outcome string) float64 {
+		return d.Delta(`rapidsd_submissions_total{outcome="` + outcome + `"}`)
+	}
+	if got := sub("accepted") + sub("cache_hit"); got != float64(submitted) {
+		errs = append(errs, fmt.Sprintf("submissions accepted+cache_hit = %.0f, client saw %d jobs submitted", got, submitted))
+	}
+	if got := sub("rejected_queue_full") + sub("rejected_draining") + sub("rejected_journal"); got != float64(retried503) {
+		errs = append(errs, fmt.Sprintf("submissions rejected = %.0f, client saw %d 503 retries", got, retried503))
+	}
+	for _, state := range []string{server.StateDone, server.StateCanceled, server.StateFailed} {
+		got := d.Delta(`rapidsd_jobs_completed_total{state="` + state + `"}`)
+		if got != float64(states[state]) {
+			errs = append(errs, fmt.Sprintf("jobs_completed{state=%q} = %.0f, client saw %d", state, got, states[state]))
+		}
+	}
+	if len(errs) > 0 {
+		return fmt.Errorf("harness: metrics do not reconcile: %s", strings.Join(errs, "; "))
+	}
+	return nil
+}
+
+// scrapeMetrics fetches and parses one GET /metrics exposition.
+func scrapeMetrics(ctx context.Context, client *http.Client, base string) (map[string]float64, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer drainClose(resp)
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		return nil, fmt.Errorf("metrics: %d: %s", resp.StatusCode, bytes.TrimSpace(b))
+	}
+	return metrics.Parse(resp.Body)
 }
 
 func runOne(ctx context.Context, cfg BatchConfig, req server.JobRequest) BatchRow {
@@ -260,6 +385,47 @@ func isTransport(err error) bool {
 	return errors.As(err, &uerr)
 }
 
+// drainClose reads the response body to EOF and closes it. Every
+// response must pass through here on every branch: a json.Decoder
+// stops at the end of the value, not at EOF, and an undrained body
+// forfeits the keep-alive connection — a long load test would then
+// open a fresh connection per request (see TestBatchReusesConnections).
+func drainClose(resp *http.Response) {
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}
+
+// maxRetryAfter caps the server-suggested retry delay the client
+// honors: a clock-skewed HTTP-date (or a hostile header) must not park
+// a load test for an hour.
+const maxRetryAfter = 30 * time.Second
+
+// parseRetryAfter interprets a Retry-After header, which HTTP allows
+// in two forms: delta-seconds ("120") and an HTTP-date ("Fri, 07 Aug
+// 2026 12:00:00 GMT"). Unparseable values and dates in the past return
+// 0 (caller falls back to local backoff); the result is capped at
+// maxRetryAfter.
+func parseRetryAfter(ra string, now time.Time) time.Duration {
+	var d time.Duration
+	switch {
+	case ra == "":
+		return 0
+	default:
+		if secs, err := strconv.Atoi(ra); err == nil {
+			d = time.Duration(secs) * time.Second
+		} else if t, err := http.ParseTime(ra); err == nil {
+			d = t.Sub(now)
+		}
+	}
+	if d <= 0 {
+		return 0
+	}
+	if d > maxRetryAfter {
+		d = maxRetryAfter
+	}
+	return d
+}
+
 func postJob(ctx context.Context, client *http.Client, base string, body []byte) (server.JobStatus, error) {
 	var st server.JobStatus
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/jobs", bytes.NewReader(body))
@@ -271,19 +437,16 @@ func postJob(ctx context.Context, client *http.Client, base string, body []byte)
 	if err != nil {
 		return st, err
 	}
-	defer resp.Body.Close()
+	defer drainClose(resp)
 	switch resp.StatusCode {
 	case http.StatusAccepted, http.StatusOK:
 		return st, json.NewDecoder(resp.Body).Decode(&st)
 	case http.StatusServiceUnavailable:
 		b, _ := io.ReadAll(resp.Body)
-		e := errBackpressure{msg: fmt.Sprintf("503: %s", bytes.TrimSpace(b))}
-		if ra := resp.Header.Get("Retry-After"); ra != "" {
-			if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
-				e.retryAfter = time.Duration(secs) * time.Second
-			}
+		return st, errBackpressure{
+			msg:        fmt.Sprintf("503: %s", bytes.TrimSpace(b)),
+			retryAfter: parseRetryAfter(resp.Header.Get("Retry-After"), time.Now()),
 		}
-		return st, e
 	default:
 		b, _ := io.ReadAll(resp.Body)
 		return st, fmt.Errorf("submit: %d: %s", resp.StatusCode, bytes.TrimSpace(b))
@@ -300,7 +463,7 @@ func getJob(ctx context.Context, client *http.Client, base, id string) (server.J
 	if err != nil {
 		return st, err
 	}
-	defer resp.Body.Close()
+	defer drainClose(resp)
 	if resp.StatusCode != http.StatusOK {
 		b, _ := io.ReadAll(resp.Body)
 		return st, fmt.Errorf("status %s: %d: %s", id, resp.StatusCode, bytes.TrimSpace(b))

@@ -3,6 +3,7 @@ package harness
 import (
 	"context"
 	"encoding/json"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"sync/atomic"
@@ -212,5 +213,193 @@ func TestRunBatchSetupErrors(t *testing.T) {
 	})
 	if err == nil && rows[0].Err == "" {
 		t.Fatal("cancelled batch against a dead server must fail")
+	}
+}
+
+// TestParseRetryAfter covers both header forms HTTP allows —
+// delta-seconds and HTTP-date — plus the cap and the garbage cases.
+func TestParseRetryAfter(t *testing.T) {
+	now := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		in   string
+		want time.Duration
+	}{
+		{"", 0},
+		{"2", 2 * time.Second},
+		{"0", 0},
+		{"-5", 0},
+		{"120", maxRetryAfter}, // capped
+		{now.Add(5 * time.Second).Format(http.TimeFormat), 5 * time.Second},
+		{now.Add(-time.Minute).Format(http.TimeFormat), 0}, // past date
+		{now.Add(time.Hour).Format(http.TimeFormat), maxRetryAfter},
+		{"soon", 0},
+	}
+	for _, c := range cases {
+		if got := parseRetryAfter(c.in, now); got != c.want {
+			t.Errorf("parseRetryAfter(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// TestRunBatchHTTPDateRetryAfter: a 503 whose Retry-After is an
+// HTTP-date (the other form the header allows) delays the
+// resubmission just like delta-seconds — the client used to parse
+// only integers and fell back to its near-instant local backoff.
+func TestRunBatchHTTPDateRetryAfter(t *testing.T) {
+	var posts atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost {
+			if posts.Add(1) == 1 {
+				// Two seconds out: HTTP-date resolution is one second,
+				// so a 1s hint can truncate to nearly zero.
+				w.Header().Set("Retry-After", time.Now().Add(2*time.Second).UTC().Format(http.TimeFormat))
+				w.WriteHeader(http.StatusServiceUnavailable)
+				json.NewEncoder(w).Encode(server.ErrorBody{Error: "queue full"})
+				return
+			}
+			w.WriteHeader(http.StatusAccepted)
+		}
+		json.NewEncoder(w).Encode(server.JobStatus{ID: "j1", State: server.StateDone, Result: &rapids.Result{}})
+	}))
+	defer ts.Close()
+
+	start := time.Now()
+	rows, err := RunBatch(context.Background(), BatchConfig{
+		BaseURL:      ts.URL,
+		Benchmarks:   []string{"c432"},
+		PollInterval: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].State != server.StateDone || rows[0].Retried503 != 1 {
+		t.Fatalf("row: %+v", rows[0])
+	}
+	// The truncated hint is at least ~1s; the local backoff would have
+	// resubmitted within milliseconds.
+	if elapsed := time.Since(start); elapsed < 900*time.Millisecond {
+		t.Fatalf("HTTP-date Retry-After ignored: resubmitted after %v", elapsed)
+	}
+}
+
+// TestBatchReusesConnections: every HTTP helper must drain and close
+// its response body on every branch — an undrained body forfeits the
+// keep-alive connection, and a poll-heavy load test would then open a
+// connection per request. The server side counts fresh connections.
+func TestBatchReusesConnections(t *testing.T) {
+	var polls atomic.Int32
+	ts := httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.Method == http.MethodPost:
+			w.WriteHeader(http.StatusAccepted)
+			json.NewEncoder(w).Encode(server.JobStatus{ID: "j1", State: server.StateQueued})
+		case polls.Add(1) < 8: // keep the client polling for a while
+			json.NewEncoder(w).Encode(server.JobStatus{ID: "j1", State: server.StateRunning})
+		default:
+			json.NewEncoder(w).Encode(server.JobStatus{ID: "j1", State: server.StateDone, Result: &rapids.Result{}})
+		}
+	}))
+	var newConns atomic.Int32
+	ts.Config.ConnState = func(c net.Conn, st http.ConnState) {
+		if st == http.StateNew {
+			newConns.Add(1)
+		}
+	}
+	ts.Start()
+	defer ts.Close()
+
+	// A dedicated transport, so other tests' pooled connections cannot
+	// mask (or inflate) the count.
+	tr := &http.Transport{}
+	defer tr.CloseIdleConnections()
+	rows, err := RunBatch(context.Background(), BatchConfig{
+		BaseURL:      ts.URL,
+		Benchmarks:   []string{"c432"},
+		PollInterval: time.Millisecond,
+		Client:       &http.Client{Transport: tr},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].State != server.StateDone {
+		t.Fatalf("row: %+v", rows[0])
+	}
+	if got := newConns.Load(); got != 1 {
+		t.Errorf("%d connections opened for 1 submit + %d polls; bodies not drained?", got, polls.Load())
+	}
+}
+
+// TestRunBatchMetricsDelta drives a real service instance with
+// ScrapeMetrics set: the before/after exposition delta must reconcile
+// with the per-row outcomes, cache hit included.
+func TestRunBatchMetricsDelta(t *testing.T) {
+	srv, err := server.New(server.Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	verify := 8
+	spec := rapids.Spec{Iters: 2, Workers: 1, VerifyRounds: &verify}
+	mk := func(seed int64) server.JobRequest {
+		return server.JobRequest{
+			Generate: "c432",
+			Place:    &server.PlaceSpec{Seed: seed, Moves: 5},
+			Options:  spec,
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	rep, err := RunBatchReport(ctx, BatchConfig{
+		BaseURL: ts.URL,
+		// Two distinct keys plus one duplicate: whichever of the
+		// duplicate pair runs second is served from the cache
+		// (Concurrency 1 serializes the rows).
+		Requests:      []server.JobRequest{mk(1), mk(2), mk(1)},
+		Concurrency:   1,
+		PollInterval:  2 * time.Millisecond,
+		ScrapeMetrics: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Metrics == nil || rep.Metrics.Before == nil || rep.Metrics.After == nil {
+		t.Fatalf("metrics bracket missing: %+v", rep.Metrics)
+	}
+	for _, row := range rep.Rows {
+		if row.State != server.StateDone || row.Err != "" {
+			t.Fatalf("row did not complete: %+v", row)
+		}
+	}
+	if err := rep.Metrics.Reconcile(rep.Rows); err != nil {
+		t.Fatal(err)
+	}
+	d := rep.Metrics
+	if got := d.Delta(`rapidsd_submissions_total{outcome="accepted"}`); got != 2 {
+		t.Errorf("accepted delta %v, want 2", got)
+	}
+	if got := d.Delta(`rapidsd_submissions_total{outcome="cache_hit"}`); got != 1 {
+		t.Errorf("cache_hit delta %v, want 1", got)
+	}
+	if got := d.Delta("rapidsd_cache_hits_total"); got != 1 {
+		t.Errorf("cache_hits delta %v, want 1", got)
+	}
+	if got := d.Delta(`rapidsd_jobs_completed_total{state="done"}`); got != 3 {
+		t.Errorf("jobs_completed{done} delta %v, want 3", got)
+	}
+	if got := d.Delta("rapidsd_job_queue_wait_seconds_count"); got != 2 {
+		t.Errorf("queue_wait count delta %v, want 2 (cache hit never queued)", got)
+	}
+
+	// Reconcile must reject a cooked delta.
+	d.After[`rapidsd_submissions_total{outcome="accepted"}`] += 1
+	if err := d.Reconcile(rep.Rows); err == nil {
+		t.Fatal("Reconcile accepted a delta that does not match the rows")
 	}
 }

@@ -1,0 +1,437 @@
+// Package metrics is a small, dependency-free, concurrency-safe
+// metrics registry with Prometheus text-format exposition — the
+// observability layer of rapidsd (DESIGN.md §5b).
+//
+// Three instrument kinds cover the service: monotone Counters,
+// settable Gauges, and Histograms over fixed bucket bounds. Each comes
+// in a plain form and a labeled *Vec form whose children are created
+// on first use. All instruments are safe for concurrent use: the hot
+// paths (Inc, Add, Observe) are single atomic operations, and
+// exposition reads the same atomics without stopping writers.
+//
+// The package deliberately implements only what the service needs:
+// no push, no summaries, no runtime collectors, no exemplars. The
+// exposition is the Prometheus text format version 0.0.4 — one HELP
+// and TYPE comment per family, families sorted by name, label values
+// escaped — which every Prometheus-compatible scraper ingests. Parse
+// reads that format back into a flat sample map; the load-test
+// harness and the scrape tests use it to check counter reconciliation
+// end to end.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefBuckets are the default latency buckets in seconds, spanning the
+// sub-millisecond queue waits of an idle server to multi-minute
+// optimization runs.
+var DefBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+	1, 2.5, 5, 10, 30, 60, 120, 300,
+}
+
+var (
+	nameRe  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative; counters never go down).
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds delta (negative to subtract).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// SetMax raises the gauge to v if v exceeds the current value — the
+// high-water-mark primitive (e.g. peak queue depth).
+func (g *Gauge) SetMax(v int64) {
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram counts observations into fixed cumulative buckets and
+// tracks their sum — Prometheus histogram semantics.
+type Histogram struct {
+	bounds []float64 // sorted upper bounds, +Inf implicit
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("metrics: histogram buckets not strictly increasing: %v", bounds))
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1), // last = +Inf
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records d in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// kind discriminates the exposition TYPE of a family.
+type kind string
+
+const (
+	kindCounter   kind = "counter"
+	kindGauge     kind = "gauge"
+	kindHistogram kind = "histogram"
+)
+
+// family is one registered metric name: its metadata, its label
+// schema, and its children (one per distinct label-value tuple; a
+// plain instrument is the sole child under the empty tuple).
+type family struct {
+	name   string
+	help   string
+	kind   kind
+	labels []string
+	bounds []float64 // histograms only
+
+	mu       sync.Mutex
+	children map[string]any // label-tuple key -> *Counter | *Gauge | *Histogram
+	order    []string       // insertion order of child keys, for stable exposition
+}
+
+// child returns (creating if needed) the instrument for the given
+// label values.
+func (f *family) child(values []string) any {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("metrics: %s expects %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := strings.Join(values, "\x00")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.children[key]; ok {
+		return c
+	}
+	var c any
+	switch f.kind {
+	case kindCounter:
+		c = &Counter{}
+	case kindGauge:
+		c = &Gauge{}
+	case kindHistogram:
+		c = newHistogram(f.bounds)
+	}
+	f.children[key] = c
+	f.order = append(f.order, key)
+	return c
+}
+
+// CounterVec is a Counter family partitioned by labels.
+type CounterVec struct{ f *family }
+
+// With returns the counter for the given label values, creating it on
+// first use.
+func (v *CounterVec) With(values ...string) *Counter { return v.f.child(values).(*Counter) }
+
+// GaugeVec is a Gauge family partitioned by labels.
+type GaugeVec struct{ f *family }
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge { return v.f.child(values).(*Gauge) }
+
+// HistogramVec is a Histogram family partitioned by labels.
+type HistogramVec struct{ f *family }
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram { return v.f.child(values).(*Histogram) }
+
+// Registry holds metric families and renders them. The zero value is
+// not usable; call NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// register validates and stores a new family; duplicate names and
+// malformed identifiers are programming errors and panic.
+func (r *Registry) register(name, help string, k kind, labels []string, bounds []float64) *family {
+	if !nameRe.MatchString(name) {
+		panic("metrics: invalid metric name " + strconv.Quote(name))
+	}
+	for _, l := range labels {
+		if !labelRe.MatchString(l) {
+			panic("metrics: invalid label name " + strconv.Quote(l))
+		}
+	}
+	f := &family{
+		name: name, help: help, kind: k,
+		labels:   append([]string(nil), labels...),
+		bounds:   bounds,
+		children: make(map[string]any),
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.families[name]; dup {
+		panic("metrics: duplicate registration of " + name)
+	}
+	r.families[name] = f
+	return f
+}
+
+// Counter registers and returns a plain counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.register(name, help, kindCounter, nil, nil).child(nil).(*Counter)
+}
+
+// CounterVec registers a counter family partitioned by the given
+// labels.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{r.register(name, help, kindCounter, labels, nil)}
+}
+
+// Gauge registers and returns a plain gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.register(name, help, kindGauge, nil, nil).child(nil).(*Gauge)
+}
+
+// GaugeVec registers a gauge family partitioned by the given labels.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{r.register(name, help, kindGauge, labels, nil)}
+}
+
+// Histogram registers and returns a plain histogram over the given
+// bucket upper bounds (nil uses DefBuckets).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	return r.register(name, help, kindHistogram, nil, buckets).child(nil).(*Histogram)
+}
+
+// HistogramVec registers a histogram family partitioned by the given
+// labels (nil buckets uses DefBuckets).
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	return &HistogramVec{r.register(name, help, kindHistogram, labels, buckets)}
+}
+
+// escapeLabel escapes a label value per the text-format rules.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// labelString renders {k="v",...} for the given names and values, with
+// optional extra le pair appended; empty when there are no pairs.
+func labelString(names, values []string, extra ...string) string {
+	if len(names) == 0 && len(extra) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, n, escapeLabel(values[i]))
+	}
+	for i := 0; i+1 < len(extra); i += 2 {
+		if b.Len() > 1 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, extra[i], escapeLabel(extra[i+1]))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatFloat renders a sample value the way Prometheus expects:
+// shortest round-trip representation, +Inf/-Inf/NaN spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteText renders every family in Prometheus text format version
+// 0.0.4: families sorted by name, one HELP and TYPE line each, then
+// one sample line per child (plus _bucket/_sum/_count for
+// histograms). Values are read from the live atomics; a scrape during
+// heavy traffic sees per-sample-consistent (not cross-sample-atomic)
+// values, which is all the format promises.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		fams = append(fams, r.families[name])
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		f.mu.Lock()
+		keys := append([]string(nil), f.order...)
+		children := make([]any, len(keys))
+		for i, k := range keys {
+			children[i] = f.children[k]
+		}
+		f.mu.Unlock()
+		if len(keys) == 0 {
+			continue // a Vec no one touched yet
+		}
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, strings.ReplaceAll(f.help, "\n", " "))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		for i, key := range keys {
+			var values []string
+			if key != "" || len(f.labels) > 0 {
+				values = strings.Split(key, "\x00")
+			}
+			switch c := children[i].(type) {
+			case *Counter:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, labelString(f.labels, values), c.Value())
+			case *Gauge:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, labelString(f.labels, values), c.Value())
+			case *Histogram:
+				cum := uint64(0)
+				for bi, bound := range c.bounds {
+					cum += c.counts[bi].Load()
+					fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name,
+						labelString(f.labels, values, "le", formatFloat(bound)), cum)
+				}
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name,
+					labelString(f.labels, values, "le", "+Inf"), c.Count())
+				fmt.Fprintf(&b, "%s_sum%s %s\n", f.name,
+					labelString(f.labels, values), formatFloat(c.Sum()))
+				fmt.Fprintf(&b, "%s_count%s %d\n", f.name,
+					labelString(f.labels, values), c.Count())
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Handler returns the GET /metrics endpoint: WriteText with the
+// text-format content type.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WriteText(w)
+	})
+}
+
+// Parse reads a text-format exposition back into a flat map from
+// sample identity — the metric name with its label set exactly as
+// exposed, e.g. `rapidsd_submissions_total{outcome="accepted"}` — to
+// value. Comment and blank lines are skipped; a malformed sample line
+// is an error. The harness and the scrape tests diff two Parse
+// snapshots to check counter reconciliation.
+func Parse(r io.Reader) (map[string]float64, error) {
+	samples := make(map[string]float64)
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	for ln, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// The value is the last space-separated field; the sample
+		// identity is everything before it (label values may themselves
+		// contain spaces).
+		cut := strings.LastIndexByte(line, ' ')
+		if cut <= 0 {
+			return nil, fmt.Errorf("metrics: line %d: no value in %q", ln+1, line)
+		}
+		id, val := strings.TrimSpace(line[:cut]), line[cut+1:]
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return nil, fmt.Errorf("metrics: line %d: bad value %q: %v", ln+1, val, err)
+		}
+		if _, dup := samples[id]; dup {
+			return nil, fmt.Errorf("metrics: line %d: duplicate sample %q", ln+1, id)
+		}
+		samples[id] = v
+	}
+	return samples, nil
+}

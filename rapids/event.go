@@ -1,6 +1,9 @@
 package rapids
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // EventKind discriminates the stages of an Optimize run's Event stream.
 type EventKind int
@@ -53,6 +56,15 @@ type Event struct {
 	Resizes int
 	// Verification is set on EventVerify and EventDone.
 	Verification Verification
+	// Elapsed is the wall-clock time since the run's previous event
+	// (since Optimize was entered for EventStart) — the duration of
+	// the work the event reports: the seeding analysis for EventStart,
+	// the phase itself for EventPhase, the equivalence check for
+	// EventVerify. Consumers can feed it straight into per-phase
+	// latency histograms (rapidsd does; DESIGN.md §5b). Wall-clock
+	// time is the one field of an Event that is NOT deterministic
+	// across runs.
+	Elapsed time.Duration
 	// Result is set on EventDone only.
 	Result *Result
 }

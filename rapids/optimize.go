@@ -178,8 +178,15 @@ func (c *Circuit) Optimize(ctx context.Context, opts ...Option) (*Result, error)
 		defer cancel()
 	}
 
+	// Each event's Elapsed is the time since the previous one — the
+	// duration of the work it reports. Events are emitted sequentially
+	// from the optimizer's own goroutine, so a plain variable suffices.
+	prevEvent := time.Now()
 	emit := func(ev Event) {
 		if cfg.progress != nil {
+			now := time.Now()
+			ev.Elapsed = now.Sub(prevEvent)
+			prevEvent = now
 			ev.Circuit = c.net.Name()
 			ev.Strategy = cfg.strategy
 			cfg.progress(ev)

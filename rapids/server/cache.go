@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"sync"
 
+	"repro/internal/metrics"
 	"repro/rapids"
 )
 
@@ -95,12 +96,15 @@ func (e *cacheEntry) intact() bool { return resultSum(e.result) == e.sum }
 
 // resultCache is a small LRU over content-hash keys. Entries are
 // immutable once inserted (the Result of a finished run is never
-// written again), so hits can share the pointer.
+// written again), so hits can share the pointer. The cache owns the
+// eviction counter: put is the only place entries leave by the LRU
+// bound, so counting there catches every eviction.
 type resultCache struct {
-	mu  sync.Mutex
-	cap int
-	m   map[string]*list.Element
-	l   *list.List // front = most recently used; values are *lruItem
+	mu        sync.Mutex
+	cap       int
+	m         map[string]*list.Element
+	l         *list.List // front = most recently used; values are *lruItem
+	evictions *metrics.Counter
 }
 
 type lruItem struct {
@@ -108,11 +112,14 @@ type lruItem struct {
 	entry *cacheEntry
 }
 
-func newResultCache(capacity int) *resultCache {
+func newResultCache(capacity int, evictions *metrics.Counter) *resultCache {
 	if capacity <= 0 {
 		return nil // caching disabled; nil methods below are safe
 	}
-	return &resultCache{cap: capacity, m: make(map[string]*list.Element), l: list.New()}
+	return &resultCache{
+		cap: capacity, m: make(map[string]*list.Element), l: list.New(),
+		evictions: evictions,
+	}
 }
 
 func (c *resultCache) get(key string) (*cacheEntry, bool) {
@@ -145,6 +152,7 @@ func (c *resultCache) put(key string, e *cacheEntry) {
 		oldest := c.l.Back()
 		c.l.Remove(oldest)
 		delete(c.m, oldest.Value.(*lruItem).key)
+		c.evictions.Inc()
 	}
 }
 

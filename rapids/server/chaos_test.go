@@ -10,7 +10,6 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
-	"hash/fnv"
 	"net/http"
 	"net/http/httptest"
 	"runtime"
@@ -20,6 +19,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/rapids"
 	"repro/rapids/server/journal"
 )
@@ -207,7 +207,7 @@ func TestJournalWriteErrorTurnsUnready(t *testing.T) {
 			return nil
 		},
 	}
-	_, ts := startServer(t, Config{Journal: journal.NewMem(), Hooks: hooks})
+	s, ts := startServer(t, Config{Journal: journal.NewMem(), Hooks: hooks})
 
 	ready := func() (int, []string) {
 		resp, err := http.Get(ts.URL + "/readyz")
@@ -237,6 +237,14 @@ func TestJournalWriteErrorTurnsUnready(t *testing.T) {
 	if code != http.StatusServiceUnavailable || len(reasons) == 0 || !strings.Contains(reasons[0], "disk full") {
 		t.Fatalf("readyz while journal fails: %d %v", code, reasons)
 	}
+	// The failed append is on the books: one append failure, one
+	// journal-rejected submission.
+	if got := s.metrics.journalAppendFailures.Value(); got != 1 {
+		t.Fatalf("journal_append_failures_total = %d after injected failure, want 1", got)
+	}
+	if got := s.metrics.submissions.With(outcomeJournalError).Value(); got != 1 {
+		t.Fatalf("submissions{rejected_journal} = %d, want 1", got)
+	}
 
 	failing.Store(false)
 	st, code2 := submit(t, ts.URL, quickRequest("c432"))
@@ -247,6 +255,9 @@ func TestJournalWriteErrorTurnsUnready(t *testing.T) {
 		t.Fatalf("readiness did not self-heal: %d %v", code, reasons)
 	}
 	waitTerminal(t, ts.URL, st.ID)
+	if got := s.metrics.journalAppends.Value(); got == 0 {
+		t.Fatal("journal_appends_total stayed 0 after the journal healed")
+	}
 }
 
 // TestRecoveryRequeuesAcceptedJobs: jobs journaled accepted but never
@@ -542,16 +553,25 @@ func TestChaosSweepLosesNothing(t *testing.T) {
 	}
 	before := runtime.NumGoroutine()
 
-	crashy := func(jobID string) bool {
-		h := fnv.New32a()
-		h.Write([]byte(jobID))
-		return h.Sum32()%3 == 0
-	}
+	// Crash the first attempt of every third distinct job. Selecting by
+	// arrival order rather than hashing the (random) job id guarantees a
+	// fixed number of injected crashes per sweep — an id-hash selector
+	// can pick zero jobs and make the whole test vacuous.
+	var (
+		crashMu sync.Mutex
+		crashed = map[string]bool{}
+		seen    int
+	)
 	hooks := &FaultHooks{
 		BeforeAttempt: func(ctx context.Context, jobID string, attempt int) {
-			// Deterministically crash ~1/3 of the jobs on their first
-			// attempt; retries always succeed.
-			if attempt == 1 && crashy(jobID) {
+			crashMu.Lock()
+			if _, ok := crashed[jobID]; !ok {
+				seen++
+				crashed[jobID] = seen%3 == 0
+			}
+			crash := crashed[jobID] && attempt == 1
+			crashMu.Unlock()
+			if crash {
 				panic("chaos: injected crash")
 			}
 		},
@@ -661,7 +681,7 @@ func TestChaosSweepLosesNothing(t *testing.T) {
 // reads, and removals across overlapping keys — the eviction path must
 // be race-clean (run under -race) and never exceed its cap.
 func TestCacheConcurrentAccess(t *testing.T) {
-	c := newResultCache(8)
+	c := newResultCache(8, metrics.NewRegistry().Counter("evictions_total", "test"))
 	res := &rapids.Result{FinalDelayNS: 1}
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {

@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"sync"
+	"time"
 
 	"repro/rapids"
 )
@@ -78,6 +79,13 @@ type JobStatus struct {
 	// (re-enqueued if it was live at crash time, reborn terminal
 	// otherwise).
 	Recovered bool `json:"recovered,omitempty"`
+	// QueuedFor is the accumulated time the job spent waiting for a
+	// worker (including retry backoff waits), and RanFor the
+	// accumulated wall-clock time of its optimization attempts. Both
+	// are journaled with the terminal transition, so a job reborn
+	// after a restart reports the timings of its original run.
+	QueuedFor time.Duration `json:"queued_for_ns,omitempty"`
+	RanFor    time.Duration `json:"ran_for_ns,omitempty"`
 	// Result is the structured rapids.Result once the job finished.
 	// Canceled jobs that had started carry the best-so-far result with
 	// Result.Interrupted set (the facade's anytime contract).
@@ -105,6 +113,14 @@ type job struct {
 	events    []rapids.Event
 	closed    bool          // terminal: no more events will arrive
 	wake      chan struct{} // closed and replaced on every change
+
+	// Timing accounting: enqueuedAt/startedAt mark the start of the
+	// current queued/running stint (zero when not in that state);
+	// queuedFor/ranFor accumulate completed stints across retries.
+	enqueuedAt time.Time
+	startedAt  time.Time
+	queuedFor  time.Duration
+	ranFor     time.Duration
 }
 
 func newJob(id, key string, req JobRequest) *job {
@@ -112,8 +128,39 @@ func newJob(id, key string, req JobRequest) *job {
 	return &job{
 		id: id, key: key, req: req,
 		ctx: ctx, cancel: cancel,
-		state: StateQueued,
-		wake:  make(chan struct{}),
+		state:      StateQueued,
+		wake:       make(chan struct{}),
+		enqueuedAt: time.Now(),
+	}
+}
+
+// beginRun closes the job's current queued stint and opens a running
+// one, returning the time it spent waiting (the queue-wait sample).
+// Called by the worker the moment it picks the job up.
+func (j *job) beginRun() time.Duration {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	now := time.Now()
+	var wait time.Duration
+	if !j.enqueuedAt.IsZero() {
+		wait = now.Sub(j.enqueuedAt)
+		j.queuedFor += wait
+		j.enqueuedAt = time.Time{}
+	}
+	j.startedAt = now
+	return wait
+}
+
+// closeStints folds any open queued/running stint into the
+// accumulators. Callers hold j.mu.
+func (j *job) closeStints(now time.Time) {
+	if !j.enqueuedAt.IsZero() {
+		j.queuedFor += now.Sub(j.enqueuedAt)
+		j.enqueuedAt = time.Time{}
+	}
+	if !j.startedAt.IsZero() {
+		j.ranFor += now.Sub(j.startedAt)
+		j.startedAt = time.Time{}
 	}
 }
 
@@ -133,10 +180,15 @@ func (j *job) setRunning(circuit string, gates int) {
 }
 
 // setQueued moves a transiently-failed job back behind the workers
-// while its retry backoff elapses.
+// while its retry backoff elapses: the running stint ends and a new
+// queued stint opens (backoff waits count as queue time — the job is
+// waiting for a worker either way).
 func (j *job) setQueued() {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	now := time.Now()
+	j.closeStints(now)
+	j.enqueuedAt = now
 	j.state = StateQueued
 	j.notify()
 }
@@ -175,11 +227,21 @@ func (j *job) appendEvent(ev rapids.Event) {
 func (j *job) finish(state string, res *rapids.Result, errmsg string) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	j.closeStints(time.Now())
 	j.state = state
 	j.result = res
 	j.errmsg = errmsg
 	j.closed = true
 	j.notify()
+}
+
+// restoreTimings seeds the accumulators of a journal-reborn job with
+// the recorded values of its original run.
+func (j *job) restoreTimings(queuedFor, ranFor time.Duration) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.queuedFor, j.ranFor = queuedFor, ranFor
+	j.enqueuedAt, j.startedAt = time.Time{}, time.Time{}
 }
 
 // snapshot returns the events at index >= from, whether the stream is
@@ -201,6 +263,7 @@ func (j *job) status() JobStatus {
 		ID: j.id, State: j.state, Cached: j.cached,
 		Circuit: j.circuit, Gates: j.gates,
 		Error: j.errmsg, Attempts: j.attempt, Recovered: j.recovered,
+		QueuedFor: j.queuedFor, RanFor: j.ranFor,
 		Result: j.result,
 	}
 }

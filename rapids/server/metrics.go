@@ -1,0 +1,131 @@
+package server
+
+import (
+	"repro/internal/metrics"
+	"repro/rapids"
+)
+
+// Submission outcomes, the label values of
+// rapidsd_submissions_total{outcome=...}. The set is fixed — bounded
+// label cardinality is a hard rule of the exposition (DESIGN.md §5b).
+const (
+	outcomeAccepted     = "accepted"
+	outcomeCacheHit     = "cache_hit"
+	outcomeQueueFull    = "rejected_queue_full"
+	outcomeDraining     = "rejected_draining"
+	outcomeJournalError = "rejected_journal"
+	outcomeInvalidReq   = "invalid"
+)
+
+// serverMetrics is every instrument the service exports, one field per
+// family, registered against one registry served at GET /metrics. The
+// reconciliation invariant the scrape tests and the harness check:
+//
+//	submissions{accepted} + submissions{cache_hit} + journal_replayed_jobs
+//	    == sum over states of jobs_completed + jobs still queued/running
+//
+// Counters are monotone for the life of the process; gauges report
+// instantaneous state; histograms use the shared latency buckets.
+type serverMetrics struct {
+	reg *metrics.Registry
+
+	// Submission funnel.
+	submissions   *metrics.CounterVec // outcome
+	jobsCompleted *metrics.CounterVec // state: done | canceled | failed
+
+	// Queue.
+	queueDepth     *metrics.Gauge
+	queueHighWater *metrics.Gauge
+	queueWait      *metrics.Histogram
+
+	// Workers and attempts.
+	workers      *metrics.Gauge
+	workersBusy  *metrics.Gauge
+	runSeconds   *metrics.Histogram
+	attempts     *metrics.Counter
+	retries      *metrics.Counter
+	workerPanics *metrics.Counter
+	jobTimeouts  *metrics.Counter
+
+	// Result cache.
+	cacheHits        *metrics.Counter
+	cacheMisses      *metrics.Counter
+	cacheEvictions   *metrics.Counter
+	cacheCorruptions *metrics.Counter
+
+	// Journal.
+	journalAppends        *metrics.Counter
+	journalAppendFailures *metrics.Counter
+	journalReplayed       *metrics.CounterVec // disposition: reborn | requeued
+
+	// Streams and engine timing.
+	sseSubscribers *metrics.Gauge
+	phaseSeconds   *metrics.HistogramVec // phase: start | min-slack | sum-slack | round | verify
+}
+
+func newServerMetrics() *serverMetrics {
+	r := metrics.NewRegistry()
+	return &serverMetrics{
+		reg: r,
+		submissions: r.CounterVec("rapidsd_submissions_total",
+			"POST /v1/jobs submissions by outcome.", "outcome"),
+		jobsCompleted: r.CounterVec("rapidsd_jobs_completed_total",
+			"Jobs that reached a terminal state, by state.", "state"),
+		queueDepth: r.Gauge("rapidsd_queue_depth",
+			"Jobs currently waiting for a worker."),
+		queueHighWater: r.Gauge("rapidsd_queue_depth_high_water",
+			"Peak queue depth observed since start."),
+		queueWait: r.Histogram("rapidsd_job_queue_wait_seconds",
+			"Time jobs spent queued before a worker picked them up.", nil),
+		workers: r.Gauge("rapidsd_workers",
+			"Configured optimization worker count."),
+		workersBusy: r.Gauge("rapidsd_workers_busy",
+			"Workers currently running a job."),
+		runSeconds: r.Histogram("rapidsd_job_run_seconds",
+			"Wall-clock duration of individual optimization attempts.", nil),
+		attempts: r.Counter("rapidsd_job_attempts_total",
+			"Optimization attempts started (first runs and retries)."),
+		retries: r.Counter("rapidsd_job_retries_total",
+			"Retries scheduled after transient failures (panic, timeout)."),
+		workerPanics: r.Counter("rapidsd_worker_panics_total",
+			"Optimization attempts that panicked (confined to the attempt)."),
+		jobTimeouts: r.Counter("rapidsd_job_timeouts_total",
+			"Optimization attempts cut off by the per-attempt deadline."),
+		cacheHits: r.Counter("rapidsd_cache_hits_total",
+			"Submissions served from the result cache."),
+		cacheMisses: r.Counter("rapidsd_cache_misses_total",
+			"Submissions that missed the result cache."),
+		cacheEvictions: r.Counter("rapidsd_cache_evictions_total",
+			"Result-cache entries evicted by the LRU bound."),
+		cacheCorruptions: r.Counter("rapidsd_cache_corruptions_total",
+			"Cache entries dropped by a failed integrity checksum."),
+		journalAppends: r.Counter("rapidsd_journal_appends_total",
+			"Journal entries successfully appended."),
+		journalAppendFailures: r.Counter("rapidsd_journal_append_failures_total",
+			"Journal appends that failed (readiness turns 503 while the last one did)."),
+		journalReplayed: r.CounterVec("rapidsd_journal_replayed_jobs_total",
+			"Jobs restored from the journal at startup, by disposition.", "disposition"),
+		sseSubscribers: r.Gauge("rapidsd_sse_subscribers",
+			"Open GET /v1/jobs/{id}/events streams."),
+		phaseSeconds: r.HistogramVec("rapidsd_optimize_phase_seconds",
+			"Engine-level durations from the typed Event stream, by phase.",
+			nil, "phase"),
+	}
+}
+
+// observeEvent feeds the engine's typed Event stream into the
+// per-phase duration histograms: the facade stamps every event with
+// the wall-clock time since the previous one (Event.Elapsed), which is
+// exactly the duration of the work the event reports. The label set
+// stays bounded: "start" (seeding analysis), the optimizer's own phase
+// names ("min-slack", "sum-slack", "round"), and "verify".
+func (m *serverMetrics) observeEvent(ev rapids.Event) {
+	switch ev.Kind {
+	case rapids.EventStart:
+		m.phaseSeconds.With("start").ObserveDuration(ev.Elapsed)
+	case rapids.EventPhase:
+		m.phaseSeconds.With(ev.Phase).ObserveDuration(ev.Elapsed)
+	case rapids.EventVerify:
+		m.phaseSeconds.With("verify").ObserveDuration(ev.Elapsed)
+	}
+}

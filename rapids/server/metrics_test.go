@@ -1,0 +1,303 @@
+package server
+
+// Tests for the observability surface: the /metrics exposition under
+// concurrent traffic (run under -race), the reconciliation invariant
+// of DESIGN.md §5b, the journaled QueuedFor/RanFor timings, and the
+// saturating retry backoff.
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/rapids/server/journal"
+)
+
+// scrape fetches and parses the exposition, failing the test on any
+// malformed line — every concurrent scrape doubles as a format check.
+func scrape(t *testing.T, url string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("GET /metrics content type %q", ct)
+	}
+	m, err := metrics.Parse(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestMetricsEndpointUnderLoad hammers the server with concurrent
+// submissions (duplicates included, so the cache participates) while a
+// scraper polls /metrics, then checks that the final exposition
+// reconciles: every accepted or cache-served submission is accounted
+// for by a terminal jobs_completed sample, and the per-layer counters
+// agree with each other.
+func TestMetricsEndpointUnderLoad(t *testing.T) {
+	_, ts := startServer(t, Config{Workers: 2, Journal: journal.NewMem()})
+
+	// A scraper races the traffic: each iteration must parse cleanly.
+	stop := make(chan struct{})
+	var scraperWG sync.WaitGroup
+	scraperWG.Add(1)
+	go func() {
+		defer scraperWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			resp, err := http.Get(ts.URL + "/metrics")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			_, perr := metrics.Parse(resp.Body)
+			resp.Body.Close()
+			if perr != nil {
+				t.Errorf("concurrent scrape: %v", perr)
+				return
+			}
+		}
+	}()
+
+	const (
+		submitters = 4
+		perWorker  = 3
+	)
+	var (
+		mu  sync.Mutex
+		ids []string
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < submitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				// Three distinct keys across the pool: duplicates either
+				// hit the cache or race a live run (a miss) — both legal.
+				req := quickRequest("c432")
+				req.Place.Seed = int64(1 + (g+i)%3)
+				st, code := submit(t, ts.URL, req)
+				if code != http.StatusAccepted && code != http.StatusOK {
+					t.Errorf("submit: unexpected status %d", code)
+					return
+				}
+				mu.Lock()
+				ids = append(ids, st.ID)
+				mu.Unlock()
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// One invalid submission (counted, not accepted) and one job that
+	// fails at circuit load (a terminal failed state).
+	if _, code := submit(t, ts.URL, JobRequest{Generate: "c432", Format: "bogus"}); code != http.StatusBadRequest {
+		t.Fatalf("bogus format: want 400, got %d", code)
+	}
+	stFail, code := submit(t, ts.URL, quickRequest("no-such-benchmark"))
+	if code != http.StatusAccepted {
+		t.Fatalf("unknown benchmark submit: want 202, got %d", code)
+	}
+	ids = append(ids, stFail.ID)
+
+	for _, id := range ids {
+		waitTerminal(t, ts.URL, id)
+	}
+	close(stop)
+	scraperWG.Wait()
+
+	m := scrape(t, ts.URL)
+	sub := func(outcome string) float64 {
+		return m[`rapidsd_submissions_total{outcome="`+outcome+`"}`]
+	}
+	comp := func(state string) float64 {
+		return m[`rapidsd_jobs_completed_total{state="`+state+`"}`]
+	}
+
+	// Reconciliation: everything submitted is terminal, nothing is
+	// queued or running.
+	submitted := sub(outcomeAccepted) + sub(outcomeCacheHit)
+	terminal := comp(StateDone) + comp(StateCanceled) + comp(StateFailed)
+	if want := float64(len(ids)); submitted != want {
+		t.Errorf("submissions accepted+cache_hit = %v, want %v", submitted, want)
+	}
+	if submitted != terminal {
+		t.Errorf("submitted %v != terminal %v (queue depth %v, busy %v)",
+			submitted, terminal, m["rapidsd_queue_depth"], m["rapidsd_workers_busy"])
+	}
+	if got := sub(outcomeInvalidReq); got != 1 {
+		t.Errorf("submissions{invalid} = %v, want 1", got)
+	}
+	if got := comp(StateFailed); got != 1 {
+		t.Errorf("jobs_completed{failed} = %v, want 1", got)
+	}
+
+	// Layer counters agree with each other.
+	if hits, misses := m["rapidsd_cache_hits_total"], m["rapidsd_cache_misses_total"]; hits+misses != submitted {
+		t.Errorf("cache hits %v + misses %v != submissions %v", hits, misses, submitted)
+	}
+	if attempts := m["rapidsd_job_attempts_total"]; attempts != sub(outcomeAccepted) {
+		t.Errorf("attempts %v != accepted %v (no retries configured to fire)", attempts, sub(outcomeAccepted))
+	}
+	if qw := m["rapidsd_job_queue_wait_seconds_count"]; qw != m["rapidsd_job_attempts_total"] {
+		t.Errorf("queue_wait count %v != attempts %v", qw, m["rapidsd_job_attempts_total"])
+	}
+	// The load-failure job never reached the optimizer, so run_seconds
+	// saw one observation fewer than attempts.
+	if rs := m["rapidsd_job_run_seconds_count"]; rs == 0 || rs > m["rapidsd_job_attempts_total"] {
+		t.Errorf("run_seconds count %v vs attempts %v", rs, m["rapidsd_job_attempts_total"])
+	}
+	if m["rapidsd_journal_appends_total"] == 0 {
+		t.Error("journal_appends_total = 0 with a journal configured")
+	}
+	if m["rapidsd_queue_depth"] != 0 || m["rapidsd_workers_busy"] != 0 {
+		t.Errorf("idle server: queue depth %v, busy %v", m["rapidsd_queue_depth"], m["rapidsd_workers_busy"])
+	}
+	if m["rapidsd_workers"] != 2 {
+		t.Errorf("workers gauge %v, want 2", m["rapidsd_workers"])
+	}
+	if m["rapidsd_queue_depth_high_water"] == 0 {
+		t.Error("queue high-water stayed 0 under a submission burst")
+	}
+
+	// The engine's Event stream fed the per-phase histograms.
+	var phaseObs float64
+	for k, v := range m {
+		if strings.HasPrefix(k, "rapidsd_optimize_phase_seconds_count{") {
+			phaseObs += v
+		}
+	}
+	if phaseObs == 0 {
+		t.Error("optimize_phase_seconds saw no observations")
+	}
+}
+
+// TestMetricsDisabled: Config.DisableMetrics removes the route.
+func TestMetricsDisabled(t *testing.T) {
+	_, ts := startServer(t, Config{DisableMetrics: true})
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /metrics with DisableMetrics: want 404, got %d", resp.StatusCode)
+	}
+}
+
+// TestJobTimingsReported: a completed job reports a positive RanFor
+// and journaled timings identical across a restart rebirth.
+func TestJobTimingsReported(t *testing.T) {
+	mem := journal.NewMem()
+	s1, ts1 := startServer(t, Config{Journal: mem})
+	st, code := submit(t, ts1.URL, quickRequest("c432"))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d", code)
+	}
+	st = waitTerminal(t, ts1.URL, st.ID)
+	if st.State != StateDone {
+		t.Fatalf("job ended %s: %s", st.State, st.Error)
+	}
+	if st.RanFor <= 0 || st.QueuedFor < 0 {
+		t.Fatalf("timings not reported: queued_for=%v ran_for=%v", st.QueuedFor, st.RanFor)
+	}
+	ts1.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s1.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// The reborn job must report the original run's timings, not the
+	// replay's (rebirth takes microseconds; the run took longer).
+	_, ts2 := startServer(t, Config{Journal: mem})
+	st2 := getStatus(t, ts2.URL, st.ID)
+	if !st2.Recovered {
+		t.Fatalf("job %s not marked recovered after restart", st.ID)
+	}
+	if st2.QueuedFor != st.QueuedFor || st2.RanFor != st.RanFor {
+		t.Fatalf("timings changed across restart: %v/%v -> %v/%v",
+			st.QueuedFor, st.RanFor, st2.QueuedFor, st2.RanFor)
+	}
+
+	// And the replay shows up in the new incarnation's metrics.
+	m := scrape(t, ts2.URL)
+	if got := m[`rapidsd_journal_replayed_jobs_total{disposition="reborn"}`]; got != 1 {
+		t.Fatalf("journal_replayed{reborn} = %v, want 1", got)
+	}
+}
+
+// TestRetryBackoffNoOverflow pins the saturating backoff: with
+// MaxRetries set high enough that the old shift-based doubling
+// (RetryBackoff << attempt-1) would overflow time.Duration, go
+// negative, skip the cap, and panic in rand.Int63n, every delay in the
+// attempt sequence must stay positive and capped.
+func TestRetryBackoffNoOverflow(t *testing.T) {
+	cfg := Config{MaxRetries: 100}.withDefaults()
+	for attempt := 1; attempt < cfg.maxAttempts(); attempt++ {
+		d := retryDelay(cfg.RetryBackoff, attempt)
+		if d <= 0 {
+			t.Fatalf("attempt %d: backoff %v is not positive (overflow)", attempt, d)
+		}
+		if max := maxRetryBackoff + maxRetryBackoff/2; d > max {
+			t.Fatalf("attempt %d: backoff %v exceeds cap+jitter bound %v", attempt, d, max)
+		}
+	}
+	// First retry: base plus at most 50% jitter.
+	if d := retryDelay(cfg.RetryBackoff, 1); d < cfg.RetryBackoff || d > cfg.RetryBackoff*3/2 {
+		t.Fatalf("attempt 1: backoff %v outside [%v, %v]", d, cfg.RetryBackoff, cfg.RetryBackoff*3/2)
+	}
+}
+
+// TestRetryMetrics drives a transient failure through the real retry
+// path and checks the attempt/retry/panic accounting.
+func TestRetryMetrics(t *testing.T) {
+	var fail sync.Map // jobID -> remaining injected panics
+	hooks := &FaultHooks{
+		BeforeAttempt: func(ctx context.Context, jobID string, attempt int) {
+			if attempt == 1 {
+				if _, loaded := fail.LoadOrStore(jobID, true); !loaded {
+					panic(fmt.Sprintf("injected panic for %s", jobID))
+				}
+			}
+		},
+	}
+	_, ts := startServer(t, Config{Hooks: hooks, RetryBackoff: time.Millisecond})
+	st, code := submit(t, ts.URL, quickRequest("c432"))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d", code)
+	}
+	fin := waitTerminal(t, ts.URL, st.ID)
+	if fin.State != StateDone || fin.Attempts != 2 {
+		t.Fatalf("job after injected panic: state %s, attempts %d", fin.State, fin.Attempts)
+	}
+	m := scrape(t, ts.URL)
+	if m["rapidsd_worker_panics_total"] != 1 || m["rapidsd_job_retries_total"] != 1 {
+		t.Fatalf("panics %v retries %v, want 1 and 1",
+			m["rapidsd_worker_panics_total"], m["rapidsd_job_retries_total"])
+	}
+	if m["rapidsd_job_attempts_total"] != 2 {
+		t.Fatalf("attempts %v, want 2", m["rapidsd_job_attempts_total"])
+	}
+	// Both stints of the retried job are accumulated.
+	if fin.RanFor <= 0 {
+		t.Fatalf("retried job reports RanFor %v", fin.RanFor)
+	}
+}

@@ -1,21 +1,32 @@
 package server
 
-import "sync"
+import (
+	"sync"
+
+	"repro/internal/metrics"
+)
 
 // jobQueue is the worker feed: an unbounded FIFO under a condition
 // variable. The *submission* bound (Config.QueueCap, the backpressure
 // contract) is enforced by handleSubmit, not here — journal recovery
 // and automatic retries must be able to re-enqueue past the cap, since
 // rejecting either would lose an already-accepted job.
+//
+// The queue owns its two gauges (instantaneous depth and the
+// high-water mark) so every push/pop path — submissions, retries,
+// recovery — updates them without call-site discipline.
 type jobQueue struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	list   []*job
 	closed bool
+
+	depth     *metrics.Gauge
+	highWater *metrics.Gauge
 }
 
-func newJobQueue() *jobQueue {
-	q := &jobQueue{}
+func newJobQueue(depth, highWater *metrics.Gauge) *jobQueue {
+	q := &jobQueue{depth: depth, highWater: highWater}
 	q.cond = sync.NewCond(&q.mu)
 	return q
 }
@@ -29,6 +40,8 @@ func (q *jobQueue) push(j *job) bool {
 		return false
 	}
 	q.list = append(q.list, j)
+	q.depth.Set(int64(len(q.list)))
+	q.highWater.SetMax(int64(len(q.list)))
 	q.cond.Signal()
 	return true
 }
@@ -46,6 +59,7 @@ func (q *jobQueue) pop() (j *job, ok bool) {
 	}
 	j = q.list[0]
 	q.list = q.list[1:]
+	q.depth.Set(int64(len(q.list)))
 	return j, true
 }
 

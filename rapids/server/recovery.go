@@ -3,6 +3,7 @@ package server
 import (
 	"encoding/json"
 	"fmt"
+	"time"
 
 	"repro/rapids"
 	"repro/rapids/server/journal"
@@ -10,14 +11,16 @@ import (
 
 // replayState folds one job's journal entries during recovery.
 type replayState struct {
-	j        *job
-	terminal journal.Op // zero while the job was still live at crash time
-	result   *rapids.Result
-	errmsg   string
-	circuit  string
-	gates    int
-	cached   bool
-	canceled bool // a cancel-requested entry with no terminal entry yet
+	j         *job
+	terminal  journal.Op // zero while the job was still live at crash time
+	result    *rapids.Result
+	errmsg    string
+	circuit   string
+	gates     int
+	cached    bool
+	canceled  bool // a cancel-requested entry with no terminal entry yet
+	queuedFor time.Duration
+	ranFor    time.Duration
 }
 
 // replayJournal rebuilds the server's job table from Config.Journal
@@ -61,6 +64,7 @@ func (s *Server) replayJournal() error {
 			st.terminal = e.Op
 			st.errmsg = e.Error
 			st.circuit, st.gates, st.cached = e.Circuit, e.Gates, e.Cached
+			st.queuedFor, st.ranFor = e.QueuedFor, e.RanFor
 			st.result = nil
 			if len(e.Result) > 0 {
 				var res rapids.Result
@@ -93,25 +97,37 @@ func (s *Server) replayJournal() error {
 				j.cancel()
 			}
 			s.queue.push(j)
+			s.metrics.journalReplayed.With("requeued").Inc()
 			requeued++
 			continue
 		}
 		reborn++
+		s.metrics.journalReplayed.With("reborn").Inc()
 		j.mu.Lock()
 		j.circuit, j.gates, j.cached = st.circuit, st.gates, st.cached
 		j.mu.Unlock()
+		// A reborn job reports its original run's timings, not the
+		// replay's — restore them before finish closes the stints.
+		j.restoreTimings(st.queuedFor, st.ranFor)
+		var state string
 		switch st.terminal {
 		case journal.OpDone:
 			if st.result != nil {
 				j.appendEvent(doneEvent(st.circuit, st.result))
 				s.cache.put(j.key, newCacheEntry(st.circuit, st.gates, st.result))
 			}
-			j.finish(StateDone, st.result, st.errmsg)
+			state = StateDone
 		case journal.OpCanceled:
-			j.finish(StateCanceled, st.result, st.errmsg)
+			state = StateCanceled
 		default:
-			j.finish(StateFailed, st.result, st.errmsg)
+			state = StateFailed
 		}
+		j.finish(state, st.result, st.errmsg)
+		// Count the rebirth as a completion so the reconciliation
+		// invariant (DESIGN.md §5b) balances across a restart:
+		// journal_replayed{reborn} on the submission side, a terminal
+		// state here.
+		s.metrics.jobsCompleted.With(state).Inc()
 	}
 	if len(order) > 0 {
 		s.logf("server: journal replayed: %d jobs (%d terminal, %d re-enqueued)",

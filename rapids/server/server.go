@@ -42,6 +42,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/rapids"
 	"repro/rapids/server/journal"
 )
@@ -81,6 +82,10 @@ type Config struct {
 	// RetryBackoff is the first retry's delay (default 100ms); each
 	// further retry doubles it, plus jitter.
 	RetryBackoff time.Duration
+	// DisableMetrics removes the GET /metrics route. The server still
+	// instruments itself (the registry is cheap and the harness reads
+	// it through Metrics), but the exposition endpoint disappears.
+	DisableMetrics bool
 	// Hooks injects failures for the chaos tests; nil in production.
 	Hooks *FaultHooks
 	// Logf, when non-nil, receives one line per job life-cycle
@@ -121,6 +126,7 @@ func (c Config) maxAttempts() int {
 type Server struct {
 	cfg     Config
 	mux     *http.ServeMux
+	metrics *serverMetrics
 	queue   *jobQueue
 	cache   *resultCache
 	wg      sync.WaitGroup // workers
@@ -158,14 +164,17 @@ func New(cfg Config) (*Server, error) {
 // to observe queue states deterministically).
 func newServer(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
+	m := newServerMetrics()
 	s := &Server{
-		cfg:    cfg,
-		mux:    http.NewServeMux(),
-		queue:  newJobQueue(),
-		cache:  newResultCache(cfg.CacheCap),
-		drainc: make(chan struct{}),
-		jobs:   make(map[string]*job),
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		metrics: m,
+		queue:   newJobQueue(m.queueDepth, m.queueHighWater),
+		cache:   newResultCache(cfg.CacheCap, m.cacheEvictions),
+		drainc:  make(chan struct{}),
+		jobs:    make(map[string]*job),
 	}
+	m.workers.Set(int64(cfg.Workers))
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
@@ -173,6 +182,9 @@ func newServer(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /readyz", s.handleReady)
+	if !cfg.DisableMetrics {
+		s.mux.Handle("GET /metrics", m.reg.Handler())
+	}
 	if err := s.replayJournal(); err != nil {
 		return nil, fmt.Errorf("server: journal replay: %w", err)
 	}
@@ -217,10 +229,18 @@ func (s *Server) appendJournal(e journal.Entry) error {
 	s.journalErr = err
 	s.jmu.Unlock()
 	if err != nil {
+		s.metrics.journalAppendFailures.Inc()
 		s.logf("journal: append %s for job %s failed: %v", e.Op, e.JobID, err)
+	} else {
+		s.metrics.journalAppends.Inc()
 	}
 	return err
 }
+
+// Metrics returns the server's metrics registry — the same one GET
+// /metrics serves. Embedders can merge it into their own exposition or
+// read instruments directly in tests.
+func (s *Server) Metrics() *metrics.Registry { return s.metrics.reg }
 
 func (s *Server) journalStatus() error {
 	s.jmu.Lock()
@@ -293,8 +313,12 @@ func (s *Server) run(j *job) {
 		s.finishJob(j, StateCanceled, nil, "canceled before start")
 		return
 	}
+	s.metrics.queueWait.ObserveDuration(j.beginRun())
+	s.metrics.workersBusy.Inc()
+	defer s.metrics.workersBusy.Dec()
 
 	attempt := j.nextAttempt()
+	s.metrics.attempts.Inc()
 	s.appendJournal(journal.Entry{Op: journal.OpStarted, JobID: j.id, Key: j.key, Seq: j.seq, Attempt: attempt})
 
 	c, err := loadCircuit(j.req)
@@ -316,7 +340,9 @@ func (s *Server) run(j *job) {
 	j.setRunning(circuit, gates)
 	s.logf("job %s: running %s (%d gates), attempt %d", j.id, circuit, gates, attempt)
 
+	runStart := time.Now()
 	res, err, timedOut := s.attempt(j, c, attempt)
+	s.metrics.runSeconds.ObserveDuration(time.Since(runStart))
 	var pe *WorkerPanicError
 	switch {
 	case err == nil:
@@ -332,8 +358,10 @@ func (s *Server) run(j *job) {
 		s.finishJob(j, StateDone, res, "")
 		s.logf("job %s: done, delay %.3f -> %.3f ns", j.id, res.InitialDelayNS, res.FinalDelayNS)
 	case errors.As(err, &pe):
+		s.metrics.workerPanics.Inc()
 		s.retryOrFail(j, err)
 	case timedOut:
+		s.metrics.jobTimeouts.Inc()
 		s.retryOrFail(j, fmt.Errorf("job %s attempt %d: %w after %v",
 			j.id, attempt, context.DeadlineExceeded, s.jobDeadline(j)))
 	case res != nil && res.Interrupted:
@@ -373,7 +401,10 @@ func (s *Server) attempt(j *job, c *rapids.Circuit, attempt int) (res *rapids.Re
 		// request's own timeout_ms is stripped from the option set.
 		reqOpts := j.req.Options
 		reqOpts.TimeoutMS = 0
-		opts := append(reqOpts.Options(), rapids.WithProgress(j.appendEvent))
+		opts := append(reqOpts.Options(), rapids.WithProgress(func(ev rapids.Event) {
+			s.metrics.observeEvent(ev)
+			j.appendEvent(ev)
+		}))
 		res, err = c.Optimize(actx, opts...)
 	}()
 	timedOut = errors.Is(actx.Err(), context.DeadlineExceeded) && j.ctx.Err() == nil
@@ -411,11 +442,8 @@ func (s *Server) retryOrFail(j *job, cause error) {
 	s.appendJournal(journal.Entry{Op: journal.OpRetried, JobID: j.id, Key: j.key, Seq: j.seq, Attempt: attempt, Error: cause.Error()})
 	j.setQueued()
 	s.retries.Add(1)
-	backoff := s.cfg.RetryBackoff << (attempt - 1)
-	if backoff > 30*time.Second {
-		backoff = 30 * time.Second
-	}
-	backoff += time.Duration(rand.Int63n(int64(backoff)/2 + 1))
+	s.metrics.retries.Inc()
+	backoff := retryDelay(s.cfg.RetryBackoff, attempt)
 	s.logf("job %s: transient failure (%v), retry %d/%d in %v",
 		j.id, cause, attempt, s.cfg.maxAttempts()-1, backoff)
 	s.retryWG.Add(1)
@@ -438,15 +466,38 @@ func (s *Server) retryOrFail(j *job, cause error) {
 	}()
 }
 
+// maxRetryBackoff caps the exponential retry backoff (before jitter).
+const maxRetryBackoff = 30 * time.Second
+
+// retryDelay computes the backoff before the retry that follows failed
+// attempt number attempt (1-based): base doubled per prior attempt,
+// saturating at maxRetryBackoff, plus up to 50% jitter. The doubling
+// is a saturating loop, not a shift — base << (attempt-1) overflows
+// time.Duration once attempt exceeds ~40 (a perfectly legal MaxRetries
+// setting), going negative, skipping the cap, and panicking in
+// rand.Int63n.
+func retryDelay(base time.Duration, attempt int) time.Duration {
+	d := base
+	for i := 1; i < attempt && d < maxRetryBackoff; i++ {
+		d *= 2
+	}
+	if d > maxRetryBackoff {
+		d = maxRetryBackoff
+	}
+	return d + time.Duration(rand.Int63n(int64(d)/2+1))
+}
+
 // finishJob moves a job to a terminal state and journals the
 // transition, result included — replay can then rebirth the job
 // without re-running it.
 func (s *Server) finishJob(j *job, state string, res *rapids.Result, errmsg string) {
 	j.finish(state, res, errmsg)
+	s.metrics.jobsCompleted.With(state).Inc()
 	st := j.status()
 	e := journal.Entry{
 		JobID: j.id, Key: j.key, Seq: j.seq, Attempt: st.Attempts,
 		Error: errmsg, Circuit: st.Circuit, Gates: st.Gates, Cached: st.Cached,
+		QueuedFor: st.QueuedFor, RanFor: st.RanFor,
 	}
 	switch state {
 	case StateDone:
@@ -493,15 +544,18 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
+		s.metrics.submissions.With(outcomeInvalidReq).Inc()
 		httpError(w, http.StatusBadRequest, "invalid job request: %v", err)
 		return
 	}
 	if (req.Generate == "") == (req.Netlist == "") {
+		s.metrics.submissions.With(outcomeInvalidReq).Inc()
 		httpError(w, http.StatusBadRequest, "exactly one of generate or netlist is required")
 		return
 	}
 	format, err := rapids.ParseFormat(req.Format)
 	if err != nil {
+		s.metrics.submissions.With(outcomeInvalidReq).Inc()
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -514,11 +568,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if e, ok := s.cache.get(key); ok {
 		if !e.intact() {
 			s.cache.remove(key)
+			s.metrics.cacheCorruptions.Inc()
 			s.logf("cache: integrity check failed for key %s, entry dropped", key[:8])
 		} else {
 			s.mu.Lock()
 			if s.draining {
 				s.mu.Unlock()
+				s.metrics.submissions.With(outcomeDraining).Inc()
 				httpError(w, http.StatusServiceUnavailable, "server is shutting down")
 				return
 			}
@@ -526,10 +582,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			if err := s.acceptLocked(j, req); err != nil {
 				s.unregisterLocked(j)
 				s.mu.Unlock()
+				s.metrics.submissions.With(outcomeJournalError).Inc()
 				httpError(w, http.StatusServiceUnavailable, "journal unavailable: %v", err)
 				return
 			}
 			s.mu.Unlock()
+			s.metrics.cacheHits.Inc()
+			s.metrics.submissions.With(outcomeCacheHit).Inc()
 			j.mu.Lock()
 			j.cached = true
 			j.circuit, j.gates = e.circuit, e.gates
@@ -540,6 +599,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			s.writeJob(w, http.StatusOK, j)
 			return
 		}
+	} else if s.cache != nil {
+		s.metrics.cacheMisses.Inc()
 	}
 
 	// Registration, the journal's accepted record, and enqueue are one
@@ -549,12 +610,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
+		s.metrics.submissions.With(outcomeDraining).Inc()
 		httpError(w, http.StatusServiceUnavailable, "server is shutting down")
 		return
 	}
 	if s.queue.len() >= s.cfg.QueueCap {
 		// Backpressure: bounded submissions, explicit rejection.
 		s.mu.Unlock()
+		s.metrics.submissions.With(outcomeQueueFull).Inc()
 		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusServiceUnavailable, "job queue is full (capacity %d)", s.cfg.QueueCap)
 		return
@@ -565,11 +628,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		// reject instead, and readiness turns 503 until appends heal.
 		s.unregisterLocked(j)
 		s.mu.Unlock()
+		s.metrics.submissions.With(outcomeJournalError).Inc()
 		httpError(w, http.StatusServiceUnavailable, "journal unavailable: %v", err)
 		return
 	}
 	s.queue.push(j)
 	s.mu.Unlock()
+	s.metrics.submissions.With(outcomeAccepted).Inc()
 	src := req.Generate
 	if src == "" {
 		src = "inline netlist"
@@ -691,6 +756,8 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	h.Set("Connection", "keep-alive")
 	w.WriteHeader(http.StatusOK)
 	fl.Flush()
+	s.metrics.sseSubscribers.Inc()
+	defer s.metrics.sseSubscribers.Dec()
 
 	next := 0
 	for {

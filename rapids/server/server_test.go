@@ -20,6 +20,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/rapids"
 )
 
@@ -699,7 +700,8 @@ func TestHealthz(t *testing.T) {
 
 // TestCacheEviction exercises the LRU bound directly.
 func TestCacheEviction(t *testing.T) {
-	c := newResultCache(2)
+	evictions := metrics.NewRegistry().Counter("evictions_total", "test")
+	c := newResultCache(2, evictions)
 	mk := func(name string) *cacheEntry { return &cacheEntry{circuit: name} }
 	c.put("a", mk("a"))
 	c.put("b", mk("b"))
@@ -717,6 +719,9 @@ func TestCacheEviction(t *testing.T) {
 	}
 	if got := c.len(); got != 2 {
 		t.Fatalf("len %d", got)
+	}
+	if got := evictions.Value(); got != 1 {
+		t.Fatalf("evictions counter = %d, want 1", got)
 	}
 	var disabled *resultCache
 	disabled.put("x", mk("x"))
