@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race bench bench-smoke bench-scaling bench-scaling-smoke perf-gate table1 fuzz cover fmt-check api api-check docs-check serve-smoke chaos metrics-smoke
+.PHONY: all vet build test race bench bench-smoke bench-scaling bench-scaling-smoke bench-fleet perf-gate table1 fuzz cover fmt-check api api-check docs-check serve-smoke chaos metrics-smoke fleet-smoke
 
 all: vet fmt-check api-check build test docs-check
 
@@ -55,6 +55,13 @@ bench-scaling-smoke:
 	  grep -q '"determinism_checked": true' bench-scaling-smoke.json || \
 	  (echo "bench-scaling-smoke.json malformed"; exit 1)
 
+# Fleet-throughput report (DESIGN.md §5c): in-process replica fleets
+# over a replica-count x fleet-shape grid — cold (optimizer-bound) vs
+# warm (dedupe-bound) traffic — written to BENCH_PR9.json with the
+# fleet invariants re-checked on every arm.
+bench-fleet:
+	$(GO) run ./cmd/benchfleet -out BENCH_PR9.json
+
 # Perf-regression gate: the micro-benchmark set under -benchmem against
 # the golden bands in PERF_BASELINE.json (tight allocs/op, generous
 # ns/op — see the note in that file). Fails with a readable diff.
@@ -95,8 +102,23 @@ serve-smoke:
 # chaos sweep.
 chaos:
 	$(GO) test -race -count=1 ./rapids/server/journal
-	$(GO) test -race -count=1 -run 'TestWorkerPanicIsolation|TestTransientPanicRetries|TestJobTimeoutRetriesThenFails|TestRequestTimeoutMS|TestJournalWriteErrorTurnsUnready|TestRecoveryRequeuesAcceptedJobs|TestRecoveryRebirthsTerminalJobs|TestCacheCorruptionDetected|TestDeleteStateTable|TestReadyz|TestChaosSweepLosesNothing|TestCacheConcurrentAccess' -v ./rapids/server
+	$(GO) test -race -count=1 -run 'TestWorkerPanicIsolation|TestTransientPanicRetries|TestJobTimeoutRetriesThenFails|TestRequestTimeoutMS|TestJournalWriteErrorTurnsUnready|TestRecoveryRequeuesAcceptedJobs|TestRecoveryRebirthsTerminalJobs|TestCacheCorruptionDetected|TestDeleteStateTable|TestReadyz|TestChaosSweepLosesNothing|TestCacheConcurrentAccess|TestFleetStoreDegraded|TestFleetPeerUnreachable' -v ./rapids/server
 	$(GO) test -race -count=1 -run 'TestRunBatchRespectsRetryAfter|TestRunBatchRidesOutRestarts' ./internal/harness
+
+# Multi-replica acceptance (DESIGN.md §5c), all under the race
+# detector: the store and router unit suites, the in-process fleet
+# tests (cross-replica determinism, routing accounting, forwarded job
+# lifecycle, scatter relearn, typed peer errors, Retry-After
+# passthrough, degraded store, shared-dir store), the harness's fleet
+# invariants — and the real-binary smoke: two rapidsd processes share
+# a store directory and a consistent-hash ring, one is SIGKILLed
+# mid-batch and restarted, and every result must match the
+# single-replica oracle with the summed metrics identity intact.
+fleet-smoke:
+	$(GO) test -race -count=1 ./rapids/server/store ./rapids/server/router
+	$(GO) test -race -count=1 -run 'TestFleet' ./rapids/server
+	$(GO) test -race -count=1 -run 'TestRunFleetInProcess|TestFleetIdentity' ./internal/harness
+	$(GO) test -race -count=1 -run 'TestFleetSmoke' -v ./cmd/rapidsd
 
 # Metrics smoke (DESIGN.md §5b): the exposition-format unit tests, the
 # concurrent scrape-and-reconcile test over a live server, the

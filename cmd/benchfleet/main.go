@@ -1,0 +1,280 @@
+// Command benchfleet measures rapidsd fleet throughput (DESIGN.md
+// §5c): it boots N in-process replicas on loopback listeners sharing
+// one result store and a consistent-hash ring, drives them with
+// harness.RunFleet, and records wall-clock throughput for the two
+// traffic shapes a fleet serves — cold (first submissions, optimizer
+// bound) and warm (repeat submissions, dedupe bound) — plus the fleet
+// counters proving the optimizer ran exactly once per distinct spec
+// and the summed reconciliation identity closed. `make bench-fleet`
+// writes BENCH_PR9.json.
+//
+// Usage:
+//
+//	benchfleet [-out BENCH_PR9.json] [-replicas 1,2,3]
+//	           [-circuits c432,c499,alu2] [-seeds 4] [-quick]
+//
+// Like benchscale, the report carries the host facts needed to read
+// it honestly: on a 1-CPU container the multi-replica arms measure
+// routing and dedupe overhead, not parallel speedup.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/perf"
+	"repro/rapids"
+	"repro/rapids/server"
+	"repro/rapids/server/store"
+)
+
+// Arm is one replica-count measurement.
+type Arm struct {
+	Replicas int `json:"replicas"`
+	// Mode is the fleet shape: "single" (one replica), "routed"
+	// (consistent-hash ring — duplicates land on the owner's LRU), or
+	// "store-only" (no ring — every replica runs what it is given and
+	// duplicates dedupe through the shared store).
+	Mode          string `json:"mode"`
+	DistinctSpecs int    `json:"distinct_specs"`
+	// Submissions counts every POST the fleet served across both
+	// phases: 2 × replicas × distinct_specs.
+	Submissions int `json:"submissions"`
+	// Cold: each spec's first submission runs the optimizer somewhere
+	// in the fleet; its duplicates in the same phase must dedupe.
+	ColdWallMS     float64 `json:"cold_wall_ms"`
+	ColdJobsPerSec float64 `json:"cold_jobs_per_sec"`
+	// Warm: the whole grid resubmitted — every row must be served from
+	// a local cache or the shared store, never re-run.
+	WarmWallMS     float64 `json:"warm_wall_ms"`
+	WarmHitsPerSec float64 `json:"warm_hits_per_sec"`
+	// Fleet-summed counters after both phases.
+	OptimizerRuns float64 `json:"optimizer_runs"`
+	CacheHits     float64 `json:"cache_hits"`
+	StoreHits     float64 `json:"store_hits"`
+	Forwarded     float64 `json:"forwarded"`
+}
+
+// Report is the BENCH_PR9.json document.
+type Report struct {
+	PR          int       `json:"pr"`
+	Title       string    `json:"title"`
+	GeneratedAt string    `json:"generated_at"`
+	Host        perf.Host `json:"host"`
+	Method      string    `json:"method"`
+	Results     []Arm     `json:"results"`
+}
+
+const method = "in-process replicas on loopback listeners sharing one store.Mem; " +
+	"cold phase submits every distinct spec to every replica (the first submission " +
+	"runs the optimizer, the rest must dedupe), warm phase resubmits the whole grid " +
+	"(every row must hit); FleetReport.Check enforces byte-identical results and the " +
+	"summed reconciliation identity per arm; on a 1-CPU host multi-replica arms " +
+	"measure routing/dedupe overhead, not parallel speedup"
+
+func main() {
+	var (
+		out      = flag.String("out", "BENCH_PR9.json", "report output path")
+		replicas = flag.String("replicas", "1,2,3", "comma-separated replica counts")
+		circuits = flag.String("circuits", "c432,c499,alu2", "comma-separated benchmark circuits")
+		seeds    = flag.Int("seeds", 4, "placement seeds per circuit (distinct specs = circuits x seeds)")
+		quick    = flag.Bool("quick", false, "seconds-long smoke grid: c432, 2 seeds, replicas 1+2")
+	)
+	flag.Parse()
+
+	ckts := strings.Split(*circuits, ",")
+	nseeds := *seeds
+	counts := splitInts(*replicas)
+	if *quick {
+		ckts, nseeds, counts = []string{"c432"}, 2, []int{1, 2}
+	}
+	reqs := specGrid(ckts, nseeds)
+
+	rep := Report{
+		PR:          9,
+		Title:       "Fleet throughput: shared store + consistent-hash routing vs replica count",
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Host:        perf.HostFacts(),
+		Method:      method,
+	}
+	for _, n := range counts {
+		modes := []bool{false}
+		if n > 1 {
+			modes = []bool{true, false} // routed, then store-only
+		}
+		for _, routed := range modes {
+			arm, err := runArm(n, routed, reqs)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchfleet: replicas=%d (%s): %v\n", n, modeName(n, routed), err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "replicas=%d %-10s cold %.0fms (%.1f jobs/s), warm %.0fms (%.1f hits/s), %.0f runs / %.0f cache / %.0f store / %.0f forwarded\n",
+				n, arm.Mode+":", arm.ColdWallMS, arm.ColdJobsPerSec, arm.WarmWallMS, arm.WarmHitsPerSec,
+				arm.OptimizerRuns, arm.CacheHits, arm.StoreHits, arm.Forwarded)
+			rep.Results = append(rep.Results, arm)
+		}
+	}
+
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchfleet: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(b, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchfleet: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchfleet: %d arms x %d specs -> %s (host: %s, %d CPU)\n",
+		len(rep.Results), len(reqs), *out, rep.Host.CPU, rep.Host.CPUsAvailable)
+}
+
+// specGrid builds the distinct-spec request list: every circuit at
+// every placement seed, small fixed options so an arm stays seconds
+// long while still running the real optimizer.
+func specGrid(circuits []string, seeds int) []server.JobRequest {
+	verify := 4
+	var reqs []server.JobRequest
+	for _, c := range circuits {
+		for seed := int64(1); seed <= int64(seeds); seed++ {
+			reqs = append(reqs, server.JobRequest{
+				Generate: strings.TrimSpace(c),
+				Place:    &server.PlaceSpec{Seed: seed, Moves: 5},
+				Options:  rapids.Spec{Iters: 1, Workers: 1, VerifyRounds: &verify},
+			})
+		}
+	}
+	return reqs
+}
+
+func modeName(n int, routed bool) string {
+	switch {
+	case n == 1:
+		return "single"
+	case routed:
+		return "routed"
+	default:
+		return "store-only"
+	}
+}
+
+// runArm boots an n-replica fleet, runs the cold and warm phases, and
+// tears the fleet down.
+func runArm(n int, routed bool, reqs []server.JobRequest) (Arm, error) {
+	arm := Arm{Replicas: n, Mode: modeName(n, routed), DistinctSpecs: len(reqs), Submissions: 2 * n * len(reqs)}
+	shared := store.NewMem()
+	defer shared.Close()
+	urls, shutdown, err := startFleet(n, routed, shared)
+	if err != nil {
+		return arm, err
+	}
+	defer shutdown()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	cfg := harness.FleetConfig{
+		URLs:         urls,
+		Requests:     reqs,
+		Concurrency:  2 * n,
+		PollInterval: 5 * time.Millisecond,
+	}
+
+	start := time.Now()
+	cold, err := harness.RunFleet(ctx, cfg)
+	if err != nil {
+		return arm, fmt.Errorf("cold phase: %w", err)
+	}
+	arm.ColdWallMS = float64(time.Since(start).Microseconds()) / 1000
+	if err := cold.Check(); err != nil {
+		return arm, fmt.Errorf("cold phase invariants: %w", err)
+	}
+	arm.ColdJobsPerSec = float64(len(reqs)) / (arm.ColdWallMS / 1000)
+
+	start = time.Now()
+	warm, err := harness.RunFleet(ctx, cfg)
+	if err != nil {
+		return arm, fmt.Errorf("warm phase: %w", err)
+	}
+	arm.WarmWallMS = float64(time.Since(start).Microseconds()) / 1000
+	if err := warm.Check(); err != nil {
+		return arm, fmt.Errorf("warm phase invariants: %w", err)
+	}
+	arm.WarmHitsPerSec = float64(n*len(reqs)) / (arm.WarmWallMS / 1000)
+
+	arm.OptimizerRuns = harness.SumSample(warm.Scrapes, `rapidsd_submissions_total{outcome="accepted"}`)
+	arm.CacheHits = harness.SumSample(warm.Scrapes, `rapidsd_submissions_total{outcome="cache_hit"}`)
+	arm.StoreHits = harness.SumSample(warm.Scrapes, `rapidsd_submissions_total{outcome="store_hit"}`)
+	arm.Forwarded = harness.SumSample(warm.Scrapes, `rapidsd_routed_total{disposition="forwarded"}`)
+	if arm.OptimizerRuns != float64(len(reqs)) {
+		return arm, fmt.Errorf("optimizer ran %.0f times for %d distinct specs — dedupe broken", arm.OptimizerRuns, len(reqs))
+	}
+	return arm, nil
+}
+
+// startFleet opens n loopback listeners (URLs must exist before any
+// replica is constructed — the ring is part of Config), builds the
+// servers around the shared store, and serves each on its listener.
+func startFleet(n int, routed bool, shared store.Store) (urls []string, shutdown func(), err error) {
+	lns := make([]net.Listener, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, nil, err
+		}
+		lns[i] = ln
+		urls = append(urls, "http://"+ln.Addr().String())
+	}
+	var srvs []*server.Server
+	var https []*http.Server
+	shutdown = func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		for _, s := range srvs {
+			s.Shutdown(ctx)
+		}
+		for _, hs := range https {
+			hs.Close()
+		}
+		for _, ln := range lns {
+			ln.Close()
+		}
+	}
+	for i := 0; i < n; i++ {
+		cfg := server.Config{Workers: 1, QueueCap: 2 * len(urls) * 16, Store: shared}
+		if routed {
+			cfg.Peers = urls
+			cfg.SelfURL = urls[i]
+		}
+		srv, err := server.New(cfg)
+		if err != nil {
+			shutdown()
+			return nil, nil, err
+		}
+		srvs = append(srvs, srv)
+		hs := &http.Server{Handler: srv}
+		https = append(https, hs)
+		go hs.Serve(lns[i])
+	}
+	return urls, shutdown, nil
+}
+
+func splitInts(s string) []int {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || v < 1 {
+			fmt.Fprintf(os.Stderr, "benchfleet: bad replica count %q\n", f)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
+}

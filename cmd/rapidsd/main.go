@@ -8,6 +8,7 @@
 //
 //	rapidsd [-addr :8347] [-opt-workers N] [-queue N] [-cache N]
 //	        [-journal jobs.journal] [-job-timeout 0] [-job-retries 2]
+//	        [-store dir] [-peers url,url,...] [-self url]
 //	        [-drain-timeout 30s] [-metrics] [-v]
 //
 // Submit a job and read it back:
@@ -33,6 +34,18 @@
 // optimization attempt; timed-out and panicked attempts retry up to
 // -job-retries times with exponential backoff.
 //
+// Fleet mode (DESIGN.md §5c): -store names a directory used as a
+// shared result store — N replicas pointed at the same directory dedupe
+// each other's finished runs (read-through behind the local cache,
+// write-through on completion, sha256-checksummed entries). -peers
+// lists every replica's base URL (this one included) and -self
+// identifies this replica in that list; each submission's content key
+// is consistent-hashed onto one owner, and non-owners transparently
+// proxy the submission, status polls, cancel, and the SSE stream to
+// it. Store failures degrade to cache-only operation (visible in
+// /healthz and rapidsd_store_degraded_total) without failing jobs or
+// flipping /readyz.
+//
 // On SIGINT/SIGTERM the daemon flips /readyz to 503, stops accepting
 // work, drains queued and running jobs, and — past -drain-timeout —
 // cancels stragglers, which finish with best-so-far results under the
@@ -50,11 +63,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/rapids/server"
 	"repro/rapids/server/journal"
+	"repro/rapids/server/store"
 )
 
 func main() {
@@ -66,6 +81,9 @@ func main() {
 		jpath      = flag.String("journal", "", "persistent job journal file; replayed on start so accepted jobs survive a crash (empty disables)")
 		jobTimeout = flag.Duration("job-timeout", 0, "per-attempt wall-clock bound for each job (0 = none); expiry retries like any transient failure")
 		jobRetries = flag.Int("job-retries", 2, "automatic retries after a transient failure (worker panic, job timeout); negative disables")
+		storeDir   = flag.String("store", "", "shared result-store directory; replicas pointed at the same directory dedupe finished runs (empty disables)")
+		peers      = flag.String("peers", "", "comma-separated base URLs of every fleet replica, this one included; enables consistent-hash job routing (empty disables)")
+		self       = flag.String("self", "", "this replica's base URL, matching one -peers entry (required with -peers)")
 		drain      = flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on shutdown; running jobs are cancelled past it")
 		metricsOn  = flag.Bool("metrics", true, "serve the Prometheus text exposition at GET /metrics")
 		verbose    = flag.Bool("v", false, "log job life-cycle transitions")
@@ -93,6 +111,26 @@ func main() {
 		defer jnl.Close()
 		cfg.Journal = jnl
 		log.Printf("journal at %s", *jpath)
+	}
+	if *storeDir != "" {
+		st, err := store.OpenDir(*storeDir)
+		if err != nil {
+			log.Fatalf("store: %v", err)
+		}
+		defer st.Close()
+		cfg.Store = st
+		log.Printf("shared result store at %s", *storeDir)
+	}
+	if *peers != "" {
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				cfg.Peers = append(cfg.Peers, p)
+			}
+		}
+		cfg.SelfURL = *self
+		log.Printf("fleet of %d replicas, self %s", len(cfg.Peers), *self)
+	} else if *self != "" {
+		log.Fatalf("-self requires -peers")
 	}
 	srv, err := server.New(cfg)
 	if err != nil {

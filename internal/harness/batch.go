@@ -227,7 +227,8 @@ func (d *MetricsDelta) Delta(sample string) float64 {
 // scrapes and that the server was not restarted (a restart resets the
 // registry, voiding the delta):
 //
-//   - submissions accepted + cache_hit == rows that obtained a job id
+//   - submissions accepted + cache_hit + store_hit == rows that
+//     obtained a job id
 //   - submissions rejected (queue_full + draining + journal) == the
 //     rows' total 503-retry count
 //   - jobs_completed{state} == rows that ended in that state
@@ -249,8 +250,8 @@ func (d *MetricsDelta) Reconcile(rows []BatchRow) error {
 	sub := func(outcome string) float64 {
 		return d.Delta(`rapidsd_submissions_total{outcome="` + outcome + `"}`)
 	}
-	if got := sub("accepted") + sub("cache_hit"); got != float64(submitted) {
-		errs = append(errs, fmt.Sprintf("submissions accepted+cache_hit = %.0f, client saw %d jobs submitted", got, submitted))
+	if got := sub("accepted") + sub("cache_hit") + sub("store_hit"); got != float64(submitted) {
+		errs = append(errs, fmt.Sprintf("submissions accepted+cache_hit+store_hit = %.0f, client saw %d jobs submitted", got, submitted))
 	}
 	if got := sub("rejected_queue_full") + sub("rejected_draining") + sub("rejected_journal"); got != float64(retried503) {
 		errs = append(errs, fmt.Sprintf("submissions rejected = %.0f, client saw %d 503 retries", got, retried503))
@@ -320,7 +321,10 @@ func runOne(ctx context.Context, cfg BatchConfig, req server.JobRequest) BatchRo
 			if bp.retryAfter > 0 {
 				delay = bp.retryAfter
 			}
-		case cfg.RideOutRestarts && isTransport(err):
+		case cfg.RideOutRestarts && (isTransport(err) || isPeerUnreachable(err)):
+			// A 502 peer_unreachable is a dead *owner* behind a live
+			// proxy — the same restart window as a refused connection,
+			// just observed one hop away.
 			row.RetriedTransport++
 		default:
 			row.Err = err.Error()
@@ -350,7 +354,7 @@ func runOne(ctx context.Context, cfg BatchConfig, req server.JobRequest) BatchRo
 		}
 		next, err := getJob(ctx, cfg.Client, cfg.base(), row.JobID)
 		if err != nil {
-			if cfg.RideOutRestarts && isTransport(err) && ctx.Err() == nil {
+			if cfg.RideOutRestarts && (isTransport(err) || isPeerUnreachable(err)) && ctx.Err() == nil {
 				row.RetriedTransport++
 				continue // st keeps its last known state
 			}
@@ -383,6 +387,29 @@ func (e errBackpressure) Error() string { return e.msg }
 func isTransport(err error) bool {
 	var uerr *url.Error
 	return errors.As(err, &uerr)
+}
+
+// errPeerUnreachable tags a 502 whose ErrorBody carries the fleet's
+// peer_unreachable code: the replica answering is alive but the owner
+// it forwards to is not. Transient while the owner restarts.
+type errPeerUnreachable struct{ msg string }
+
+func (e errPeerUnreachable) Error() string { return e.msg }
+
+func isPeerUnreachable(err error) bool {
+	var pe errPeerUnreachable
+	return errors.As(err, &pe)
+}
+
+// typedError classifies a non-2xx response by its ErrorBody code,
+// returning the typed error for codes the client branches on and a
+// generic error otherwise.
+func typedError(verb string, code int, body []byte) error {
+	var eb server.ErrorBody
+	if json.Unmarshal(body, &eb) == nil && eb.Code == server.CodePeerUnreachable {
+		return errPeerUnreachable{msg: fmt.Sprintf("%s: 502 %s: %s", verb, eb.Code, eb.Error)}
+	}
+	return fmt.Errorf("%s: %d: %s", verb, code, bytes.TrimSpace(body))
 }
 
 // drainClose reads the response body to EOF and closes it. Every
@@ -449,7 +476,7 @@ func postJob(ctx context.Context, client *http.Client, base string, body []byte)
 		}
 	default:
 		b, _ := io.ReadAll(resp.Body)
-		return st, fmt.Errorf("submit: %d: %s", resp.StatusCode, bytes.TrimSpace(b))
+		return st, typedError("submit", resp.StatusCode, b)
 	}
 }
 
@@ -466,7 +493,7 @@ func getJob(ctx context.Context, client *http.Client, base, id string) (server.J
 	defer drainClose(resp)
 	if resp.StatusCode != http.StatusOK {
 		b, _ := io.ReadAll(resp.Body)
-		return st, fmt.Errorf("status %s: %d: %s", id, resp.StatusCode, bytes.TrimSpace(b))
+		return st, typedError("status "+id, resp.StatusCode, b)
 	}
 	return st, json.NewDecoder(resp.Body).Decode(&st)
 }

@@ -1,0 +1,253 @@
+package harness
+
+// Fleet mode: the multi-replica proof harness (DESIGN.md §5c). Where
+// RunBatch drives one rapidsd, RunFleet drives N replicas sharing a
+// result store (and optionally consistent-hash routing) and asserts
+// the properties that make a fleet more than N independent servers:
+//
+//   - Determinism survives placement: the same spec submitted to every
+//     replica returns byte-identical Results, whichever replica ran it.
+//   - Work dedupes: after the first submission of a spec settles,
+//     submitting it to *any* replica is a hit (local cache or shared
+//     store), never a re-run.
+//   - The accounting closes fleet-wide: the reconciliation identity of
+//     DESIGN.md §5b — submissions in == completions plus jobs still in
+//     flight — holds on the replicas' summed /metrics, because a
+//     forwarded submission is counted by exactly one replica.
+//
+// RunFleet performs the submissions and returns the evidence (rows and
+// final scrapes); the assertions live in FleetReport.Check and
+// FleetIdentity so the smoke test can re-run them against real
+// processes.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/rapids"
+	"repro/rapids/server"
+)
+
+// FleetConfig drives one RunFleet run.
+type FleetConfig struct {
+	// URLs are the replicas' base URLs. Every request is submitted to
+	// each of them in this order.
+	URLs []string
+	// Benchmarks lists the circuits to submit; nil means all of Table 1.
+	Benchmarks []string
+	// Requests, when non-nil, overrides Benchmarks with an explicit job
+	// list.
+	Requests []server.JobRequest
+	// PlaceSeed and PlaceMoves mirror BatchConfig (defaults 1 and 30).
+	PlaceSeed  int64
+	PlaceMoves int
+	// Spec is the option set submitted with every job (Benchmarks mode).
+	Spec rapids.Spec
+	// Concurrency bounds the requests in flight at once (default 4).
+	// The submissions of one request are always sequential — first to
+	// URLs[0], then URLs[1], ... — so the dedupe property is
+	// well-defined: by the time replica k sees the spec, a finished
+	// result exists somewhere in the fleet.
+	Concurrency int
+	// PollInterval is the status poll period (default 50ms).
+	PollInterval time.Duration
+	// RideOutRestarts retries transport failures and 502
+	// peer_unreachable responses with backoff — the kill-and-restart
+	// fleet tests set it.
+	RideOutRestarts bool
+	// Client is the HTTP client (default http.DefaultClient).
+	Client *http.Client
+}
+
+func (c *FleetConfig) fill() {
+	if c.Benchmarks == nil && c.Requests == nil {
+		c.Benchmarks = rapids.Benchmarks()
+	}
+	if c.PlaceSeed == 0 {
+		c.PlaceSeed = 1
+	}
+	if c.PlaceMoves == 0 {
+		c.PlaceMoves = 30
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 4
+	}
+	if c.PollInterval <= 0 {
+		c.PollInterval = 50 * time.Millisecond
+	}
+	if c.Client == nil {
+		c.Client = http.DefaultClient
+	}
+}
+
+// FleetRow is one request's outcome across the whole fleet.
+type FleetRow struct {
+	Name string
+	// Rows holds one BatchRow per replica, in FleetConfig.URLs order:
+	// Rows[k] is the submission of this request to URLs[k].
+	Rows []BatchRow
+}
+
+// FleetReport is RunFleet's full outcome.
+type FleetReport struct {
+	Rows []FleetRow
+	// Scrapes are the replicas' final /metrics expositions, in URLs
+	// order — absolute values, not deltas, because the reconciliation
+	// identity holds from zero for each server incarnation (a restarted
+	// replica's registry restarts at zero and the identity still
+	// closes; a delta across the restart would not).
+	Scrapes []map[string]float64
+}
+
+// RunFleet submits every configured request to every replica (in URLs
+// order, sequentially per request), waits for all of them, scrapes
+// every replica's /metrics, and returns the evidence. Like RunBatch,
+// the error covers setup-level failures only; per-job failures land in
+// the rows and are surfaced by FleetReport.Check.
+func RunFleet(ctx context.Context, cfg FleetConfig) (*FleetReport, error) {
+	cfg.fill()
+	if len(cfg.URLs) == 0 {
+		return nil, fmt.Errorf("harness: FleetConfig.URLs is required")
+	}
+
+	reqs := cfg.Requests
+	if reqs == nil {
+		reqs = make([]server.JobRequest, len(cfg.Benchmarks))
+		for i, name := range cfg.Benchmarks {
+			reqs[i] = server.JobRequest{
+				Generate: name,
+				Place:    &server.PlaceSpec{Seed: cfg.PlaceSeed, Moves: cfg.PlaceMoves},
+				Options:  cfg.Spec,
+			}
+		}
+	}
+
+	rep := &FleetReport{Rows: make([]FleetRow, len(reqs))}
+	sem := make(chan struct{}, cfg.Concurrency)
+	done := make(chan int, len(reqs))
+	for i, req := range reqs {
+		go func(i int, req server.JobRequest) {
+			defer func() { done <- i }()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			row := FleetRow{Name: req.Generate, Rows: make([]BatchRow, len(cfg.URLs))}
+			if row.Name == "" {
+				row.Name = "inline netlist"
+			}
+			for k, url := range cfg.URLs {
+				bc := BatchConfig{
+					BaseURL: url, PollInterval: cfg.PollInterval,
+					RideOutRestarts: cfg.RideOutRestarts, Client: cfg.Client,
+				}
+				bc.fill()
+				row.Rows[k] = runOne(ctx, bc, req)
+				if ctx.Err() != nil {
+					break
+				}
+			}
+			rep.Rows[i] = row
+		}(i, req)
+	}
+	for range reqs {
+		<-done
+	}
+	if ctx.Err() != nil {
+		return rep, ctx.Err()
+	}
+
+	rep.Scrapes = make([]map[string]float64, len(cfg.URLs))
+	for k, url := range cfg.URLs {
+		m, err := scrapeMetrics(ctx, cfg.Client, url)
+		if err != nil {
+			return rep, fmt.Errorf("harness: metrics scrape of replica %s: %w", url, err)
+		}
+		rep.Scrapes[k] = m
+	}
+	return rep, nil
+}
+
+// Check verifies the fleet invariants on the collected evidence and
+// returns every violation joined into one error (nil when all hold):
+// every submission reached state done, the per-request Results are
+// byte-identical across replicas, every submission after a request's
+// first was served from a cache or the shared store (Cached — the
+// optimizer ran at most once per spec fleet-wide), and the summed
+// metrics close under FleetIdentity.
+func (r *FleetReport) Check() error {
+	var errs []error
+	for _, fr := range r.Rows {
+		var oracle []byte
+		for k, row := range fr.Rows {
+			if row.Err != "" || row.State != server.StateDone {
+				errs = append(errs, fmt.Errorf("%s via replica %d: state %q, err %q", fr.Name, k, row.State, row.Err))
+				continue
+			}
+			b, err := json.Marshal(row.Result)
+			if err != nil {
+				errs = append(errs, fmt.Errorf("%s via replica %d: encoding result: %w", fr.Name, k, err))
+				continue
+			}
+			if oracle == nil {
+				oracle = b
+				continue
+			}
+			if !bytes.Equal(b, oracle) {
+				errs = append(errs, fmt.Errorf("%s via replica %d: result differs from replica 0's — determinism broken across the fleet", fr.Name, k))
+			}
+			if !row.Cached {
+				errs = append(errs, fmt.Errorf("%s via replica %d: re-ran the optimizer instead of hitting a cache or the shared store", fr.Name, k))
+			}
+		}
+	}
+	if r.Scrapes != nil {
+		if err := FleetIdentity(r.Scrapes); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// FleetIdentity checks the reconciliation identity of DESIGN.md §5b on
+// the summed absolute counters of a fleet's /metrics scrapes:
+//
+//	submissions{accepted|cache_hit|store_hit} + journal_replayed{reborn|requeued}
+//	    == jobs_completed{done|canceled|failed} + queue_depth + workers_busy
+//
+// It holds for each replica from zero — a forwarded submission counts
+// only on its owner (the forwarder's routed{forwarded} is outside the
+// funnel) — so it holds for any sum of replicas, restarts included.
+func FleetIdentity(scrapes []map[string]float64) error {
+	var in, out float64
+	for _, m := range scrapes {
+		for _, o := range []string{"accepted", "cache_hit", "store_hit"} {
+			in += m[`rapidsd_submissions_total{outcome="`+o+`"}`]
+		}
+		for _, d := range []string{"reborn", "requeued"} {
+			in += m[`rapidsd_journal_replayed_jobs_total{disposition="`+d+`"}`]
+		}
+		for _, st := range []string{server.StateDone, server.StateCanceled, server.StateFailed} {
+			out += m[`rapidsd_jobs_completed_total{state="`+st+`"}`]
+		}
+		out += m["rapidsd_queue_depth"] + m["rapidsd_workers_busy"]
+	}
+	if in != out {
+		return fmt.Errorf("harness: fleet metrics do not reconcile: submissions+replayed = %.0f, completions+in-flight = %.0f", in, out)
+	}
+	return nil
+}
+
+// SumSample sums one metrics sample across a fleet's scrapes — the
+// fleet-wide view of a counter, e.g. how many optimizer runs the whole
+// fleet performed.
+func SumSample(scrapes []map[string]float64, sample string) float64 {
+	var total float64
+	for _, m := range scrapes {
+		total += m[sample]
+	}
+	return total
+}

@@ -5,10 +5,12 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"sync"
 
 	"repro/internal/metrics"
 	"repro/rapids"
+	"repro/rapids/server/store"
 )
 
 // cacheKey digests a request into the content hash the result cache is
@@ -93,6 +95,110 @@ func newCacheEntry(circuit string, gates int, res *rapids.Result) *cacheEntry {
 
 // intact re-verifies the checksum.
 func (e *cacheEntry) intact() bool { return resultSum(e.result) == e.sum }
+
+// lookupResult consults the local LRU first and then the shared store
+// (Config.Store, fleet mode): the two-level read path. A hit at either
+// level returns the entry plus the submission outcome it should count
+// as (outcomeCacheHit / outcomeStoreHit); a store hit is promoted into
+// the LRU so the next lookup stays local. Integrity failures at either
+// level drop the entry and fall through — a corrupt result is re-run,
+// never served. A store *error* (as opposed to a miss) is degraded
+// mode: counted, logged, sticky for /healthz, and otherwise treated as
+// a miss — a shared-cache outage costs throughput, not availability
+// (DESIGN.md §5c).
+func (s *Server) lookupResult(key string) (*cacheEntry, string) {
+	if e, ok := s.cache.get(key); ok {
+		if e.intact() {
+			s.metrics.cacheHits.Inc()
+			return e, outcomeCacheHit
+		}
+		s.cache.remove(key)
+		s.metrics.cacheCorruptions.Inc()
+		s.logf("cache: integrity check failed for key %s, entry dropped", key[:8])
+	} else if s.cache != nil {
+		s.metrics.cacheMisses.Inc()
+	}
+	if s.cfg.Store == nil {
+		return nil, ""
+	}
+	se, ok, err := s.cfg.Store.Get(key)
+	switch {
+	case errors.Is(err, store.ErrCorrupt):
+		s.metrics.storeCorruptions.Inc()
+		s.logf("store: corrupt entry for key %s dropped", key[:8])
+		return nil, ""
+	case err != nil:
+		s.degradeStore(err)
+		return nil, ""
+	case !ok:
+		s.metrics.storeMisses.Inc()
+		s.healStore()
+		return nil, ""
+	}
+	var res rapids.Result
+	if err := json.Unmarshal(se.Result, &res); err != nil {
+		// Checksummed but undecodable (a foreign writer?): same
+		// treatment as corruption — miss, re-run.
+		s.metrics.storeCorruptions.Inc()
+		s.logf("store: undecodable entry for key %s: %v", key[:8], err)
+		return nil, ""
+	}
+	s.metrics.storeHits.Inc()
+	s.healStore()
+	e := newCacheEntry(se.Circuit, se.Gates, &res)
+	s.cache.put(key, e)
+	return e, outcomeStoreHit
+}
+
+// publishResult writes a finished run through both cache levels: the
+// local LRU (cached, possibly hook-corrupted for the chaos tests) and
+// the shared store (always sealed from the pristine result — the
+// corruption hook models a bad RAM cell in *this* replica, not a bad
+// result). Store failures degrade, they never fail the job.
+func (s *Server) publishResult(key string, cached *cacheEntry, res *rapids.Result) {
+	s.cache.put(key, cached)
+	if s.cfg.Store == nil {
+		return
+	}
+	b, err := json.Marshal(res)
+	if err != nil {
+		// Result is a plain struct of marshalable fields.
+		panic("server: store entry encoding: " + err.Error())
+	}
+	if err := s.cfg.Store.Put(store.NewEntry(key, cached.circuit, cached.gates, b)); err != nil {
+		s.degradeStore(err)
+		return
+	}
+	s.metrics.storePuts.Inc()
+	s.healStore()
+}
+
+// degradeStore records a shared-store failure: counted, logged, and
+// sticky for /healthz. Deliberately *not* surfaced by /readyz — N
+// replicas sharing one store must not all turn unready because the
+// store is down; each keeps serving from its local LRU and re-runs
+// what it cannot find (the degraded-mode contract, DESIGN.md §5c).
+func (s *Server) degradeStore(err error) {
+	s.metrics.storeDegraded.Inc()
+	s.smu.Lock()
+	s.storeErr = err
+	s.smu.Unlock()
+	s.logf("store: degraded: %v", err)
+}
+
+// healStore clears the sticky store error after a successful
+// operation, so /healthz self-heals like the journal status does.
+func (s *Server) healStore() {
+	s.smu.Lock()
+	s.storeErr = nil
+	s.smu.Unlock()
+}
+
+func (s *Server) storeStatus() error {
+	s.smu.Lock()
+	defer s.smu.Unlock()
+	return s.storeErr
+}
 
 // resultCache is a small LRU over content-hash keys. Entries are
 // immutable once inserted (the Result of a finished run is never

@@ -11,18 +11,35 @@ import (
 const (
 	outcomeAccepted     = "accepted"
 	outcomeCacheHit     = "cache_hit"
+	outcomeStoreHit     = "store_hit"
 	outcomeQueueFull    = "rejected_queue_full"
 	outcomeDraining     = "rejected_draining"
 	outcomeJournalError = "rejected_journal"
 	outcomeInvalidReq   = "invalid"
 )
 
+// Routing dispositions, the label values of rapidsd_routed_total —
+// again a fixed enum (never peer URLs: a fleet's size is small but a
+// misconfigured peer string must not mint label values).
+const (
+	routeLocal           = "local"            // this replica owns the key and serves it
+	routeForwarded       = "forwarded"        // proxied to the owning replica
+	routeReceived        = "received"         // accepted a submission forwarded by a peer
+	routePeerUnreachable = "peer_unreachable" // forwarding failed below HTTP
+	routeNotOwner        = "not_owner"        // refused a forwarded key this replica does not own
+)
+
 // serverMetrics is every instrument the service exports, one field per
 // family, registered against one registry served at GET /metrics. The
 // reconciliation invariant the scrape tests and the harness check:
 //
-//	submissions{accepted} + submissions{cache_hit} + journal_replayed_jobs
+//	submissions{accepted} + submissions{cache_hit} + submissions{store_hit}
+//	    + journal_replayed_jobs
 //	    == sum over states of jobs_completed + jobs still queued/running
+//
+// It holds per replica and therefore summed across a fleet, because a
+// forwarded submission counts only on the replica that owns it (the
+// forwarder counts routed{forwarded}, which is outside the funnel).
 //
 // Counters are monotone for the life of the process; gauges report
 // instantaneous state; histograms use the shared latency buckets.
@@ -52,6 +69,16 @@ type serverMetrics struct {
 	cacheMisses      *metrics.Counter
 	cacheEvictions   *metrics.Counter
 	cacheCorruptions *metrics.Counter
+
+	// Shared result store (fleet mode).
+	storeHits        *metrics.Counter
+	storeMisses      *metrics.Counter
+	storePuts        *metrics.Counter
+	storeDegraded    *metrics.Counter
+	storeCorruptions *metrics.Counter
+
+	// Replica routing (fleet mode).
+	routed *metrics.CounterVec // disposition
 
 	// Journal.
 	journalAppends        *metrics.Counter
@@ -99,6 +126,18 @@ func newServerMetrics() *serverMetrics {
 			"Result-cache entries evicted by the LRU bound."),
 		cacheCorruptions: r.Counter("rapidsd_cache_corruptions_total",
 			"Cache entries dropped by a failed integrity checksum."),
+		storeHits: r.Counter("rapidsd_store_hits_total",
+			"Submissions served from the shared result store (a peer ran the job)."),
+		storeMisses: r.Counter("rapidsd_store_misses_total",
+			"Shared-store lookups that found nothing."),
+		storePuts: r.Counter("rapidsd_store_puts_total",
+			"Results written through to the shared store."),
+		storeDegraded: r.Counter("rapidsd_store_degraded_total",
+			"Shared-store operations that failed; the server fell back to its local LRU."),
+		storeCorruptions: r.Counter("rapidsd_store_corruptions_total",
+			"Shared-store entries dropped by a failed integrity checksum."),
+		routed: r.CounterVec("rapidsd_routed_total",
+			"Submission routing decisions by disposition (fleet mode).", "disposition"),
 		journalAppends: r.Counter("rapidsd_journal_appends_total",
 			"Journal entries successfully appended."),
 		journalAppendFailures: r.Counter("rapidsd_journal_append_failures_total",

@@ -114,7 +114,10 @@ func (s *Server) replayJournal() error {
 		case journal.OpDone:
 			if st.result != nil {
 				j.appendEvent(doneEvent(st.circuit, st.result))
-				s.cache.put(j.key, newCacheEntry(st.circuit, st.gates, st.result))
+				// Write-through like a fresh run: rebirth re-seeds the
+				// LRU *and* the shared store, so a fleet peer can hit on
+				// a result this replica recovered from its journal.
+				s.publishResult(j.key, newCacheEntry(st.circuit, st.gates, st.result), st.result)
 			}
 			state = StateDone
 		case journal.OpCanceled:

@@ -1,0 +1,104 @@
+// Package router assigns job ownership across a rapidsd fleet with a
+// consistent-hash ring. Every replica builds the same Ring from the
+// same peer list (rapidsd -peers), hashes a job's canonical content key
+// (rapids/server's cacheKey — a sha256 of {source, place, options})
+// onto it, and agrees on one owner per key with no coordination: the
+// cache entry, journal record, and optimization run for a given spec
+// live on exactly one replica, so identical specs dedupe fleet-wide.
+//
+// The ring is the classic construction: each peer contributes vnodes
+// virtual points (FNV-64a of "peer#i") on a sorted 64-bit circle, and a
+// key is owned by the first point clockwise of its own hash. Virtual
+// nodes smooth the load split; consistency means adding or removing a
+// replica only moves the keys that replica owned, not a full reshuffle
+// (pinned by the package tests). DESIGN.md §5c documents the
+// forwarding semantics built on top.
+package router
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultVnodes is the virtual-node count per peer when New is given
+// zero: enough that a 3-replica split stays within a few percent of
+// even, cheap enough that ring construction is microseconds.
+const DefaultVnodes = 128
+
+// Ring is an immutable consistent-hash ring over peer identifiers
+// (base URLs, in rapidsd). Build once, share freely: all methods are
+// read-only and safe for concurrent use.
+type Ring struct {
+	points []point
+	peers  []string
+}
+
+type point struct {
+	hash uint64
+	peer string
+}
+
+// New builds a ring over the peer identifiers. Order does not matter —
+// any permutation of the same peers builds an identical ring, so
+// replicas need not agree on list order, only membership. Duplicate or
+// empty peers are rejected; vnodes <= 0 selects DefaultVnodes.
+func New(peers []string, vnodes int) (*Ring, error) {
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("router: no peers")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	seen := make(map[string]bool, len(peers))
+	r := &Ring{points: make([]point, 0, len(peers)*vnodes)}
+	for _, p := range peers {
+		if p == "" {
+			return nil, fmt.Errorf("router: empty peer")
+		}
+		if seen[p] {
+			return nil, fmt.Errorf("router: duplicate peer %q", p)
+		}
+		seen[p] = true
+		r.peers = append(r.peers, p)
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, point{hash: hash64(fmt.Sprintf("%s#%d", p, i)), peer: p})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// A full 64-bit collision is astronomically unlikely, but the
+		// tie-break keeps the ring order-independent even then.
+		return r.points[i].peer < r.points[j].peer
+	})
+	sort.Strings(r.peers)
+	return r, nil
+}
+
+// Owner returns the peer owning key: the first ring point clockwise of
+// the key's hash (wrapping past the top).
+func (r *Ring) Owner(key string) string {
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].peer
+}
+
+// Peers returns the ring's membership, sorted.
+func (r *Ring) Peers() []string { return append([]string(nil), r.peers...) }
+
+// Contains reports whether peer is a ring member.
+func (r *Ring) Contains(peer string) bool {
+	i := sort.SearchStrings(r.peers, peer)
+	return i < len(r.peers) && r.peers[i] == peer
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}

@@ -1,0 +1,120 @@
+package router
+
+import (
+	"fmt"
+	"testing"
+)
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		// Shaped like rapids/server cache keys: hex content hashes.
+		out[i] = fmt.Sprintf("%064x", i*2654435761)
+	}
+	return out
+}
+
+var peers3 = []string{"http://a:1", "http://b:1", "http://c:1"}
+
+func TestDeterministicAndOrderIndependent(t *testing.T) {
+	a, err := New(peers3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New([]string{"http://c:1", "http://a:1", "http://b:1"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys(1000) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("key %s: owner depends on peer-list order (%s vs %s)", k[:8], a.Owner(k), b.Owner(k))
+		}
+	}
+}
+
+func TestSinglePeerOwnsEverything(t *testing.T) {
+	r, err := New([]string{"http://only:1"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys(100) {
+		if got := r.Owner(k); got != "http://only:1" {
+			t.Fatalf("single-peer ring routed %s to %q", k[:8], got)
+		}
+	}
+}
+
+// TestBalance: with default vnodes, a 3-peer split of 10k keys stays
+// within a loose band around even — no peer starves or hogs.
+func TestBalance(t *testing.T) {
+	r, err := New(peers3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	ks := keys(10000)
+	for _, k := range ks {
+		counts[r.Owner(k)]++
+	}
+	for _, p := range peers3 {
+		share := float64(counts[p]) / float64(len(ks))
+		if share < 0.15 || share > 0.55 {
+			t.Errorf("peer %s owns %.1f%% of keys (counts: %v)", p, share*100, counts)
+		}
+	}
+}
+
+// TestConsistencyOnRemoval: dropping one peer moves only the keys it
+// owned — every key owned by a survivor keeps its owner.
+func TestConsistencyOnRemoval(t *testing.T) {
+	full, err := New(peers3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reduced, err := New([]string{"http://a:1", "http://c:1"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for _, k := range keys(5000) {
+		before, after := full.Owner(k), reduced.Owner(k)
+		if before == "http://b:1" {
+			if after == "http://b:1" {
+				t.Fatalf("key %s still owned by removed peer", k[:8])
+			}
+			moved++
+			continue
+		}
+		if before != after {
+			t.Fatalf("key %s moved %s -> %s though its owner survived", k[:8], before, after)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("removed peer owned no keys; balance test should have caught this")
+	}
+}
+
+func TestRejectsBadPeerLists(t *testing.T) {
+	for name, peers := range map[string][]string{
+		"empty":     nil,
+		"blank":     {"http://a:1", ""},
+		"duplicate": {"http://a:1", "http://a:1"},
+	} {
+		if _, err := New(peers, 0); err == nil {
+			t.Errorf("%s peer list accepted", name)
+		}
+	}
+}
+
+func TestPeersAndContains(t *testing.T) {
+	r, err := New(peers3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Peers(); len(got) != 3 {
+		t.Fatalf("Peers() = %v", got)
+	}
+	if !r.Contains("http://b:1") || r.Contains("http://nope:1") {
+		t.Fatal("Contains misreports membership")
+	}
+}

@@ -45,6 +45,8 @@ import (
 	"repro/internal/metrics"
 	"repro/rapids"
 	"repro/rapids/server/journal"
+	"repro/rapids/server/router"
+	"repro/rapids/server/store"
 )
 
 // maxBody bounds a POST /v1/jobs payload (inline netlists included).
@@ -70,6 +72,31 @@ type Config struct {
 	// replayed by New: accepted jobs survive a crash. The server does
 	// not own the journal — the caller opens and closes it.
 	Journal journal.Journal
+	// Store, when non-nil, is the fleet-shared result store consulted
+	// behind the local LRU (read-through) and written on every finished
+	// run (write-through), so N replicas dedupe each other's work. The
+	// server does not own the store — the caller opens and closes it.
+	// Store failures degrade to LRU-only operation (counted in
+	// rapidsd_store_degraded_total, reported by /healthz); they never
+	// fail jobs or flip /readyz.
+	Store store.Store
+	// Peers, when non-empty, enables replica-aware routing: the list of
+	// every replica's base URL (this one included). Each submission's
+	// content key is consistent-hashed onto one owner; non-owners proxy
+	// the submission (and later job-scoped requests) to it, so the
+	// cache, journal, and optimization run for a spec live on exactly
+	// one replica. All replicas must be configured with the same
+	// membership (order may differ).
+	Peers []string
+	// SelfURL identifies this replica in Peers — required when Peers is
+	// set, and must match one entry exactly (after trailing-slash
+	// trimming).
+	SelfURL string
+	// PeerClient is the HTTP client for replica-to-replica forwarding;
+	// nil uses http.DefaultClient. It must not set Client.Timeout:
+	// relayed SSE streams are long-lived (cancellation rides the
+	// inbound request's context instead).
+	PeerClient *http.Client
 	// JobTimeout bounds each optimization attempt's wall clock (0 =
 	// none). A request's own options.timeout_ms tightens but never
 	// loosens it. Expiry is a transient failure: the attempt stops at
@@ -134,11 +161,19 @@ type Server struct {
 	drainc  chan struct{}  // closed when Shutdown begins
 	retries atomic.Int64   // total retry attempts scheduled
 
-	mu       sync.Mutex
-	jobs     map[string]*job
-	order    []string // submission order, for GET /v1/jobs
-	seq      int
-	draining bool
+	ring *router.Ring // nil outside fleet mode
+
+	mu        sync.Mutex
+	jobs      map[string]*job
+	order     []string          // submission order, for GET /v1/jobs
+	forwarded map[string]string // job id -> owning replica URL (proxied submissions)
+	seq       int
+	draining  bool
+
+	// smu guards the sticky shared-store error (healthz reporting
+	// only; the store never gates readiness).
+	smu      sync.Mutex
+	storeErr error
 
 	// jmu guards the sticky journal-append error separately from s.mu:
 	// appends happen while s.mu is held (submit) and while it is not
@@ -166,13 +201,33 @@ func newServer(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	m := newServerMetrics()
 	s := &Server{
-		cfg:     cfg,
-		mux:     http.NewServeMux(),
-		metrics: m,
-		queue:   newJobQueue(m.queueDepth, m.queueHighWater),
-		cache:   newResultCache(cfg.CacheCap, m.cacheEvictions),
-		drainc:  make(chan struct{}),
-		jobs:    make(map[string]*job),
+		cfg:       cfg,
+		mux:       http.NewServeMux(),
+		metrics:   m,
+		queue:     newJobQueue(m.queueDepth, m.queueHighWater),
+		cache:     newResultCache(cfg.CacheCap, m.cacheEvictions),
+		drainc:    make(chan struct{}),
+		jobs:      make(map[string]*job),
+		forwarded: make(map[string]string),
+	}
+	if len(cfg.Peers) > 0 {
+		peers := make([]string, len(cfg.Peers))
+		for i, p := range cfg.Peers {
+			peers[i] = strings.TrimRight(p, "/")
+		}
+		s.cfg.Peers = peers
+		s.cfg.SelfURL = strings.TrimRight(cfg.SelfURL, "/")
+		if s.cfg.SelfURL == "" {
+			return nil, fmt.Errorf("server: Config.SelfURL is required with Peers")
+		}
+		ring, err := router.New(peers, 0)
+		if err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		if !ring.Contains(s.cfg.SelfURL) {
+			return nil, fmt.Errorf("server: SelfURL %q is not in Peers %v", s.cfg.SelfURL, peers)
+		}
+		s.ring = ring
 	}
 	m.workers.Set(int64(cfg.Workers))
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -354,7 +409,7 @@ func (s *Server) run(j *job) {
 			clone.FinalDelayNS += 1
 			e.result = &clone
 		}
-		s.cache.put(j.key, e)
+		s.publishResult(j.key, e, res)
 		s.finishJob(j, StateDone, res, "")
 		s.logf("job %s: done, delay %.3f -> %.3f ns", j.id, res.InitialDelayNS, res.FinalDelayNS)
 	case errors.As(err, &pe):
@@ -561,46 +616,63 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	key := cacheKey(req, format)
 
-	// A cache hit is served as a job born in state done: the id is
-	// real and GET /v1/jobs/{id} and the SSE stream work uniformly.
-	// A failed integrity check drops the entry and falls through to a
-	// fresh run.
-	if e, ok := s.cache.get(key); ok {
-		if !e.intact() {
-			s.cache.remove(key)
-			s.metrics.cacheCorruptions.Inc()
-			s.logf("cache: integrity check failed for key %s, entry dropped", key[:8])
-		} else {
-			s.mu.Lock()
-			if s.draining {
-				s.mu.Unlock()
-				s.metrics.submissions.With(outcomeDraining).Inc()
-				httpError(w, http.StatusServiceUnavailable, "server is shutting down")
+	// Fleet routing (DESIGN.md §5c): every replica hashes the content
+	// key onto the same ring. Non-owners forward — one hop only: a
+	// *forwarded* submission this replica does not own means the peer
+	// lists disagree, and bouncing it onward would loop.
+	if s.ring != nil {
+		forwardedFrom := r.Header.Get(forwardedHeader)
+		if owner := s.ring.Owner(key); owner != s.cfg.SelfURL {
+			if forwardedFrom != "" {
+				s.metrics.routed.With(routeNotOwner).Inc()
+				s.logf("route: refusing key %s forwarded by %s: owner is %s", key[:8], forwardedFrom, owner)
+				writeJSON(w, http.StatusMisdirectedRequest, ErrorBody{
+					Error: fmt.Sprintf("replica %s does not own key %s (owner %s): peer lists disagree", s.cfg.SelfURL, key[:8], owner),
+					Code:  CodeNotOwner,
+				})
 				return
 			}
-			j := s.registerLocked(key, req)
-			if err := s.acceptLocked(j, req); err != nil {
-				s.unregisterLocked(j)
-				s.mu.Unlock()
-				s.metrics.submissions.With(outcomeJournalError).Inc()
-				httpError(w, http.StatusServiceUnavailable, "journal unavailable: %v", err)
-				return
-			}
-			s.mu.Unlock()
-			s.metrics.cacheHits.Inc()
-			s.metrics.submissions.With(outcomeCacheHit).Inc()
-			j.mu.Lock()
-			j.cached = true
-			j.circuit, j.gates = e.circuit, e.gates
-			j.mu.Unlock()
-			j.appendEvent(doneEvent(e.circuit, e.result))
-			s.finishJob(j, StateDone, e.result, "")
-			s.logf("job %s: cache hit (%s)", j.id, e.circuit)
-			s.writeJob(w, http.StatusOK, j)
+			s.forwardSubmit(w, r, req, owner)
 			return
 		}
-	} else if s.cache != nil {
-		s.metrics.cacheMisses.Inc()
+		if forwardedFrom != "" {
+			s.metrics.routed.With(routeReceived).Inc()
+		} else {
+			s.metrics.routed.With(routeLocal).Inc()
+		}
+	}
+
+	// A hit — local LRU or shared store — is served as a job born in
+	// state done: the id is real and GET /v1/jobs/{id} and the SSE
+	// stream work uniformly. Integrity failures inside lookupResult
+	// drop the entry and fall through to a fresh run.
+	if e, outcome := s.lookupResult(key); e != nil {
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			s.metrics.submissions.With(outcomeDraining).Inc()
+			httpError(w, http.StatusServiceUnavailable, "server is shutting down")
+			return
+		}
+		j := s.registerLocked(key, req)
+		if err := s.acceptLocked(j, req); err != nil {
+			s.unregisterLocked(j)
+			s.mu.Unlock()
+			s.metrics.submissions.With(outcomeJournalError).Inc()
+			httpError(w, http.StatusServiceUnavailable, "journal unavailable: %v", err)
+			return
+		}
+		s.mu.Unlock()
+		s.metrics.submissions.With(outcome).Inc()
+		j.mu.Lock()
+		j.cached = true
+		j.circuit, j.gates = e.circuit, e.gates
+		j.mu.Unlock()
+		j.appendEvent(doneEvent(e.circuit, e.result))
+		s.finishJob(j, StateDone, e.result, "")
+		s.logf("job %s: %s (%s)", j.id, outcome, e.circuit)
+		s.writeJob(w, http.StatusOK, j)
+		return
 	}
 
 	// Registration, the journal's accepted record, and enqueue are one
@@ -687,6 +759,9 @@ func (s *Server) lookup(r *http.Request) (*job, bool) {
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.lookup(r)
 	if !ok {
+		if s.relayUnknownJob(w, r, r.PathValue("id")) {
+			return
+		}
 		httpError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
 		return
 	}
@@ -714,6 +789,9 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.lookup(r)
 	if !ok {
+		if s.relayUnknownJob(w, r, r.PathValue("id")) {
+			return
+		}
 		httpError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
 		return
 	}
@@ -742,6 +820,9 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.lookup(r)
 	if !ok {
+		if s.relayUnknownJob(w, r, r.PathValue("id")) {
+			return
+		}
 		httpError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
 		return
 	}
@@ -810,7 +891,14 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 			jstatus = err.Error()
 		}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	ststatus := "off"
+	if s.cfg.Store != nil {
+		ststatus = "ok"
+		if err := s.storeStatus(); err != nil {
+			ststatus = "degraded: " + err.Error()
+		}
+	}
+	body := map[string]any{
 		"status":       status,
 		"workers":      s.cfg.Workers,
 		"queue_cap":    s.cfg.QueueCap,
@@ -818,10 +906,16 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"jobs":         counts,
 		"cache_len":    s.cache.len(),
 		"journal":      jstatus,
+		"store":        ststatus,
 		"retries":      s.retries.Load(),
 		"goroutines":   runtime.NumGoroutine(),
 		"generated_at": time.Now().UTC().Format(time.RFC3339),
-	})
+	}
+	if s.ring != nil {
+		body["peers"] = len(s.cfg.Peers)
+		body["self"] = s.cfg.SelfURL
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // handleReady is GET /readyz: 200 when the server can accept work, 503
