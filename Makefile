@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race bench bench-smoke bench-scaling bench-scaling-smoke bench-fleet perf-gate table1 fuzz cover fmt-check api api-check docs-check serve-smoke chaos metrics-smoke fleet-smoke
+.PHONY: all vet build test race bench bench-smoke bench-scaling bench-scaling-smoke bench-fleet perf-gate table1 fuzz cover fmt-check api api-check docs-check serve-smoke session-smoke chaos metrics-smoke fleet-smoke
 
 all: vet fmt-check api-check build test docs-check
 
@@ -78,6 +78,7 @@ FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -fuzz=FuzzParseBLIF -fuzztime=$(FUZZTIME) ./internal/blif
 	$(GO) test -fuzz=FuzzParseBench -fuzztime=$(FUZZTIME) ./internal/bench
+	$(GO) test -fuzz=FuzzSessionEdit -fuzztime=$(FUZZTIME) ./rapids
 
 # Docs gate: vet the service packages and run the markdown link + flag
 # checkers over README/DESIGN/EXPERIMENTS (docs_test.go).
@@ -95,6 +96,18 @@ serve-smoke:
 	$(GO) test -race -count=1 -run 'TestServeSmoke|TestKillRestartRecovery' -v ./cmd/rapidsd
 	$(GO) test -race -count=1 -run 'TestCancelMidJob|TestNoGoroutineLeaks|TestGracefulDrain' ./rapids/server
 
+# Interactive ECO session smoke (DESIGN.md §5d), all under the race
+# detector: the facade determinism oracle and snapshot tests, the full
+# server session endpoint suite (life-cycle, SSE deltas, cap
+# backpressure, TTL eviction, in-process crash recovery, journal-failure
+# safety, metrics reconciliation, goroutine hygiene), and the
+# real-binary smoke — boot rapidsd, open a session over HTTP, apply
+# edit batches, verify every delta over SSE, and SIGKILL + restart on
+# the same journal with bit-identical rebuilt timing.
+session-smoke:
+	$(GO) test -race -count=1 -run 'TestSession|TestEdit|TestParseEdits' ./rapids ./rapids/server
+	$(GO) test -race -count=1 -run 'TestSessionSmoke|TestKillRestartSessionRecovery' -v ./cmd/rapidsd
+
 # Fault-injection suite under the race detector (DESIGN.md §5a): the
 # journal package, worker panic isolation, retry/backoff, job
 # timeouts, journal write failures, in-process journal recovery, cache
@@ -102,8 +115,9 @@ serve-smoke:
 # chaos sweep.
 chaos:
 	$(GO) test -race -count=1 ./rapids/server/journal
-	$(GO) test -race -count=1 -run 'TestWorkerPanicIsolation|TestTransientPanicRetries|TestJobTimeoutRetriesThenFails|TestRequestTimeoutMS|TestJournalWriteErrorTurnsUnready|TestRecoveryRequeuesAcceptedJobs|TestRecoveryRebirthsTerminalJobs|TestCacheCorruptionDetected|TestDeleteStateTable|TestReadyz|TestChaosSweepLosesNothing|TestCacheConcurrentAccess|TestFleetStoreDegraded|TestFleetPeerUnreachable' -v ./rapids/server
+	$(GO) test -race -count=1 -run 'TestWorkerPanicIsolation|TestTransientPanicRetries|TestJobTimeoutRetriesThenFails|TestRequestTimeoutMS|TestJournalWriteErrorTurnsUnready|TestRecoveryRequeuesAcceptedJobs|TestRecoveryRebirthsTerminalJobs|TestCacheCorruptionDetected|TestDeleteStateTable|TestReadyz|TestChaosSweepLosesNothing|TestCacheConcurrentAccess|TestFleetStoreDegraded|TestFleetPeerUnreachable|TestSessionCrashRecovery|TestSessionJournalFailureClosesSession' -v ./rapids/server
 	$(GO) test -race -count=1 -run 'TestRunBatchRespectsRetryAfter|TestRunBatchRidesOutRestarts' ./internal/harness
+	$(GO) test -race -count=1 -run 'TestKillRestartSessionRecovery' -v ./cmd/rapidsd
 
 # Multi-replica acceptance (DESIGN.md §5c), all under the race
 # detector: the store and router unit suites, the in-process fleet

@@ -9,6 +9,7 @@
 //	rapidsd [-addr :8347] [-opt-workers N] [-queue N] [-cache N]
 //	        [-journal jobs.journal] [-job-timeout 0] [-job-retries 2]
 //	        [-store dir] [-peers url,url,...] [-self url]
+//	        [-max-sessions 8] [-session-ttl 15m]
 //	        [-drain-timeout 30s] [-metrics] [-v]
 //
 // Submit a job and read it back:
@@ -19,6 +20,22 @@
 //	curl -s -X DELETE localhost:8347/v1/jobs/<id>      # cancel, keep best-so-far
 //	curl -s localhost:8347/readyz                      # readiness (503 while draining)
 //	curl -s localhost:8347/metrics                     # Prometheus text exposition
+//
+// Open an interactive ECO session, apply an edit, stream the deltas:
+//
+//	curl -s localhost:8347/v1/sessions -d '{"generate":"alu2"}'
+//	curl -s localhost:8347/v1/sessions/<id>/edits \
+//	     -d '{"edits":[{"kind":"resize","gate":"n42","size":2}]}'
+//	curl -s localhost:8347/v1/sessions/<id>/timing     # current TimingView
+//	curl -sN localhost:8347/v1/sessions/<id>/events    # SSE stream of deltas
+//	curl -s -X DELETE localhost:8347/v1/sessions/<id>  # close
+//
+// Sessions are capped at -max-sessions (503 with Retry-After past the
+// cap) and evicted after -session-ttl idle. With -journal, each
+// session's open request and applied edit batches are journaled, and a
+// crashed daemon rebuilds every still-open session on restart by
+// replaying its edit log (DESIGN.md §5d). In fleet mode sessions are
+// replica-local: clients talk to the replica that opened the session.
 //
 // The /metrics endpoint (on by default; -metrics=false removes it)
 // serves every rapidsd_* instrument in Prometheus text format —
@@ -84,6 +101,8 @@ func main() {
 		storeDir   = flag.String("store", "", "shared result-store directory; replicas pointed at the same directory dedupe finished runs (empty disables)")
 		peers      = flag.String("peers", "", "comma-separated base URLs of every fleet replica, this one included; enables consistent-hash job routing (empty disables)")
 		self       = flag.String("self", "", "this replica's base URL, matching one -peers entry (required with -peers)")
+		maxSess    = flag.Int("max-sessions", 8, "concurrently open ECO sessions; past the cap POST /v1/sessions gets 503 (negative removes the cap)")
+		sessTTL    = flag.Duration("session-ttl", 15*time.Minute, "evict ECO sessions idle past this (negative disables eviction)")
 		drain      = flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on shutdown; running jobs are cancelled past it")
 		metricsOn  = flag.Bool("metrics", true, "serve the Prometheus text exposition at GET /metrics")
 		verbose    = flag.Bool("v", false, "log job life-cycle transitions")
@@ -95,6 +114,7 @@ func main() {
 	cfg := server.Config{
 		Workers: *workers, QueueCap: *queue, CacheCap: *cache,
 		JobTimeout: *jobTimeout, MaxRetries: *jobRetries,
+		MaxSessions: *maxSess, SessionTTL: *sessTTL,
 		DisableMetrics: !*metricsOn,
 	}
 	if *jobRetries == 0 {

@@ -1,0 +1,279 @@
+package main
+
+// Session smoke and crash tests against the real rapidsd binary.
+//
+// TestSessionSmoke is `make session-smoke`: boot rapidsd, open an ECO
+// session over HTTP, apply edit batches, and verify every delta
+// arrives on the SSE stream in order, terminated by the close.
+//
+// TestKillRestartSessionRecovery is the session half of `make chaos`'s
+// daemon story: SIGKILL rapidsd with a session open and journaled edit
+// batches applied, restart on the same journal, and require the
+// rebuilt session to report bit-identical timing and keep accepting
+// edits (DESIGN.md §5d).
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/library"
+	"repro/rapids"
+	"repro/rapids/server"
+)
+
+// sessionReq opens sessions on a small deterministic placement.
+func sessionReq(bench string) server.SessionRequest {
+	return server.SessionRequest{Generate: bench, Place: &server.PlaceSpec{Seed: 1, Moves: 5}}
+}
+
+func (d *daemon) sessionDo(t *testing.T, method, path, payload string) (int, []byte) {
+	t.Helper()
+	var body io.Reader
+	if payload != "" {
+		body = strings.NewReader(payload)
+	}
+	req, err := http.NewRequest(method, d.base+path, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+func (d *daemon) openSession(t *testing.T, req server.SessionRequest) server.SessionStatus {
+	t.Helper()
+	b, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, body := d.sessionDo(t, http.MethodPost, "/v1/sessions", string(b))
+	if code != http.StatusCreated {
+		t.Fatalf("open session: want 201, got %d %s", code, body)
+	}
+	var st server.SessionStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func (d *daemon) applyEdits(t *testing.T, id, payload string) server.EditResponse {
+	t.Helper()
+	code, body := d.sessionDo(t, http.MethodPost, "/v1/sessions/"+id+"/edits", payload)
+	if code != http.StatusOK {
+		t.Fatalf("apply edits: want 200, got %d %s", code, body)
+	}
+	var er server.EditResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatal(err)
+	}
+	return er
+}
+
+func (d *daemon) sessionStatus(t *testing.T, id string) server.SessionStatus {
+	t.Helper()
+	code, body := d.sessionDo(t, http.MethodGet, "/v1/sessions/"+id, "")
+	if code != http.StatusOK {
+		t.Fatalf("GET session: %d %s", code, body)
+	}
+	var st server.SessionStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func (d *daemon) sessionTiming(t *testing.T, id string) rapids.TimingView {
+	t.Helper()
+	code, body := d.sessionDo(t, http.MethodGet, "/v1/sessions/"+id+"/timing", "")
+	if code != http.StatusOK {
+		t.Fatalf("GET timing: %d %s", code, body)
+	}
+	var v rapids.TimingView
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// findResize discovers, via the live daemon, a resize edit the session
+// accepts (the first critical-path stage with an alternative cell),
+// applies it, and returns the payload for replay against a rebuilt
+// incarnation.
+func (d *daemon) findResize(t *testing.T, id string) string {
+	t.Helper()
+	v := d.sessionTiming(t, id)
+	for _, stage := range v.CriticalPath {
+		if strings.HasPrefix(stage.Gate, "pi") {
+			continue
+		}
+		for size := 0; size < library.NumSizes; size++ {
+			if size == stage.Size {
+				continue
+			}
+			payload := fmt.Sprintf(`{"edits":[{"kind":"resize","gate":%q,"size":%d}]}`, stage.Gate, size)
+			if code, _ := d.sessionDo(t, http.MethodPost, "/v1/sessions/"+id+"/edits", payload); code == http.StatusOK {
+				return payload
+			}
+		}
+	}
+	t.Fatal("no applicable resize found on the critical path")
+	return ""
+}
+
+// sessionSSE parses one delta/end frame stream into the delta sequence
+// numbers and the terminal status.
+func sessionSSE(t *testing.T, body io.Reader) (seqs []int, end server.SessionStatus) {
+	t.Helper()
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	event := ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data := strings.TrimPrefix(line, "data: ")
+			switch event {
+			case "delta":
+				var delta rapids.Delta
+				if err := json.Unmarshal([]byte(data), &delta); err != nil {
+					t.Errorf("bad delta frame %q: %v", data, err)
+					return
+				}
+				seqs = append(seqs, delta.Seq)
+			case "end":
+				if err := json.Unmarshal([]byte(data), &end); err != nil {
+					t.Errorf("bad end frame %q: %v", data, err)
+				}
+				return
+			}
+		}
+	}
+	t.Error("session SSE stream ended without an end event")
+	return
+}
+
+func TestSessionSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots a daemon and times real circuits")
+	}
+	d := startDaemon(t)
+
+	st := d.openSession(t, sessionReq("c432"))
+	if st.State != server.SessionOpen || st.Circuit != "c432" || st.Gates == 0 {
+		t.Fatalf("fresh session: %+v", st)
+	}
+
+	// Subscribe before the edits: the deltas must arrive live.
+	resp, err := http.Get(d.base + "/v1/sessions/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	type sseResult struct {
+		seqs []int
+		end  server.SessionStatus
+	}
+	done := make(chan sseResult, 1)
+	go func() {
+		seqs, end := sessionSSE(t, resp.Body)
+		done <- sseResult{seqs, end}
+	}()
+
+	d.applyEdits(t, st.ID, `{"edits":[{"kind":"pin_arrival","gate":"pi0","time_ns":0.3}]}`)
+	d.findResize(t, st.ID)
+	if v := d.sessionTiming(t, st.ID); v.Seq != 2 || v.DelayNS <= 0 {
+		t.Fatalf("timing after 2 batches: %+v", v)
+	}
+	if code, _ := d.sessionDo(t, http.MethodDelete, "/v1/sessions/"+st.ID, ""); code != http.StatusOK {
+		t.Fatalf("close: %d", code)
+	}
+
+	var got sseResult
+	select {
+	case got = <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("session SSE stream did not terminate after close")
+	}
+	if len(got.seqs) != 2 || got.seqs[0] != 1 || got.seqs[1] != 2 {
+		t.Fatalf("SSE delta seqs %v, want [1 2]", got.seqs)
+	}
+	if got.end.State != server.SessionClosed || got.end.Seq != 2 {
+		t.Fatalf("SSE end status: %+v", got.end)
+	}
+
+	// The §5b session instruments are live on /metrics.
+	mresp, err := http.Get(d.base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, want := range []string{"rapidsd_sessions_opened_total 1", "rapidsd_sessions_active 0", "rapidsd_session_edits_total 2"} {
+		if !strings.Contains(string(mbody), want) {
+			t.Errorf("metrics exposition missing %q", want)
+		}
+	}
+}
+
+// TestKillRestartSessionRecovery: SIGKILL with an open session, restart
+// on the same journal, and the rebuilt session reports the same seq,
+// edit count, and bit-identical timing, then keeps accepting edits.
+func TestKillRestartSessionRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots daemons and times real circuits")
+	}
+	jpath := filepath.Join(t.TempDir(), "jobs.journal")
+	d1 := startDaemon(t, "-journal", jpath)
+
+	st := d1.openSession(t, sessionReq("c432"))
+	d1.applyEdits(t, st.ID, `{"edits":[{"kind":"pin_arrival","gate":"pi0","time_ns":0.4}]}`)
+	d1.findResize(t, st.ID)
+	// A session closed before the crash must stay dead after it.
+	gone := d1.openSession(t, sessionReq("alu2"))
+	if code, _ := d1.sessionDo(t, http.MethodDelete, "/v1/sessions/"+gone.ID, ""); code != http.StatusOK {
+		t.Fatal("closing second session")
+	}
+	preCrash := d1.sessionTiming(t, st.ID)
+	if preCrash.Seq != 2 {
+		t.Fatalf("pre-crash timing: %+v", preCrash)
+	}
+	d1.kill(t)
+
+	d2 := startDaemon(t, "-journal", jpath)
+	rec := d2.sessionStatus(t, st.ID)
+	if rec.State != server.SessionOpen || !rec.Recovered || rec.Seq != 2 || rec.Edits != 2 {
+		t.Fatalf("recovered session: %+v", rec)
+	}
+	timing := d2.sessionTiming(t, st.ID)
+	if timing.DelayNS != preCrash.DelayNS || timing.LatenessNS != preCrash.LatenessNS {
+		t.Fatalf("replayed timing diverged: pre-crash delay %.12g lateness %.12g, recovered %.12g %.12g",
+			preCrash.DelayNS, preCrash.LatenessNS, timing.DelayNS, timing.LatenessNS)
+	}
+	if code, _ := d2.sessionDo(t, http.MethodGet, "/v1/sessions/"+gone.ID, ""); code != http.StatusNotFound {
+		t.Fatalf("closed session resurrected after crash: %d", code)
+	}
+	er := d2.applyEdits(t, st.ID, `{"edits":[{"kind":"pin_arrival","gate":"pi1","time_ns":0.1}]}`)
+	if len(er.Deltas) != 1 || er.Deltas[0].Seq != 3 {
+		t.Fatalf("post-recovery edit: %+v", er.Deltas)
+	}
+	t.Logf("session %s recovered across SIGKILL: delay %.6g ns, %d edits replayed",
+		st.ID, timing.DelayNS, rec.Edits)
+}

@@ -161,6 +161,7 @@ func (n *Network) bufferTouched(g *Gate) {
 // touch notifies every observer that the given gates changed. Nil gates
 // are skipped so call sites can pass optional participants unconditionally.
 func (n *Network) touch(gs ...*Gate) {
+	n.epoch++
 	if len(n.observers) == 0 {
 		return
 	}
@@ -186,8 +187,18 @@ func (n *Network) touch(gs ...*Gate) {
 	}
 }
 
+// Touch reports through the event layer that g's externally pinned
+// timing context changed — a boundary arrival, required time, or extra
+// load that lives outside the network structure (sta.Bounds). The
+// network itself is unmodified; observers see GateTouched and the
+// mutation epoch advances so cached snapshots know timing moved.
+func (n *Network) Touch(g *Gate) {
+	n.touch(g)
+}
+
 // notifyRemoved reports the deletion of g.
 func (n *Network) notifyRemoved(g *Gate) {
+	n.epoch++
 	batching := n.batching()
 	if batching {
 		n.batchRemoved = append(n.batchRemoved, g)
@@ -212,6 +223,7 @@ func (n *Network) SetSize(g *Gate, sizeIdx int) {
 		return
 	}
 	g.SizeIdx = sizeIdx
+	n.epoch++
 	batching := n.batching()
 	buffered := false
 	for _, o := range n.observers {

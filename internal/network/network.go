@@ -132,6 +132,14 @@ type Network struct {
 	// observers receive mutation events; see events.go.
 	observers []Observer
 
+	// epoch counts mutations: every event-layer mutation advances it, so
+	// readers can detect change without diffing (snapshot.go). snapCache
+	// memoizes the last Snapshot taken, keyed by snapEpoch, so repeated
+	// reads of an unchanged network pin the same immutable view.
+	epoch     uint64
+	snapCache *Snapshot
+	snapEpoch uint64
+
 	// Batch-coalescing state (events.go): while batchDepth > 0, events
 	// for BatchObservers are buffered here instead of delivered per
 	// mutation. batchStamp dedups touched gates by dense ID against

@@ -1,0 +1,131 @@
+// Epoch-stamped snapshot views: the one-writer/many-reader concurrency
+// story for live circuits (DESIGN.md §5d). Every event-layer mutation
+// advances the network's epoch counter; Snapshot() captures the current
+// structure into an immutable, value-typed view stamped with that epoch.
+// Readers pin a *Snapshot and read it freely — it shares no Gate
+// pointers with the live network, so a writer mutating concurrently can
+// never race a pinned reader. The writer-side cost is one capture per
+// epoch: Snapshot() memoizes the last view (the same stamp-against-an-
+// epoch trick the batch event buffer and sta's gateSet use, lifted from
+// per-gate dedup to whole-network identity), so readers arriving between
+// mutations share one allocation.
+//
+// Snapshot() itself must run on the writer side (or under external
+// synchronization with the writer) — it walks live Gate pointers and
+// updates the memo. The returned *Snapshot is immutable and safe to
+// share across any number of goroutines.
+package network
+
+import "repro/internal/logic"
+
+// SnapGate is one gate of a Snapshot: a value copy of the timing- and
+// structure-relevant Gate fields, with fanins encoded as indices into
+// the snapshot's own gate slice (topological order) instead of pointers.
+type SnapGate struct {
+	Name    string
+	Type    logic.GateType
+	PO      bool
+	SizeIdx int
+	X, Y    float64
+	Placed  bool
+
+	// Fanins holds in-pin drivers in pin order as indices into the
+	// owning Snapshot's Gates; every index is less than the gate's own
+	// position (the snapshot is stored fanin-first).
+	Fanins []int32
+}
+
+// Snapshot is an immutable view of a Network at one mutation epoch.
+type Snapshot struct {
+	name  string
+	epoch uint64
+	gates []SnapGate
+}
+
+// Epoch returns the network's mutation epoch. It advances on every
+// event-layer mutation (structural edits, SetSize/SetGateType, Touch);
+// direct writes to exported Gate fields bypass it, exactly as they
+// bypass observers. Two equal epochs on the same network mean no
+// event-layer mutation happened in between.
+func (n *Network) Epoch() uint64 { return n.epoch }
+
+// Snapshot captures the live gates into an immutable view stamped with
+// the current epoch. Calls at an unchanged epoch return the identical
+// *Snapshot (pointer-equal), so readers polling an idle network share
+// one capture. Must be called on the writer side; see the package note
+// at the top of this file.
+func (n *Network) Snapshot() *Snapshot {
+	if n.snapCache != nil && n.snapEpoch == n.epoch {
+		return n.snapCache
+	}
+	order := n.TopoOrder()
+	pos := make([]int32, n.nextID)
+	for i, g := range order {
+		pos[g.id] = int32(i)
+	}
+	gates := make([]SnapGate, len(order))
+	for i, g := range order {
+		var fans []int32
+		if len(g.fanins) > 0 {
+			fans = make([]int32, len(g.fanins))
+			for j, f := range g.fanins {
+				fans[j] = pos[f.id]
+			}
+		}
+		gates[i] = SnapGate{
+			Name: g.name, Type: g.Type, PO: g.PO, SizeIdx: g.SizeIdx,
+			X: g.X, Y: g.Y, Placed: g.Placed, Fanins: fans,
+		}
+	}
+	s := &Snapshot{name: n.name, epoch: n.epoch, gates: gates}
+	n.snapCache, n.snapEpoch = s, n.epoch
+	return s
+}
+
+// Name returns the name of the network the snapshot was taken from.
+func (s *Snapshot) Name() string { return s.name }
+
+// Epoch returns the mutation epoch the snapshot was taken at.
+func (s *Snapshot) Epoch() uint64 { return s.epoch }
+
+// NumGates returns the number of gates in the snapshot.
+func (s *Snapshot) NumGates() int { return len(s.gates) }
+
+// Gate returns the i'th gate of the snapshot, in topological order.
+// The returned value's Fanins slice is owned by the snapshot; callers
+// must not mutate it.
+func (s *Snapshot) Gate(i int) SnapGate { return s.gates[i] }
+
+// Stale reports whether n has seen an event-layer mutation since the
+// snapshot was taken. It is only meaningful for the network the
+// snapshot came from.
+func (s *Snapshot) Stale(n *Network) bool { return s.epoch != n.epoch }
+
+// Net materializes the snapshot into a fresh, independent Network. The
+// construction is deterministic — gates are created in the snapshot's
+// stored topological order (TopoOrder order, the same order Clone
+// uses), so two materializations of one snapshot are structurally
+// byte-identical. Names, types, PO flags, sizes, and placement are all
+// preserved.
+func (s *Snapshot) Net() *Network {
+	c := New(s.name)
+	gs := make([]*Gate, len(s.gates))
+	for i := range s.gates {
+		sg := &s.gates[i]
+		var g *Gate
+		if sg.Type == logic.Input {
+			g = c.AddInput(sg.Name)
+		} else {
+			fanins := make([]*Gate, len(sg.Fanins))
+			for j, fi := range sg.Fanins {
+				fanins[j] = gs[fi]
+			}
+			g = c.AddGate(sg.Name, sg.Type, fanins...)
+		}
+		g.PO = sg.PO
+		g.SizeIdx = sg.SizeIdx
+		g.X, g.Y, g.Placed = sg.X, sg.Y, sg.Placed
+		gs[i] = g
+	}
+	return c
+}

@@ -1,0 +1,157 @@
+package network_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/netcmp"
+	"repro/internal/network"
+)
+
+// chain builds a -> AND(a,b) -> INV -> PO with one spare input.
+func snapTestNet(t *testing.T) (*network.Network, *network.Gate, *network.Gate) {
+	t.Helper()
+	n := network.New("snap")
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	g1 := n.AddGate("g1", logic.And, a, b)
+	g2 := n.AddGate("g2", logic.Inv, g1)
+	n.MarkOutput(g2)
+	g1.SizeIdx = 2
+	g1.X, g1.Y, g1.Placed = 3, 4, true
+	return n, g1, g2
+}
+
+func TestEpochAdvancesOnMutation(t *testing.T) {
+	n, g1, g2 := snapTestNet(t)
+
+	step := func(name string, mutate func()) {
+		t.Helper()
+		before := n.Epoch()
+		mutate()
+		if n.Epoch() <= before {
+			t.Fatalf("%s did not advance the epoch (%d -> %d)", name, before, n.Epoch())
+		}
+	}
+	step("AddInput", func() { n.AddInput("c") })
+	step("SetSize", func() { n.SetSize(g1, 3) })
+	step("SetGateType", func() { n.SetGateType(g1, logic.Nand) })
+	step("Rename", func() { n.Rename(g1, "g1x") })
+	step("Touch", func() { n.Touch(g2) })
+	step("ReplaceFanin", func() { n.ReplaceFanin(g2, 0, n.FindGate("a")) })
+
+	// No-op mutations leave the epoch alone: cached snapshots stay valid.
+	before := n.Epoch()
+	n.SetSize(g1, 3)
+	n.MarkOutput(g2)
+	if n.Epoch() != before {
+		t.Fatalf("no-op mutations advanced the epoch (%d -> %d)", before, n.Epoch())
+	}
+
+	// RemoveGate advances it too (g1 lost its only fanout above).
+	step("RemoveGate", func() { n.RemoveGate(n.FindGate("g1x")) })
+}
+
+func TestSnapshotCachedPerEpoch(t *testing.T) {
+	n, g1, _ := snapTestNet(t)
+	s1 := n.Snapshot()
+	if s2 := n.Snapshot(); s2 != s1 {
+		t.Fatal("Snapshot at an unchanged epoch must return the cached view")
+	}
+	if s1.Epoch() != n.Epoch() || s1.Stale(n) {
+		t.Fatalf("fresh snapshot reported stale: epoch %d vs %d", s1.Epoch(), n.Epoch())
+	}
+	n.SetSize(g1, 1)
+	if s1 == n.Snapshot() {
+		t.Fatal("Snapshot after a mutation must capture a new view")
+	}
+	if !s1.Stale(n) {
+		t.Fatal("old snapshot must report stale after a mutation")
+	}
+}
+
+func TestSnapshotImmutableUnderWrites(t *testing.T) {
+	n, g1, g2 := snapTestNet(t)
+	s := n.Snapshot()
+	var idx = -1
+	for i := 0; i < s.NumGates(); i++ {
+		if s.Gate(i).Name == "g1" {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		t.Fatal("g1 missing from snapshot")
+	}
+	want := s.Gate(idx)
+
+	n.SetSize(g1, 0)
+	n.SetGateType(g1, logic.Nand)
+	n.Rename(g1, "renamed")
+	n.ReplaceFanin(g2, 0, n.FindGate("a"))
+
+	got := s.Gate(idx)
+	if got.Name != want.Name || got.Type != logic.And || got.SizeIdx != 2 {
+		t.Fatalf("pinned snapshot changed under writes: %+v", got)
+	}
+}
+
+func TestSnapshotNetRoundTrip(t *testing.T) {
+	n, _, _ := snapTestNet(t)
+	m := n.Snapshot().Net()
+	if err := netcmp.Structure(n, m); err != nil {
+		t.Fatalf("materialized snapshot differs structurally: %v", err)
+	}
+	// Structure ignores sizes and placement; check those by name.
+	n.Gates(func(g *network.Gate) {
+		mg := m.FindGate(g.Name())
+		if mg == nil {
+			t.Fatalf("gate %s missing from materialization", g.Name())
+		}
+		if mg.SizeIdx != g.SizeIdx || mg.X != g.X || mg.Y != g.Y || mg.Placed != g.Placed {
+			t.Fatalf("gate %s lost size/placement: %+v vs %+v", g.Name(), mg, g)
+		}
+	})
+	// Determinism: two materializations are gate-for-gate identical.
+	m2 := n.Snapshot().Net()
+	if err := netcmp.Structure(m, m2); err != nil {
+		t.Fatalf("materialization nondeterministic: %v", err)
+	}
+}
+
+// TestSnapshotPinnedReaders is the one-writer/many-reader contract under
+// the race detector: readers hold snapshots pinned at old epochs and
+// read them freely while the writer keeps mutating the live network.
+func TestSnapshotPinnedReaders(t *testing.T) {
+	n, g1, _ := snapTestNet(t)
+	const readers = 8
+	views := make(chan *network.Snapshot, 64)
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range views {
+				sum := 0
+				for i := 0; i < s.NumGates(); i++ {
+					g := s.Gate(i)
+					sum += g.SizeIdx + len(g.Fanins) + len(g.Name)
+				}
+				if sum == 0 {
+					t.Error("empty snapshot view")
+				}
+			}
+		}()
+	}
+	// Writer: mutate, snapshot, hand the pinned view to the readers.
+	for i := 0; i < 500; i++ {
+		n.SetSize(g1, i%4)
+		n.SetGateType(g1, []logic.GateType{logic.And, logic.Nand, logic.Or, logic.Nor}[i%4])
+		s := n.Snapshot()
+		for r := 0; r < readers; r++ {
+			views <- s
+		}
+	}
+	close(views)
+	wg.Wait()
+}

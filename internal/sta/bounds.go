@@ -74,6 +74,21 @@ func (b *Bounds) densify(bound int) {
 	}
 }
 
+// Invalidate discards the dense views after the maps were mutated, so
+// subsequent reads see the new pins. Bounds are normally frozen for the
+// life of an analysis; the one sanctioned mutable use is an ECO session
+// pinning boundary timing between incremental updates (rapids.Session),
+// which calls Invalidate after every map edit. Reads fall back to the
+// maps until the next full analysis re-densifies.
+func (b *Bounds) Invalidate() {
+	if b == nil {
+		return
+	}
+	b.loadDense = nil
+	b.reqDense = nil
+	b.reqSet = nil
+}
+
 // arrivalOf returns the pinned arrival of primary input g, or zero.
 func (b *Bounds) arrivalOf(g *network.Gate) Edge {
 	if b == nil {

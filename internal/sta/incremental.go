@@ -190,6 +190,14 @@ type Incremental struct {
 	backSeeds  gateSet
 	forced     gateSet
 
+	// touched records every gate whose arrival or required time was
+	// recomputed by the most recent Update, deduplicated across the two
+	// sweeps; lastFull marks updates that fell back to a full analysis
+	// (where "touched" is the whole network). ECO sessions read these to
+	// report how small the re-timed region actually was.
+	touched  gateSet
+	lastFull bool
+
 	stats IncStats
 }
 
@@ -245,6 +253,9 @@ func (it *Incremental) seed(clock float64) {
 	it.forced.grow(bound)
 	it.fwdQ.h.qset.grow(bound)
 	it.bwdQ.h.qset.grow(bound)
+	it.touched.reset()
+	it.touched.grow(bound)
+	it.lastFull = true
 	it.stats.FullAnalyses++
 }
 
@@ -316,6 +327,7 @@ func (it *Incremental) Release() {
 	it.n.Unobserve(it)
 	it.n, it.lib, it.bounds = nil, nil, nil
 	it.posList = it.posList[:0]
+	it.touched.reset()
 	incPool.Put(it)
 }
 
@@ -326,6 +338,34 @@ func (it *Incremental) Timing() *Timing { return it.t }
 
 // Stats returns the accumulated work counters.
 func (it *Incremental) Stats() IncStats { return it.stats }
+
+// LastTouched returns the gates whose arrival or required time was
+// recomputed by the most recent Update (or construction), deduplicated.
+// After a full analysis — construction, a FullFraction fallback — it
+// returns nil and LastUpdateFull reports true; use LastTouchedCount for
+// a size that covers both cases. The slice is owned by the timer and
+// valid only until the next Update; callers must not mutate it.
+func (it *Incremental) LastTouched() []*network.Gate {
+	if it.lastFull {
+		return nil
+	}
+	return it.touched.list
+}
+
+// LastTouchedCount returns how many gates the most recent Update
+// re-timed: the LastTouched set size, or the whole network after a full
+// analysis.
+func (it *Incremental) LastTouchedCount() int {
+	if it.lastFull {
+		return it.n.NumGates()
+	}
+	return len(it.touched.list)
+}
+
+// LastUpdateFull reports whether the most recent Update (or the
+// construction seed) ran a full analysis instead of dirty-region
+// propagation.
+func (it *Incremental) LastUpdateFull() bool { return it.lastFull }
 
 // Pending returns the number of gates currently awaiting propagation.
 func (it *Incremental) Pending() int { return it.dirty.size() }
@@ -363,11 +403,15 @@ func (it *Incremental) GateRemoved(g *network.Gate) {
 // threshold it falls back to a full Analyze.
 func (it *Incremental) Update() *Timing {
 	if len(it.dirty.list) == 0 {
+		it.touched.reset()
+		it.lastFull = false
 		return it.t
 	}
 	pending := it.dirty.size()
 	if pending == 0 {
 		it.dirty.reset()
+		it.touched.reset()
+		it.lastFull = false
 		return it.t
 	}
 	if float64(pending) > it.FullFraction*float64(it.n.NumGates()) {
@@ -385,6 +429,8 @@ func (it *Incremental) full() {
 }
 
 func (it *Incremental) incremental(pending int) {
+	it.touched.reset()
+	it.lastFull = false
 	it.stats.IncrementalUpdates++
 	it.stats.DirtyGates += pending
 	if pending > it.stats.MaxDirty {
@@ -456,6 +502,7 @@ func (it *Incremental) propagateArrivals() {
 	var pinArr []Edge
 	for q.Len() > 0 {
 		g := q.pop()
+		it.touched.add(g)
 		var lv int32
 		for _, f := range g.Fanins() {
 			if l := it.levelOf(f) + 1; l > lv {
@@ -505,6 +552,7 @@ func (it *Incremental) propagateRequired() {
 	}
 	for q.Len() > 0 {
 		g := q.pop()
+		it.touched.add(g)
 		req := Edge{inf, inf}
 		if g.PO {
 			req = it.bounds.requiredOf(g, it.t.Clock)

@@ -1,0 +1,184 @@
+package rapids
+
+// The ECO edit wire format: the small, typed mutations an interactive
+// session (Session, DESIGN.md §5d) accepts. Edits are deliberately
+// minimal-perturbation operations — the same move classes the paper's
+// optimizers commit — so a session edit can be re-timed incrementally
+// and replayed deterministically from a journal.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/library"
+	"repro/internal/logic"
+)
+
+// EditKind discriminates the session edit operations.
+type EditKind int
+
+const (
+	// EditResize changes a gate's library implementation (Edit.Size,
+	// 0 = weakest).
+	EditResize EditKind = iota
+	// EditRetype changes a gate's logic function in place, keeping its
+	// fanins (Edit.GateType names the new type, e.g. "NAND").
+	EditRetype
+	// EditPinArrival pins the arrival time of a primary input to
+	// Edit.TimeNS (both edges), modeling an exterior path feeding it.
+	EditPinArrival
+	// EditPinRequired pins the required time of a primary output to
+	// Edit.TimeNS (both edges), tightening or relaxing its constraint.
+	EditPinRequired
+)
+
+func (k EditKind) String() string {
+	switch k {
+	case EditResize:
+		return "resize"
+	case EditRetype:
+		return "retype"
+	case EditPinArrival:
+		return "pin_arrival"
+	case EditPinRequired:
+		return "pin_required"
+	}
+	return fmt.Sprintf("EditKind(%d)", int(k))
+}
+
+// MarshalJSON encodes the kind as its String form ("resize", "retype",
+// "pin_arrival", or "pin_required").
+func (k EditKind) MarshalJSON() ([]byte, error) {
+	return json.Marshal(k.String())
+}
+
+// UnmarshalJSON decodes the strings MarshalJSON produces.
+func (k *EditKind) UnmarshalJSON(b []byte) error {
+	var str string
+	if err := json.Unmarshal(b, &str); err != nil {
+		return fmt.Errorf("rapids: edit kind must be a JSON string: %w", err)
+	}
+	switch str {
+	case "resize":
+		*k = EditResize
+	case "retype":
+		*k = EditRetype
+	case "pin_arrival":
+		*k = EditPinArrival
+	case "pin_required":
+		*k = EditPinRequired
+	default:
+		return fmt.Errorf("rapids: unknown edit kind %q", str)
+	}
+	return nil
+}
+
+// Edit is one ECO operation on a live circuit. Kind selects the
+// operation; Gate names the target; the remaining fields are
+// kind-specific and must be zero for kinds that do not use them (the
+// strict-validation contract that keeps journaled edit logs replayable
+// byte for byte).
+type Edit struct {
+	Kind EditKind `json:"kind"`
+	Gate string   `json:"gate"`
+	// Size is the new implementation index for EditResize,
+	// 0 .. library.NumSizes-1.
+	Size int `json:"size,omitempty"`
+	// GateType is the new logic function for EditRetype, spelled as the
+	// type's canonical name ("AND", "NAND", "INV", ...).
+	GateType string `json:"gate_type,omitempty"`
+	// TimeNS is the pinned time for EditPinArrival / EditPinRequired.
+	TimeNS float64 `json:"time_ns,omitempty"`
+}
+
+func (e Edit) String() string {
+	switch e.Kind {
+	case EditResize:
+		return fmt.Sprintf("resize %s -> %d", e.Gate, e.Size)
+	case EditRetype:
+		return fmt.Sprintf("retype %s -> %s", e.Gate, e.GateType)
+	case EditPinArrival:
+		return fmt.Sprintf("pin_arrival %s = %gns", e.Gate, e.TimeNS)
+	case EditPinRequired:
+		return fmt.Sprintf("pin_required %s = %gns", e.Gate, e.TimeNS)
+	}
+	return fmt.Sprintf("edit(%d) %s", int(e.Kind), e.Gate)
+}
+
+// parseGateType maps a canonical gate-type name (as logic.GateType
+// prints it; case-insensitive) to the type. The Input pseudo-type is
+// not an edit target and is rejected.
+func parseGateType(s string) (logic.GateType, error) {
+	for _, t := range []logic.GateType{
+		logic.And, logic.Or, logic.Xor, logic.Nand,
+		logic.Nor, logic.Xnor, logic.Inv, logic.Buf,
+	} {
+		if strings.EqualFold(s, t.String()) {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("rapids: unknown gate type %q", s)
+}
+
+// Validate checks the edit's syntactic contract: a known kind, a
+// non-empty gate name, kind-appropriate fields in range, and finite
+// times. Whether the named gate exists (and is an input/output where the
+// kind requires one) is checked against the live circuit by
+// Session.Apply.
+func (e Edit) Validate() error {
+	if e.Gate == "" {
+		return fmt.Errorf("rapids: edit %s has no gate name", e.Kind)
+	}
+	switch e.Kind {
+	case EditResize:
+		if e.Size < 0 || e.Size >= library.NumSizes {
+			return fmt.Errorf("rapids: resize %s: size %d out of range [0,%d)",
+				e.Gate, e.Size, library.NumSizes)
+		}
+		if e.GateType != "" || e.TimeNS != 0 {
+			return fmt.Errorf("rapids: resize %s carries non-resize fields", e.Gate)
+		}
+	case EditRetype:
+		if _, err := parseGateType(e.GateType); err != nil {
+			return fmt.Errorf("rapids: retype %s: %w", e.Gate, err)
+		}
+		if e.Size != 0 || e.TimeNS != 0 {
+			return fmt.Errorf("rapids: retype %s carries non-retype fields", e.Gate)
+		}
+	case EditPinArrival, EditPinRequired:
+		if math.IsNaN(e.TimeNS) || math.IsInf(e.TimeNS, 0) {
+			return fmt.Errorf("rapids: %s %s: time must be finite", e.Kind, e.Gate)
+		}
+		if e.Size != 0 || e.GateType != "" {
+			return fmt.Errorf("rapids: %s %s carries non-pin fields", e.Kind, e.Gate)
+		}
+	default:
+		return fmt.Errorf("rapids: unknown edit kind %d", int(e.Kind))
+	}
+	return nil
+}
+
+// ParseEdits decodes a JSON array of edits strictly — unknown fields
+// and trailing data are errors, and every edit must pass Validate. It
+// is the single entry point for edit payloads crossing a trust
+// boundary: rapids/server's edit endpoint and the journal replay both
+// parse through it, so a journaled edit log can never decode two ways.
+func ParseEdits(data []byte) ([]Edit, error) {
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	var edits []Edit
+	if err := dec.Decode(&edits); err != nil {
+		return nil, fmt.Errorf("rapids: parsing edits: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("rapids: trailing data after edits array")
+	}
+	for i, e := range edits {
+		if err := e.Validate(); err != nil {
+			return nil, fmt.Errorf("rapids: edit %d: %w", i, err)
+		}
+	}
+	return edits, nil
+}

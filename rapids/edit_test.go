@@ -1,0 +1,129 @@
+package rapids_test
+
+// Wire-format tests for the ECO edit vocabulary, mirroring the Spec
+// JSON suite: per-kind round-trip tables, kind-string encoding, and
+// the strict-rejection contract of ParseEdits.
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/rapids"
+)
+
+// TestEditKindJSON pins the kind enum's wire spelling.
+func TestEditKindJSON(t *testing.T) {
+	kinds := map[rapids.EditKind]string{
+		rapids.EditResize:      "resize",
+		rapids.EditRetype:      "retype",
+		rapids.EditPinArrival:  "pin_arrival",
+		rapids.EditPinRequired: "pin_required",
+	}
+	for kind, want := range kinds {
+		b, err := json.Marshal(kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(b) != `"`+want+`"` {
+			t.Errorf("kind %d marshals to %s, want %q", int(kind), b, want)
+		}
+		var back rapids.EditKind
+		if err := json.Unmarshal(b, &back); err != nil || back != kind {
+			t.Errorf("kind %s does not round-trip: %v %v", want, back, err)
+		}
+		if kind.String() != want {
+			t.Errorf("String() %q, want %q", kind.String(), want)
+		}
+	}
+	var k rapids.EditKind
+	if err := json.Unmarshal([]byte(`"upsize"`), &k); err == nil {
+		t.Error("unknown kind string accepted")
+	}
+	if err := json.Unmarshal([]byte(`3`), &k); err == nil {
+		t.Error("numeric kind accepted")
+	}
+}
+
+// TestEditJSONRoundTrip: one case per kind (plus zero-valued variants)
+// must survive Marshal → ParseEdits unchanged — the property journal
+// replay depends on.
+func TestEditJSONRoundTrip(t *testing.T) {
+	cases := []rapids.Edit{
+		{Kind: rapids.EditResize, Gate: "n42", Size: 2},
+		{Kind: rapids.EditResize, Gate: "n7"}, // size 0 = weakest
+		{Kind: rapids.EditRetype, Gate: "n9", GateType: "NAND"},
+		{Kind: rapids.EditRetype, Gate: "n10", GateType: "BUF"},
+		{Kind: rapids.EditPinArrival, Gate: "pi0", TimeNS: 0.25},
+		{Kind: rapids.EditPinArrival, Gate: "pi1", TimeNS: -1.5},
+		{Kind: rapids.EditPinRequired, Gate: "po0", TimeNS: 3},
+		{Kind: rapids.EditPinRequired, Gate: "po1"}, // time 0 is a real pin
+	}
+	for _, e := range cases {
+		b, err := json.Marshal(e)
+		if err != nil {
+			t.Fatalf("%s: %v", e, err)
+		}
+		var back rapids.Edit
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("%s: %v", e, err)
+		}
+		if !reflect.DeepEqual(e, back) {
+			t.Errorf("%s: round-trips to %+v", e, back)
+		}
+	}
+	// The whole slice through the strict entry point.
+	b, err := json.Marshal(cases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := rapids.ParseEdits(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cases, back) {
+		t.Fatalf("slice round-trip diverges:\n%+v\n%+v", cases, back)
+	}
+}
+
+// TestParseEditsRejects pins the strict-parsing contract: unknown
+// fields, unknown kinds, kind-inappropriate fields, out-of-range
+// sizes, non-finite times, and trailing data are all errors.
+func TestParseEditsRejects(t *testing.T) {
+	cases := map[string]string{
+		"unknown field":     `[{"kind":"resize","gate":"g","watts":3}]`,
+		"unknown kind":      `[{"kind":"upsize","gate":"g"}]`,
+		"numeric kind":      `[{"kind":0,"gate":"g"}]`,
+		"missing gate":      `[{"kind":"resize"}]`,
+		"negative size":     `[{"kind":"resize","gate":"g","size":-1}]`,
+		"huge size":         `[{"kind":"resize","gate":"g","size":999}]`,
+		"resize with type":  `[{"kind":"resize","gate":"g","gate_type":"AND"}]`,
+		"resize with time":  `[{"kind":"resize","gate":"g","time_ns":1}]`,
+		"retype bad type":   `[{"kind":"retype","gate":"g","gate_type":"XAND"}]`,
+		"retype input type": `[{"kind":"retype","gate":"g","gate_type":"INPUT"}]`,
+		"retype with size":  `[{"kind":"retype","gate":"g","gate_type":"AND","size":1}]`,
+		"pin with size":     `[{"kind":"pin_arrival","gate":"g","time_ns":1,"size":1}]`,
+		"pin with type":     `[{"kind":"pin_required","gate":"g","gate_type":"AND"}]`,
+		"trailing data":     `[{"kind":"resize","gate":"g"}] [{"kind":"resize","gate":"h"}]`,
+		"not an array":      `{"kind":"resize","gate":"g"}`,
+		"garbage":           `resize n42 please`,
+	}
+	for name, payload := range cases {
+		if _, err := rapids.ParseEdits([]byte(payload)); err == nil {
+			t.Errorf("%s: accepted %s", name, payload)
+		}
+	}
+	// And the accepted forms stay accepted.
+	ok := `[{"kind":"resize","gate":"g","size":1},{"kind":"pin_required","gate":"z","time_ns":-2.5}]`
+	edits, err := rapids.ParseEdits([]byte(ok))
+	if err != nil || len(edits) != 2 {
+		t.Fatalf("valid payload rejected: %v", err)
+	}
+	if edits[1].TimeNS != -2.5 {
+		t.Fatalf("time lost: %+v", edits[1])
+	}
+	if !strings.Contains(edits[0].String(), "resize") {
+		t.Fatalf("String(): %q", edits[0].String())
+	}
+}

@@ -1,0 +1,118 @@
+package rapids_test
+
+// Native fuzz target for the ECO edit path. Three properties:
+//
+//  1. Crash-free: ParseEdits returns edits or an error on arbitrary
+//     bytes — it never panics (malformed payloads are data errors).
+//  2. Canonical round-trip: whatever ParseEdits accepts re-marshals to
+//     a form it accepts again, decoding to the identical edit slice —
+//     the property that keeps journaled edit logs replayable.
+//  3. Apply safety: feeding any accepted batch to a live session either
+//     applies (advancing the published view) or rejects it cleanly; the
+//     session never panics or corrupts its view. Run with -race to
+//     exercise the snapshot contract at the same time.
+//
+// Seed corpus: the .json files under testdata/edits/ plus inline
+// regression inputs.
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/rapids"
+)
+
+// fuzzSession is the shared live session fuzz iterations apply accepted
+// batches to. Edits accumulate across iterations — each batch lands on
+// whatever network the previous ones produced, which only widens the
+// state space the property is checked on.
+var (
+	fuzzSessOnce sync.Once
+	fuzzSessMu   sync.Mutex
+	fuzzSess     *rapids.Session
+	fuzzSessErr  error
+)
+
+func sharedFuzzSession() (*rapids.Session, error) {
+	fuzzSessOnce.Do(func() {
+		c, err := rapids.Generate("c432")
+		if err != nil {
+			fuzzSessErr = err
+			return
+		}
+		c.Place(rapids.PlaceSeed(3), rapids.PlaceMoves(5))
+		fuzzSess, fuzzSessErr = c.BeginSession(context.Background())
+	})
+	return fuzzSess, fuzzSessErr
+}
+
+func FuzzSessionEdit(f *testing.F) {
+	glob := filepath.Join("testdata", "edits", "*.json")
+	paths, err := filepath.Glob(glob)
+	if err != nil || len(paths) == 0 {
+		f.Fatalf("no seed corpus at %s: %v", glob, err)
+	}
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(data))
+	}
+	f.Add(`[]`)
+	f.Add(`[{"kind":"resize","gate":"pi0","size":1}]`)
+	f.Add(`[{"kind":"pin_required","gate":"no-such-gate","time_ns":1e300}]`)
+	f.Add(`[{"kind":"resize","gate":"n42","size":999}]`)
+	f.Fuzz(func(t *testing.T, data string) {
+		edits, err := rapids.ParseEdits([]byte(data))
+		if err != nil {
+			return
+		}
+		// ParseEdits's contract: everything it returns validates.
+		for i, e := range edits {
+			if err := e.Validate(); err != nil {
+				t.Fatalf("ParseEdits returned an invalid edit %d: %v", i, err)
+			}
+		}
+		// Canonical round-trip, the journal-replay property.
+		canon, err := json.Marshal(edits)
+		if err != nil {
+			t.Fatalf("re-marshal failed: %v", err)
+		}
+		again, err := rapids.ParseEdits(canon)
+		if err != nil {
+			t.Fatalf("canonical form rejected: %v\n-- canonical --\n%s", err, canon)
+		}
+		if !reflect.DeepEqual(edits, again) {
+			t.Fatalf("round-trip changed the edits:\n%+v\n%+v", edits, again)
+		}
+		if len(edits) == 0 {
+			return
+		}
+		// Apply to the shared session: success must advance the view,
+		// rejection must be a clean error — never a panic.
+		sess, err := sharedFuzzSession()
+		if err != nil {
+			t.Fatalf("building fuzz session: %v", err)
+		}
+		fuzzSessMu.Lock()
+		defer fuzzSessMu.Unlock()
+		d, err := sess.Apply(edits...)
+		if err != nil {
+			return
+		}
+		v := sess.View()
+		if d.Seq <= 0 || d.Edits != len(edits) || d.TouchedGates < 0 {
+			t.Fatalf("inconsistent delta after apply: %+v", d)
+		}
+		if v.Seq != d.Seq || v.Gates <= 0 || len(v.CriticalPath) == 0 {
+			t.Fatalf("inconsistent view after apply: seq %d (delta %d), %d gates, %d path stages",
+				v.Seq, d.Seq, v.Gates, len(v.CriticalPath))
+		}
+	})
+}

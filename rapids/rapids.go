@@ -198,22 +198,5 @@ type PathStage struct {
 // CriticalPath analyzes the circuit and returns the worst path, primary
 // input first. clockNS <= 0 measures against the critical delay itself.
 func (c *Circuit) CriticalPath(clockNS float64) []PathStage {
-	tm := sta.Analyze(c.net, c.lib, clockNS)
-	path := tm.CriticalPath()
-	stages := make([]PathStage, 0, len(path))
-	prev := 0.0
-	for i, g := range path {
-		arr := tm.Arrival(g).Max()
-		wire := 0.0
-		if i > 0 {
-			wire = tm.WireDelay(path[i-1], g)
-		}
-		stages = append(stages, PathStage{
-			Gate: g.Name(), Cell: g.Type.String(), Size: g.SizeIdx,
-			ArrivalNS: arr, GateDelayNS: arr - prev, WireDelayNS: wire,
-			LoadPF: tm.Load(g),
-		})
-		prev = arr
-	}
-	return stages
+	return pathStages(sta.Analyze(c.net, c.lib, clockNS))
 }

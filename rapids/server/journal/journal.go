@@ -49,7 +49,23 @@ const (
 	OpDone     Op = "done"
 	OpCanceled Op = "canceled"
 	OpFailed   Op = "failed"
+
+	// Session ops record the interactive ECO session life cycle
+	// (DESIGN.md §5d), keyed by the session id in JobID. An opened entry
+	// carries the full open request; each session-edit entry carries one
+	// applied edit batch. Replay rebuilds every session that has no
+	// session-closed entry by re-applying its batches in order — the
+	// facade's determinism contract makes the rebuilt session
+	// bit-identical to the one the crash interrupted.
+	OpSessionOpened Op = "session-opened"
+	OpSessionEdit   Op = "session-edit"
+	OpSessionClosed Op = "session-closed"
 )
+
+// Session reports whether the op belongs to the session life cycle.
+func (o Op) Session() bool {
+	return o == OpSessionOpened || o == OpSessionEdit || o == OpSessionClosed
+}
 
 // Terminal reports whether the op ends a job's life cycle.
 func (o Op) Terminal() bool { return o == OpDone || o == OpCanceled || o == OpFailed }

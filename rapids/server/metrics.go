@@ -29,6 +29,15 @@ const (
 	routeNotOwner        = "not_owner"        // refused a forwarded key this replica does not own
 )
 
+// Session-open rejection reasons, the label values of
+// rapidsd_sessions_rejected_total — a fixed enum like the others.
+const (
+	sessRejectCapacity = "capacity" // MaxSessions open sessions already
+	sessRejectDraining = "draining" // server shutting down
+	sessRejectJournal  = "journal"  // the open could not be journaled
+	sessRejectInvalid  = "invalid"  // bad request or unloadable circuit
+)
+
 // serverMetrics is every instrument the service exports, one field per
 // family, registered against one registry served at GET /metrics. The
 // reconciliation invariant the scrape tests and the harness check:
@@ -40,6 +49,11 @@ const (
 // It holds per replica and therefore summed across a fleet, because a
 // forwarded submission counts only on the replica that owns it (the
 // forwarder counts routed{forwarded}, which is outside the funnel).
+//
+// The session funnel balances the same way:
+//
+//	sessions_opened + sessions_replayed{reopened}
+//	    == sessions_active + sum over reasons of sessions_closed
 //
 // Counters are monotone for the life of the process; gauges report
 // instantaneous state; histograms use the shared latency buckets.
@@ -84,6 +98,16 @@ type serverMetrics struct {
 	journalAppends        *metrics.Counter
 	journalAppendFailures *metrics.Counter
 	journalReplayed       *metrics.CounterVec // disposition: reborn | requeued
+
+	// ECO sessions.
+	sessionsOpened      *metrics.Counter
+	sessionsActive      *metrics.Gauge
+	sessionsClosed      *metrics.CounterVec // reason: client | evicted | drain | journal
+	sessionsRejected    *metrics.CounterVec // reason: capacity | draining | journal | invalid
+	sessionsReplayed    *metrics.CounterVec // disposition: reopened | dropped
+	sessionEdits        *metrics.Counter
+	sessionApplySeconds *metrics.Histogram
+	sessionTouchedGates *metrics.Histogram
 
 	// Streams and engine timing.
 	sseSubscribers *metrics.Gauge
@@ -144,8 +168,25 @@ func newServerMetrics() *serverMetrics {
 			"Journal appends that failed (readiness turns 503 while the last one did)."),
 		journalReplayed: r.CounterVec("rapidsd_journal_replayed_jobs_total",
 			"Jobs restored from the journal at startup, by disposition.", "disposition"),
+		sessionsOpened: r.Counter("rapidsd_sessions_opened_total",
+			"ECO sessions opened by POST /v1/sessions."),
+		sessionsActive: r.Gauge("rapidsd_sessions_active",
+			"ECO sessions currently open."),
+		sessionsClosed: r.CounterVec("rapidsd_sessions_closed_total",
+			"ECO sessions closed, by reason.", "reason"),
+		sessionsRejected: r.CounterVec("rapidsd_sessions_rejected_total",
+			"POST /v1/sessions requests rejected, by reason.", "reason"),
+		sessionsReplayed: r.CounterVec("rapidsd_sessions_replayed_total",
+			"Sessions found in the journal at startup, by disposition.", "disposition"),
+		sessionEdits: r.Counter("rapidsd_session_edits_total",
+			"Individual edits applied across all sessions."),
+		sessionApplySeconds: r.Histogram("rapidsd_session_apply_seconds",
+			"Wall-clock duration of session edit batches (apply + incremental re-timing).", nil),
+		sessionTouchedGates: r.Histogram("rapidsd_session_touched_gates",
+			"Gates re-timed per session mutation — the dirty-region size.",
+			[]float64{1, 4, 16, 64, 256, 1024, 4096, 16384}),
 		sseSubscribers: r.Gauge("rapidsd_sse_subscribers",
-			"Open GET /v1/jobs/{id}/events streams."),
+			"Open SSE event streams (jobs and sessions)."),
 		phaseSeconds: r.HistogramVec("rapidsd_optimize_phase_seconds",
 			"Engine-level durations from the typed Event stream, by phase.",
 			nil, "phase"),

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"time"
@@ -23,6 +24,16 @@ type replayState struct {
 	ranFor    time.Duration
 }
 
+// sessionReplay folds one ECO session's journal entries during
+// recovery: the open request plus every applied edit batch, in order.
+type sessionReplay struct {
+	req     SessionRequest
+	key     string
+	seq     int
+	batches []editWire
+	closed  bool
+}
+
 // replayJournal rebuilds the server's job table from Config.Journal
 // before the workers start. Terminal jobs are reborn with their
 // recorded results — done results re-seed the cache — and jobs that
@@ -36,7 +47,14 @@ func (s *Server) replayJournal() error {
 	}
 	states := make(map[string]*replayState)
 	var order []string
+	sessStates := make(map[string]*sessionReplay)
+	var sessOrder []string
 	err := s.cfg.Journal.Replay(func(e journal.Entry) error {
+		// Session ops fold into their own table, before the job fold
+		// (the job fold treats any op it does not know as corruption).
+		if e.Op.Session() {
+			return replaySessionEntry(sessStates, &sessOrder, e, &s.seq)
+		}
 		if e.Op == journal.OpAccepted {
 			var req JobRequest
 			if err := json.Unmarshal(e.Request, &req); err != nil {
@@ -136,5 +154,103 @@ func (s *Server) replayJournal() error {
 		s.logf("server: journal replayed: %d jobs (%d terminal, %d re-enqueued)",
 			len(order), reborn, requeued)
 	}
+
+	// Sessions without a journaled close were live at crash time:
+	// rebuild each by re-loading its circuit and re-applying the
+	// journaled batches in order — bit-identical by the facade's
+	// determinism contract. Closed sessions are dropped (their circuits
+	// died with the process; nothing is recoverable or owed).
+	reopened, dropped := 0, 0
+	for _, id := range sessOrder {
+		st := sessStates[id]
+		if st.closed {
+			dropped++
+			s.metrics.sessionsReplayed.With("dropped").Inc()
+			continue
+		}
+		ls, err := s.rebuildSession(id, st)
+		if err != nil {
+			return fmt.Errorf("session %s: %w", id, err)
+		}
+		s.sessions[id] = ls
+		s.sessOrder = append(s.sessOrder, id)
+		s.metrics.sessionsReplayed.With("reopened").Inc()
+		s.metrics.sessionsActive.Inc()
+		reopened++
+	}
+	if reopened+dropped > 0 {
+		s.logf("server: journal replayed: %d sessions reopened, %d dropped", reopened, dropped)
+	}
 	return nil
+}
+
+// replaySessionEntry folds one session journal entry.
+func replaySessionEntry(states map[string]*sessionReplay, order *[]string, e journal.Entry, seq *int) error {
+	if e.Op == journal.OpSessionOpened {
+		var req SessionRequest
+		if err := json.Unmarshal(e.Request, &req); err != nil {
+			return fmt.Errorf("session-opened entry for session %s: bad request payload: %w", e.JobID, err)
+		}
+		states[e.JobID] = &sessionReplay{req: req, key: e.Key, seq: e.Seq}
+		*order = append(*order, e.JobID)
+		if e.Seq > *seq {
+			*seq = e.Seq
+		}
+		return nil
+	}
+	st, ok := states[e.JobID]
+	if !ok {
+		return fmt.Errorf("journal entry %s for session %s precedes its session-opened entry", e.Op, e.JobID)
+	}
+	switch e.Op {
+	case journal.OpSessionEdit:
+		var wire editWire
+		if err := json.Unmarshal(e.Request, &wire); err != nil {
+			return fmt.Errorf("session-edit entry for session %s: bad payload: %w", e.JobID, err)
+		}
+		st.batches = append(st.batches, wire)
+	case journal.OpSessionClosed:
+		st.closed = true
+	}
+	return nil
+}
+
+// rebuildSession reconstructs one live session from its replay fold.
+// A batch that was journaled but no longer applies is journal
+// corruption (the journal only records batches that applied), so any
+// error here fails New.
+func (s *Server) rebuildSession(id string, st *sessionReplay) (*liveSession, error) {
+	sess, circuit, gates, err := buildSession(st.req)
+	if err != nil {
+		return nil, fmt.Errorf("rebuilding circuit: %w", err)
+	}
+	ls := newLiveSession(id, st.key, st.seq, st.req)
+	ls.sess, ls.circuit, ls.gates = sess, circuit, gates
+	ls.recovered = true
+	for i, wire := range st.batches {
+		var edits []rapids.Edit
+		if len(wire.Edits) > 0 {
+			edits, err = rapids.ParseEdits(wire.Edits)
+			if err == nil {
+				var d *rapids.Delta
+				d, err = sess.Apply(edits...)
+				if err == nil {
+					ls.deltas = append(ls.deltas, d)
+					ls.edits += len(edits)
+				}
+			}
+		}
+		if err == nil && wire.Reoptimize {
+			var d *rapids.Delta
+			d, err = sess.Reoptimize(context.Background())
+			if err == nil {
+				ls.deltas = append(ls.deltas, d)
+			}
+		}
+		if err != nil {
+			sess.Close()
+			return nil, fmt.Errorf("replaying edit batch %d: %w", i, err)
+		}
+	}
+	return ls, nil
 }

@@ -11,6 +11,7 @@
 //	GET    /v1/jobs/{id}        JobStatus, including the rapids.Result once finished
 //	GET    /v1/jobs/{id}/events SSE stream of the run's typed events, replayed from the start
 //	DELETE /v1/jobs/{id}        cancel: best-so-far result (anytime contract); 409 once terminal
+//	POST   /v1/sessions         open an interactive ECO session (see session.go for the session routes)
 //	GET    /healthz             liveness, queue depths, goroutine count
 //	GET    /readyz              readiness: 503 while draining, journal-broken, or queue at high water
 //
@@ -97,6 +98,15 @@ type Config struct {
 	// relayed SSE streams are long-lived (cancellation rides the
 	// inbound request's context instead).
 	PeerClient *http.Client
+	// MaxSessions caps concurrently open ECO sessions (default 8; a
+	// negative value removes the cap). Each open session pins a live
+	// circuit and an incremental timer in memory, so the cap is
+	// backpressure: POST /v1/sessions past it gets 503 with Retry-After.
+	MaxSessions int
+	// SessionTTL evicts sessions idle past it (default 15m; negative
+	// disables eviction). A background sweeper closes them — reason
+	// "evicted" — so an abandoned client cannot pin circuits forever.
+	SessionTTL time.Duration
 	// JobTimeout bounds each optimization attempt's wall clock (0 =
 	// none). A request's own options.timeout_ms tightens but never
 	// loosens it. Expiry is a transient failure: the attempt stops at
@@ -132,6 +142,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxRetries == 0 {
 		c.MaxRetries = 2
+	}
+	if c.MaxSessions == 0 {
+		c.MaxSessions = 8
+	}
+	if c.SessionTTL == 0 {
+		c.SessionTTL = 15 * time.Minute
 	}
 	if c.RetryBackoff == 0 {
 		c.RetryBackoff = 100 * time.Millisecond
@@ -169,6 +185,12 @@ type Server struct {
 	forwarded map[string]string // job id -> owning replica URL (proxied submissions)
 	seq       int
 	draining  bool
+	// ECO sessions (session.go). sessPending reserves capacity for
+	// opens still building their circuit, so concurrent opens cannot
+	// overshoot MaxSessions.
+	sessions    map[string]*liveSession
+	sessOrder   []string // open order, for GET /v1/sessions
+	sessPending int
 
 	// smu guards the sticky shared-store error (healthz reporting
 	// only; the store never gates readiness).
@@ -209,6 +231,7 @@ func newServer(cfg Config) (*Server, error) {
 		drainc:    make(chan struct{}),
 		jobs:      make(map[string]*job),
 		forwarded: make(map[string]string),
+		sessions:  make(map[string]*liveSession),
 	}
 	if len(cfg.Peers) > 0 {
 		peers := make([]string, len(cfg.Peers))
@@ -235,6 +258,13 @@ func newServer(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("POST /v1/sessions", s.handleSessionOpen)
+	s.mux.HandleFunc("GET /v1/sessions", s.handleSessionList)
+	s.mux.HandleFunc("GET /v1/sessions/{id}", s.handleSessionStatus)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/edits", s.handleSessionEdits)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/timing", s.handleSessionTiming)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/events", s.handleSessionEvents)
+	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionClose)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	if !cfg.DisableMetrics {
@@ -250,6 +280,10 @@ func (s *Server) start() {
 	s.wg.Add(s.cfg.Workers)
 	for i := 0; i < s.cfg.Workers; i++ {
 		go s.worker()
+	}
+	if s.cfg.SessionTTL > 0 {
+		s.wg.Add(1)
+		go s.sessionSweeper()
 	}
 }
 
@@ -322,6 +356,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	close(s.drainc) // submits are guarded by s.mu + draining
 	s.mu.Unlock()
 	s.logf("server: draining (%d queued)", s.queue.len())
+
+	// Open ECO sessions are closed (reason "drain"): the journal holds
+	// their closes, so a restart rebuilds nothing.
+	s.drainSessions()
 
 	// Retry timers either fire into the queue or abandon on drainc;
 	// wait them out before closing the queue so no push is refused.
@@ -883,7 +921,17 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if s.draining {
 		status = "draining"
 	}
+	sessions := make([]*liveSession, 0, len(s.sessions))
+	for _, ls := range s.sessions {
+		sessions = append(sessions, ls)
+	}
 	s.mu.Unlock()
+	sessCounts := map[string]int{}
+	for _, ls := range sessions {
+		ls.mu.Lock()
+		sessCounts[ls.state]++
+		ls.mu.Unlock()
+	}
 	jstatus := "off"
 	if s.cfg.Journal != nil {
 		jstatus = "ok"
@@ -904,6 +952,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"queue_cap":    s.cfg.QueueCap,
 		"queue_len":    s.queue.len(),
 		"jobs":         counts,
+		"sessions":     sessCounts,
 		"cache_len":    s.cache.len(),
 		"journal":      jstatus,
 		"store":        ststatus,

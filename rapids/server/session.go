@@ -1,0 +1,643 @@
+// Interactive ECO sessions over HTTP (DESIGN.md §5d): the server-side
+// registry of rapids.Session instances, one per POST /v1/sessions.
+//
+//	POST   /v1/sessions              open (201; 503 at the MaxSessions cap or while draining)
+//	GET    /v1/sessions              list all sessions, open order
+//	GET    /v1/sessions/{id}         SessionStatus
+//	POST   /v1/sessions/{id}/edits   apply an edit batch (+ optional reoptimize), returns the Deltas
+//	GET    /v1/sessions/{id}/timing  the session's current TimingView (lock-free read)
+//	GET    /v1/sessions/{id}/events  SSE stream of every Delta, replayed from the start
+//	DELETE /v1/sessions/{id}         close; 409 once closed
+//
+// Crash safety rides the job journal: the open request and every
+// applied edit batch are journaled, and replay rebuilds each
+// still-open session by re-loading its circuit and re-applying the
+// batches in order — the facade's determinism contract (rapids.Session)
+// makes the rebuilt network and timing bit-identical. Sessions with a
+// journaled close are dropped at replay. Idle sessions are evicted
+// after Config.SessionTTL by a background sweeper.
+//
+// In fleet mode sessions are replica-local: a session is pinned to the
+// replica that opened it (its circuit state lives in that process), so
+// session requests are never forwarded. Clients talk to the replica
+// that answered the open.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/rapids"
+	"repro/rapids/server/journal"
+)
+
+// Session states, as reported in SessionStatus.State.
+const (
+	SessionOpen   = "open"
+	SessionClosed = "closed"
+)
+
+// Session close reasons: SessionStatus.CloseReason and the label values
+// of rapidsd_sessions_closed_total (a fixed enum, DESIGN.md §5b).
+const (
+	closeClient  = "client"  // DELETE /v1/sessions/{id}
+	closeEvicted = "evicted" // idle past Config.SessionTTL
+	closeDrain   = "drain"   // server shutdown
+	closeJournal = "journal" // an applied batch could not be journaled
+)
+
+// SessionRequest is the POST /v1/sessions payload: the same circuit
+// source and placement spec as a job submission. Options' clock_ns,
+// strategy, workers, and window configure the session (the options
+// Circuit.BeginSession honors); the rest have no session meaning.
+type SessionRequest = JobRequest
+
+// SessionStatus is the response body of POST /v1/sessions,
+// GET /v1/sessions/{id}, and DELETE /v1/sessions/{id}, and one element
+// of GET /v1/sessions.
+type SessionStatus struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	// Circuit and Gates identify the loaded netlist at open time.
+	Circuit string `json:"circuit,omitempty"`
+	Gates   int    `json:"gates,omitempty"`
+	// ClockNS is the session's frozen clock.
+	ClockNS float64 `json:"clock_ns"`
+	// Seq counts the session's successful mutations; Edits the applied
+	// edits across all batches.
+	Seq   int `json:"seq"`
+	Edits int `json:"edits"`
+	// DelayNS, LatenessNS, and Epoch mirror the last published
+	// TimingView.
+	DelayNS    float64 `json:"delay_ns"`
+	LatenessNS float64 `json:"lateness_ns"`
+	Epoch      uint64  `json:"epoch"`
+	// Recovered marks a session rebuilt from the journal after a
+	// restart (its edit log was replayed onto a fresh load).
+	Recovered bool `json:"recovered,omitempty"`
+	// CloseReason explains a closed session: client, evicted, drain, or
+	// journal.
+	CloseReason string `json:"close_reason,omitempty"`
+}
+
+// editWire is the strict decode shape of POST /v1/sessions/{id}/edits
+// and of the journaled session-edit payload. Edits stays raw JSON so
+// rapids.ParseEdits is the only decoder that ever sees an edit batch —
+// endpoint and replay cannot diverge.
+type editWire struct {
+	Edits      json.RawMessage `json:"edits,omitempty"`
+	Reoptimize bool            `json:"reoptimize,omitempty"`
+}
+
+// EditResponse is the response of POST /v1/sessions/{id}/edits: the
+// deltas the request produced — one for the edit batch, one more when
+// reoptimize was set.
+type EditResponse struct {
+	ID     string          `json:"id"`
+	Deltas []*rapids.Delta `json:"deltas"`
+}
+
+// CodeSessionClosed is the ErrorBody.Code of an edit or DELETE on a
+// session that is already closed (409 Conflict).
+const CodeSessionClosed = "session_closed"
+
+// liveSession is the server-side state of one ECO session.
+type liveSession struct {
+	id  string
+	key string // content-hash of the open request
+	seq int    // registration sequence number (shared with jobs)
+	req SessionRequest
+
+	// mu guards everything below and orders journal appends with
+	// applies: an edit batch is applied, journaled, and buffered as one
+	// critical section, so the journal's batch order is the apply order.
+	mu        sync.Mutex
+	sess      *rapids.Session
+	circuit   string
+	gates     int
+	state     string
+	reason    string // close reason once closed
+	edits     int    // edits applied over the session's life
+	recovered bool
+	lastUsed  time.Time
+	deltas    []*rapids.Delta
+	closed    bool          // no more deltas will arrive (SSE terminal)
+	wake      chan struct{} // closed and replaced on every change
+}
+
+func newLiveSession(id, key string, seq int, req SessionRequest) *liveSession {
+	return &liveSession{
+		id: id, key: key, seq: seq, req: req,
+		state: SessionOpen, wake: make(chan struct{}),
+		lastUsed: time.Now(),
+	}
+}
+
+// notify wakes every waiting SSE subscriber. Callers hold ls.mu.
+func (ls *liveSession) notify() {
+	close(ls.wake)
+	ls.wake = make(chan struct{})
+}
+
+// snapshotDeltas returns the deltas at index >= from, whether the
+// stream is closed, and the wake channel — the same subscription
+// primitive job.snapshot provides for the job SSE handler.
+func (ls *liveSession) snapshotDeltas(from int) (ds []*rapids.Delta, closed bool, wake <-chan struct{}) {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	if from < len(ls.deltas) {
+		ds = ls.deltas[from:len(ls.deltas):len(ls.deltas)]
+	}
+	return ds, ls.closed, ls.wake
+}
+
+func (ls *liveSession) status() SessionStatus {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	return ls.statusLocked()
+}
+
+func (ls *liveSession) statusLocked() SessionStatus {
+	v := ls.sess.View()
+	return SessionStatus{
+		ID: ls.id, State: ls.state,
+		Circuit: ls.circuit, Gates: ls.gates,
+		ClockNS: ls.sess.Clock(),
+		Seq:     v.Seq, Edits: ls.edits,
+		DelayNS: v.DelayNS, LatenessNS: v.LatenessNS, Epoch: v.Epoch,
+		Recovered:   ls.recovered,
+		CloseReason: ls.reason,
+	}
+}
+
+// buildSession loads, places, and opens the facade session for req —
+// the shared construction path of POST /v1/sessions and journal
+// replay, so a replayed session starts from the bit-identical placed
+// circuit the original did.
+func buildSession(req SessionRequest) (sess *rapids.Session, circuit string, gates int, err error) {
+	c, err := loadCircuit(req)
+	if err != nil {
+		return nil, "", 0, err
+	}
+	place := req.Place
+	if place == nil {
+		place = &PlaceSpec{}
+	}
+	p := place.withDefaults()
+	c.Place(rapids.PlaceSeed(p.Seed), rapids.PlaceMoves(p.Moves), rapids.PlaceAspect(p.Aspect))
+	sess, err = c.BeginSession(context.Background(), req.Options.Options()...)
+	if err != nil {
+		return nil, "", 0, err
+	}
+	return sess, c.Name(), c.Gates(), nil
+}
+
+// handleSessionOpen is POST /v1/sessions.
+func (s *Server) handleSessionOpen(w http.ResponseWriter, r *http.Request) {
+	var req SessionRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.metrics.sessionsRejected.With(sessRejectInvalid).Inc()
+		httpError(w, http.StatusBadRequest, "invalid session request: %v", err)
+		return
+	}
+	if (req.Generate == "") == (req.Netlist == "") {
+		s.metrics.sessionsRejected.With(sessRejectInvalid).Inc()
+		httpError(w, http.StatusBadRequest, "exactly one of generate or netlist is required")
+		return
+	}
+	format, err := rapids.ParseFormat(req.Format)
+	if err != nil {
+		s.metrics.sessionsRejected.With(sessRejectInvalid).Inc()
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	key := cacheKey(req, format)
+
+	// Reserve a slot before the expensive build, so concurrent opens
+	// cannot overshoot MaxSessions; the reservation is released on any
+	// failure below.
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.metrics.sessionsRejected.With(sessRejectDraining).Inc()
+		httpError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	if s.cfg.MaxSessions >= 0 && s.openSessionsLocked()+s.sessPending >= s.cfg.MaxSessions {
+		// Backpressure, not buffering: the cap bounds the live circuits
+		// (and their incremental timers) held in memory.
+		s.mu.Unlock()
+		s.metrics.sessionsRejected.With(sessRejectCapacity).Inc()
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, "session capacity reached (%d open)", s.cfg.MaxSessions)
+		return
+	}
+	s.sessPending++
+	s.mu.Unlock()
+
+	sess, circuit, gates, err := buildSession(req)
+
+	s.mu.Lock()
+	s.sessPending--
+	if err != nil {
+		s.mu.Unlock()
+		s.metrics.sessionsRejected.With(sessRejectInvalid).Inc()
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if s.draining {
+		s.mu.Unlock()
+		sess.Close()
+		s.metrics.sessionsRejected.With(sessRejectDraining).Inc()
+		httpError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	s.seq++
+	ls := newLiveSession(fmt.Sprintf("s%d-%s", s.seq, key[:8]), key, s.seq, req)
+	ls.sess, ls.circuit, ls.gates = sess, circuit, gates
+	s.sessions[ls.id] = ls
+	s.sessOrder = append(s.sessOrder, ls.id)
+	s.mu.Unlock()
+
+	// The open is journaled with the full request — the replay seed of
+	// a recovery. An unjournaled open would rebuild nothing after a
+	// crash, so it is rejected like an unjournaled job submission.
+	if err := s.journalSessionOpen(ls, req); err != nil {
+		sess.Close()
+		s.removeSession(ls)
+		s.metrics.sessionsRejected.With(sessRejectJournal).Inc()
+		httpError(w, http.StatusServiceUnavailable, "journal unavailable: %v", err)
+		return
+	}
+	s.metrics.sessionsOpened.Inc()
+	s.metrics.sessionsActive.Inc()
+	s.logf("session %s: opened (%s, %d gates)", ls.id, circuit, gates)
+	s.writeSession(w, http.StatusCreated, ls)
+}
+
+// journalSessionOpen records the session-opened entry with the full
+// request payload.
+func (s *Server) journalSessionOpen(ls *liveSession, req SessionRequest) error {
+	if s.cfg.Journal == nil {
+		return nil
+	}
+	b, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	return s.appendJournal(journal.Entry{
+		Op: journal.OpSessionOpened, JobID: ls.id, Key: ls.key, Seq: ls.seq, Request: b,
+	})
+}
+
+// openSessionsLocked counts open sessions; callers hold s.mu.
+func (s *Server) openSessionsLocked() int {
+	n := 0
+	for _, ls := range s.sessions {
+		ls.mu.Lock()
+		if ls.state == SessionOpen {
+			n++
+		}
+		ls.mu.Unlock()
+	}
+	return n
+}
+
+// removeSession unregisters a session that failed between reservation
+// and acknowledgment; it was never visible as open to anyone.
+func (s *Server) removeSession(ls *liveSession) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.sessions, ls.id)
+	if n := len(s.sessOrder); n > 0 && s.sessOrder[n-1] == ls.id {
+		s.sessOrder = s.sessOrder[:n-1]
+	}
+}
+
+func (s *Server) lookupSession(r *http.Request) (*liveSession, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ls, ok := s.sessions[r.PathValue("id")]
+	return ls, ok
+}
+
+// handleSessionList is GET /v1/sessions.
+func (s *Server) handleSessionList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	ids := append([]string(nil), s.sessOrder...)
+	sessions := make([]*liveSession, len(ids))
+	for i, id := range ids {
+		sessions[i] = s.sessions[id]
+	}
+	s.mu.Unlock()
+	statuses := make([]SessionStatus, len(sessions))
+	for i, ls := range sessions {
+		statuses[i] = ls.status()
+	}
+	writeJSON(w, http.StatusOK, statuses)
+}
+
+// handleSessionStatus is GET /v1/sessions/{id}.
+func (s *Server) handleSessionStatus(w http.ResponseWriter, r *http.Request) {
+	ls, ok := s.lookupSession(r)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown session %q", r.PathValue("id"))
+		return
+	}
+	s.writeSession(w, http.StatusOK, ls)
+}
+
+// handleSessionEdits is POST /v1/sessions/{id}/edits: apply one edit
+// batch (and optionally one targeted re-optimization pass) and return
+// the resulting deltas. The batch is all-or-nothing — a semantically
+// invalid edit rejects it with 422 before the circuit is touched — and
+// is journaled only after it fully applied, so the journal never
+// records a batch the circuit does not hold.
+func (s *Server) handleSessionEdits(w http.ResponseWriter, r *http.Request) {
+	ls, ok := s.lookupSession(r)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown session %q", r.PathValue("id"))
+		return
+	}
+	var wire editWire
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&wire); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid edit request: %v", err)
+		return
+	}
+	var edits []rapids.Edit
+	if len(wire.Edits) > 0 {
+		var err error
+		edits, err = rapids.ParseEdits(wire.Edits)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	if len(edits) == 0 && !wire.Reoptimize {
+		httpError(w, http.StatusBadRequest, "empty edit request: no edits and no reoptimize")
+		return
+	}
+
+	ls.mu.Lock()
+	if ls.state != SessionOpen {
+		body := ErrorBody{
+			Error: fmt.Sprintf("session %s is already closed (%s)", ls.id, ls.reason),
+			Code:  CodeSessionClosed,
+			State: ls.state,
+		}
+		ls.mu.Unlock()
+		writeJSON(w, http.StatusConflict, body)
+		return
+	}
+	var deltas []*rapids.Delta
+	if len(edits) > 0 {
+		d, err := ls.sess.Apply(edits...)
+		if err != nil {
+			ls.mu.Unlock()
+			httpError(w, http.StatusUnprocessableEntity, "%v", err)
+			return
+		}
+		deltas = append(deltas, d)
+	}
+	if wire.Reoptimize {
+		// Background context: a client disconnect must not truncate the
+		// pass, or journal replay would not reconstruct the same network.
+		d, err := ls.sess.Reoptimize(context.Background())
+		if err != nil {
+			ls.mu.Unlock()
+			httpError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		deltas = append(deltas, d)
+	}
+	if err := s.journalSessionEdit(ls, edits, wire.Reoptimize); err != nil {
+		// The batch is in the circuit but not the journal: a replay
+		// would diverge from the live state, so the session is no
+		// longer recoverable — close it rather than serve a lie.
+		s.closeSessionLocked(ls, closeJournal)
+		ls.mu.Unlock()
+		httpError(w, http.StatusServiceUnavailable, "journal unavailable: %v (session closed)", err)
+		return
+	}
+	ls.edits += len(edits)
+	ls.lastUsed = time.Now()
+	ls.deltas = append(ls.deltas, deltas...)
+	ls.notify()
+	ls.mu.Unlock()
+
+	s.metrics.sessionEdits.Add(uint64(len(edits)))
+	for _, d := range deltas {
+		s.metrics.sessionApplySeconds.ObserveDuration(d.Elapsed)
+		s.metrics.sessionTouchedGates.Observe(float64(d.TouchedGates))
+	}
+	writeJSON(w, http.StatusOK, EditResponse{ID: ls.id, Deltas: deltas})
+}
+
+// journalSessionEdit records one applied batch in canonical form (the
+// re-marshaled edits, not the client's bytes), so replay parses exactly
+// what was applied. Callers hold ls.mu.
+func (s *Server) journalSessionEdit(ls *liveSession, edits []rapids.Edit, reopt bool) error {
+	if s.cfg.Journal == nil {
+		return nil
+	}
+	wire := editWire{Reoptimize: reopt}
+	if len(edits) > 0 {
+		b, err := json.Marshal(edits)
+		if err != nil {
+			return err
+		}
+		wire.Edits = b
+	}
+	b, err := json.Marshal(wire)
+	if err != nil {
+		return err
+	}
+	return s.appendJournal(journal.Entry{
+		Op: journal.OpSessionEdit, JobID: ls.id, Key: ls.key, Seq: ls.seq, Request: b,
+	})
+}
+
+// handleSessionTiming is GET /v1/sessions/{id}/timing: the immutable
+// TimingView the session's last mutation published. The read is
+// lock-free — it never waits on a writer mid-Apply, and a closed
+// session still serves its final view.
+func (s *Server) handleSessionTiming(w http.ResponseWriter, r *http.Request) {
+	ls, ok := s.lookupSession(r)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown session %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, ls.sess.View())
+}
+
+// handleSessionEvents is GET /v1/sessions/{id}/events: a
+// Server-Sent-Events stream of the session's deltas, replayed from the
+// start, then live as edits arrive; a final "end" event carries the
+// closed SessionStatus.
+func (s *Server) handleSessionEvents(w http.ResponseWriter, r *http.Request) {
+	ls, ok := s.lookupSession(r)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown session %q", r.PathValue("id"))
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "response writer cannot stream")
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	s.metrics.sseSubscribers.Inc()
+	defer s.metrics.sseSubscribers.Dec()
+
+	next := 0
+	for {
+		deltas, closed, wake := ls.snapshotDeltas(next)
+		for _, d := range deltas {
+			data, err := json.Marshal(d)
+			if err != nil {
+				return
+			}
+			fmt.Fprintf(w, "id: %d\nevent: delta\ndata: %s\n\n", next, data)
+			next++
+		}
+		if len(deltas) > 0 {
+			fl.Flush()
+		}
+		if closed {
+			status, _ := json.Marshal(ls.status())
+			fmt.Fprintf(w, "event: end\ndata: %s\n\n", status)
+			fl.Flush()
+			return
+		}
+		select {
+		case <-wake:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// handleSessionClose is DELETE /v1/sessions/{id}. Edits already applied
+// stay in the session's circuit (the facade's anytime property); only
+// the timer detaches. A session already closed: 409 Conflict with Code
+// "session_closed".
+func (s *Server) handleSessionClose(w http.ResponseWriter, r *http.Request) {
+	ls, ok := s.lookupSession(r)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown session %q", r.PathValue("id"))
+		return
+	}
+	ls.mu.Lock()
+	if ls.state != SessionOpen {
+		body := ErrorBody{
+			Error: fmt.Sprintf("session %s is already closed (%s)", ls.id, ls.reason),
+			Code:  CodeSessionClosed,
+			State: ls.state,
+		}
+		ls.mu.Unlock()
+		writeJSON(w, http.StatusConflict, body)
+		return
+	}
+	s.closeSessionLocked(ls, closeClient)
+	status := ls.statusLocked()
+	ls.mu.Unlock()
+	s.logf("session %s: closed by client", ls.id)
+	writeJSON(w, http.StatusOK, status)
+}
+
+// closeSessionLocked closes one session: the facade timer detaches, the
+// SSE stream terminates, the close is journaled (so replay drops the
+// session), and the metrics funnel balances. Callers hold ls.mu but
+// never s.mu (the journal append and gauge updates are lock-safe).
+func (s *Server) closeSessionLocked(ls *liveSession, reason string) {
+	ls.sess.Close()
+	ls.state = SessionClosed
+	ls.reason = reason
+	ls.closed = true
+	ls.notify()
+	s.metrics.sessionsActive.Dec()
+	s.metrics.sessionsClosed.With(reason).Inc()
+	s.appendJournal(journal.Entry{
+		Op: journal.OpSessionClosed, JobID: ls.id, Key: ls.key, Seq: ls.seq, Error: reason,
+	})
+}
+
+// sessionSweeper evicts idle sessions every tick until drain. Runs on
+// its own goroutine (joined through s.wg) when SessionTTL > 0.
+func (s *Server) sessionSweeper() {
+	defer s.wg.Done()
+	ttl := s.cfg.SessionTTL
+	tick := ttl / 4
+	if tick > 30*time.Second {
+		tick = 30 * time.Second
+	}
+	if tick < 10*time.Millisecond {
+		tick = 10 * time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.drainc:
+			return
+		case <-t.C:
+			s.evictIdleSessions(ttl)
+		}
+	}
+}
+
+// evictIdleSessions closes every open session idle past ttl.
+func (s *Server) evictIdleSessions(ttl time.Duration) {
+	cutoff := time.Now().Add(-ttl)
+	s.mu.Lock()
+	all := make([]*liveSession, 0, len(s.sessions))
+	for _, ls := range s.sessions {
+		all = append(all, ls)
+	}
+	s.mu.Unlock()
+	for _, ls := range all {
+		ls.mu.Lock()
+		if ls.state == SessionOpen && ls.lastUsed.Before(cutoff) {
+			s.closeSessionLocked(ls, closeEvicted)
+			s.logf("session %s: evicted after %v idle", ls.id, ttl)
+		}
+		ls.mu.Unlock()
+	}
+}
+
+// drainSessions closes every open session at shutdown (reason "drain").
+// Their circuits hold all applied edits and the journal holds the
+// closes, so a restart rebuilds nothing.
+func (s *Server) drainSessions() {
+	s.mu.Lock()
+	all := make([]*liveSession, 0, len(s.sessions))
+	for _, ls := range s.sessions {
+		all = append(all, ls)
+	}
+	s.mu.Unlock()
+	for _, ls := range all {
+		ls.mu.Lock()
+		if ls.state == SessionOpen {
+			s.closeSessionLocked(ls, closeDrain)
+		}
+		ls.mu.Unlock()
+	}
+}
+
+func (s *Server) writeSession(w http.ResponseWriter, code int, ls *liveSession) {
+	w.Header().Set("Location", "/v1/sessions/"+ls.id)
+	writeJSON(w, code, ls.status())
+}

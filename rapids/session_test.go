@@ -1,0 +1,393 @@
+package rapids_test
+
+// ECO-session tests (DESIGN.md §5d): the batch-vs-incremental
+// determinism oracle, full-analysis parity of the incrementally
+// maintained timing, the dirty-region bound on a single resize, the
+// one-writer/many-readers snapshot contract (run under -race), and the
+// session life-cycle semantics. Test-only; run with the rest of the
+// package: go test ./rapids/.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/library"
+	"repro/internal/logic"
+	"repro/internal/netcmp"
+	"repro/internal/network"
+	"repro/internal/sta"
+	"repro/rapids"
+)
+
+// sessionCircuit builds a deterministically placed copy of bench —
+// every call returns a bit-identical starting point.
+func sessionCircuit(t *testing.T, bench string) *rapids.Circuit {
+	t.Helper()
+	c, err := rapids.Generate(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Place(rapids.PlaceSeed(3), rapids.PlaceMoves(5))
+	return c
+}
+
+// editScript derives a deterministic, valid edit sequence for c:
+// resizes spread over the logic, one retype, and two boundary pins.
+func editScript(c *rapids.Circuit, clock float64) []rapids.Edit {
+	lib := library.Default035()
+	n := c.Network()
+	var edits []rapids.Edit
+	resizes := 0
+	for _, g := range n.TopoOrder() {
+		if g.IsInput() || resizes >= 16 {
+			continue
+		}
+		for off := 1; off < library.NumSizes; off++ {
+			size := (g.SizeIdx + off) % library.NumSizes
+			if size == g.SizeIdx {
+				continue
+			}
+			if _, err := lib.Cell(g.Type, g.NumFanins(), size); err != nil {
+				continue
+			}
+			edits = append(edits, rapids.Edit{Kind: rapids.EditResize, Gate: g.Name(), Size: size})
+			resizes++
+			break
+		}
+	}
+	for _, g := range n.TopoOrder() {
+		if g.Type != logic.Inv {
+			continue
+		}
+		if _, err := lib.Cell(logic.Buf, 1, g.SizeIdx); err == nil {
+			edits = append(edits, rapids.Edit{Kind: rapids.EditRetype, Gate: g.Name(), GateType: "BUF"})
+		}
+		break
+	}
+	edits = append(edits,
+		rapids.Edit{Kind: rapids.EditPinArrival, Gate: n.Inputs()[0].Name(), TimeNS: 0.4},
+		rapids.Edit{Kind: rapids.EditPinRequired, Gate: n.Outputs()[0].Name(), TimeNS: clock * 0.9},
+	)
+	return edits
+}
+
+// pinnedBounds rebuilds, by hand, the boundary conditions the pin edits
+// in script impose on c — the reference for from-scratch re-analysis.
+func pinnedBounds(c *rapids.Circuit, script []rapids.Edit) *sta.Bounds {
+	b := &sta.Bounds{
+		PIArrival:  map[*network.Gate]sta.Edge{},
+		PORequired: map[*network.Gate]sta.Edge{},
+	}
+	for _, e := range script {
+		g := c.Network().FindGate(e.Gate)
+		switch e.Kind {
+		case rapids.EditPinArrival:
+			b.PIArrival[g] = sta.Edge{Rise: e.TimeNS, Fall: e.TimeNS}
+		case rapids.EditPinRequired:
+			b.PORequired[g] = sta.Edge{Rise: e.TimeNS, Fall: e.TimeNS}
+		}
+	}
+	return b
+}
+
+// viewBLIF serializes a view's pinned netlist snapshot.
+func viewBLIF(t *testing.T, v *rapids.TimingView) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := v.WriteBLIF(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestSessionDeterminismOracle is the batch-vs-incremental oracle: the
+// same edit script applied one edit per Apply and applied as one batch
+// on a bit-identical circuit must produce byte-identical networks and
+// bit-identical timing summaries, and both must agree with a
+// from-scratch bounded analysis of the final network to 1e-9. Run it
+// under -race: the published views are read concurrently elsewhere.
+func TestSessionDeterminismOracle(t *testing.T) {
+	const bench = "c432"
+	cA := sessionCircuit(t, bench)
+	sA, err := cA.BeginSession(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := sA.Clock()
+	script := editScript(cA, clock)
+	if len(script) < 10 {
+		t.Fatalf("edit script too small: %d edits", len(script))
+	}
+
+	// Path A: one edit per Apply — n incremental updates.
+	for i, e := range script {
+		if _, err := sA.Apply(e); err != nil {
+			t.Fatalf("apply %d (%s): %v", i, e, err)
+		}
+	}
+	resA, err := sA.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Path B: identical circuit, the whole script in one batch.
+	cB := sessionCircuit(t, bench)
+	sB, err := cB.BeginSession(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sB.Clock() != clock {
+		t.Fatalf("clocks diverge: %g vs %g", sB.Clock(), clock)
+	}
+	dB, err := sB.Apply(script...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dB.Edits != len(script) {
+		t.Fatalf("batch delta counts %d edits, want %d", dB.Edits, len(script))
+	}
+	for i := 1; i < len(dB.ChangedSlacks); i++ {
+		if dB.ChangedSlacks[i-1].Gate >= dB.ChangedSlacks[i].Gate {
+			t.Fatalf("changed slacks not sorted: %q >= %q",
+				dB.ChangedSlacks[i-1].Gate, dB.ChangedSlacks[i].Gate)
+		}
+	}
+	resB, err := sB.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Byte-identical networks: structure, implementations, BLIF bytes.
+	if err := netcmp.Structure(cA.Network(), cB.Network()); err != nil {
+		t.Fatalf("networks diverge: %v", err)
+	}
+	cA.Network().Gates(func(g *network.Gate) {
+		h := cB.Network().FindGate(g.Name())
+		if h == nil || h.SizeIdx != g.SizeIdx || h.Type != g.Type {
+			t.Errorf("gate %s: A size %d type %s, B %+v", g.Name(), g.SizeIdx, g.Type, h)
+		}
+	})
+	if a, b := viewBLIF(t, sA.View()), viewBLIF(t, sB.View()); !bytes.Equal(a, b) {
+		t.Fatal("final BLIF snapshots differ between incremental and batch paths")
+	}
+
+	// Bit-identical timing summaries.
+	if resA.FinalDelayNS != resB.FinalDelayNS || resA.LatenessNS != resB.LatenessNS {
+		t.Fatalf("timing diverges: A delay %.12g lateness %.12g, B delay %.12g lateness %.12g",
+			resA.FinalDelayNS, resA.LatenessNS, resB.FinalDelayNS, resB.LatenessNS)
+	}
+	if resA.Edits != resB.Edits {
+		t.Fatalf("edit counts diverge: %d vs %d", resA.Edits, resB.Edits)
+	}
+
+	// From-scratch parity: a full bounded analysis of each final network
+	// agrees with the incrementally maintained result to 1e-9, per gate.
+	lib := library.Default035()
+	tmA := sta.AnalyzeBounded(cA.Network(), lib, clock, pinnedBounds(cA, script))
+	tmB := sta.AnalyzeBounded(cB.Network(), lib, clock, pinnedBounds(cB, script))
+	if math.Abs(tmA.CriticalDelay-resA.FinalDelayNS) > 1e-9 {
+		t.Fatalf("incremental delay %.12g vs from-scratch %.12g", resA.FinalDelayNS, tmA.CriticalDelay)
+	}
+	if math.Abs(tmA.Lateness-resA.LatenessNS) > 1e-9 {
+		t.Fatalf("incremental lateness %.12g vs from-scratch %.12g", resA.LatenessNS, tmA.Lateness)
+	}
+	cA.Network().Gates(func(g *network.Gate) {
+		h := cB.Network().FindGate(g.Name())
+		if sa, sb := tmA.Slack(g), tmB.Slack(h); math.Abs(sa-sb) > 1e-9 {
+			t.Errorf("gate %s: slack %.12g vs %.12g", g.Name(), sa, sb)
+		}
+	})
+}
+
+// TestSessionApplyTouchesDirtyRegionOnly asserts the acceptance bound:
+// a single resize re-times only the affected region. Cone sizes vary
+// per gate, so the assertion is on the smallest touched count over a
+// deterministic candidate sample — it must be far below the network
+// size — and every apply must stay on the incremental path.
+func TestSessionApplyTouchesDirtyRegionOnly(t *testing.T) {
+	c := sessionCircuit(t, "c3540")
+	s, err := c.BeginSession(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	lib := library.Default035()
+	n := c.Network()
+	topo := n.TopoOrder()
+	gates := n.NumGates()
+	minTouched := gates
+	applied := 0
+	for i := len(topo) / 2; i < len(topo) && applied < 8; i++ {
+		g := topo[i]
+		if g.IsInput() {
+			continue
+		}
+		size := (g.SizeIdx + 1) % library.NumSizes
+		if size == g.SizeIdx {
+			continue
+		}
+		if _, err := lib.Cell(g.Type, g.NumFanins(), size); err != nil {
+			continue
+		}
+		d, err := s.Apply(rapids.Edit{Kind: rapids.EditResize, Gate: g.Name(), Size: size})
+		if err != nil {
+			t.Fatal(err)
+		}
+		applied++
+		if d.FullReanalysis {
+			t.Fatalf("single resize of %s fell back to full re-analysis", g.Name())
+		}
+		if d.TouchedGates <= 0 {
+			t.Fatalf("single resize of %s touched %d gates", g.Name(), d.TouchedGates)
+		}
+		if d.TouchedGates < minTouched {
+			minTouched = d.TouchedGates
+		}
+	}
+	if applied < 4 {
+		t.Fatalf("only %d candidate resizes found", applied)
+	}
+	if minTouched >= gates/10 {
+		t.Fatalf("dirty region not localized: best single-resize touched %d of %d gates",
+			minTouched, gates)
+	}
+	t.Logf("best single-resize touched %d of %d gates", minTouched, gates)
+}
+
+// TestSessionPinnedReadersUnderEdits: readers pinned on old epochs keep
+// reading consistent immutable views while the writer applies edits —
+// the one-writer/many-readers contract, meaningful under -race.
+func TestSessionPinnedReadersUnderEdits(t *testing.T) {
+	c := sessionCircuit(t, "c432")
+	s, err := c.BeginSession(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Pin the pre-edit view and serialize it now; the same bytes must
+	// come out after every subsequent mutation.
+	first := s.View()
+	firstBytes := viewBLIF(t, first)
+
+	script := editScript(c, s.Clock())
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for r := 0; r < 8; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v := s.View()
+				if v.Gates <= 0 || len(v.CriticalPath) == 0 {
+					errs <- errors.New("reader saw an inconsistent view")
+					return
+				}
+				var buf bytes.Buffer
+				if err := v.WriteBLIF(&buf); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	for i, e := range script {
+		if _, err := s.Apply(e); err != nil {
+			t.Fatalf("apply %d: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+	if again := viewBLIF(t, first); !bytes.Equal(firstBytes, again) {
+		t.Fatal("pinned view mutated under the writer")
+	}
+	if v := s.View(); v.Seq != len(script) || v.Epoch == first.Epoch {
+		t.Fatalf("final view seq %d epoch %d (first epoch %d), want seq %d and a new epoch",
+			v.Seq, v.Epoch, first.Epoch, len(script))
+	}
+}
+
+// TestSessionLifecycle covers the closed-session contract and the
+// anytime semantics of Close after edits.
+func TestSessionLifecycle(t *testing.T) {
+	c := sessionCircuit(t, "alu2")
+	s, err := c.BeginSession(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	script := editScript(c, s.Clock())[:3]
+	for _, e := range script {
+		if _, err := s.Apply(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := s.Apply(script[0]); !errors.Is(err, rapids.ErrSessionClosed) {
+		t.Fatalf("Apply after Close: %v", err)
+	}
+	if _, err := s.Commit(); !errors.Is(err, rapids.ErrSessionClosed) {
+		t.Fatalf("Commit after Close: %v", err)
+	}
+	// The edits stayed in the circuit (anytime property): the resized
+	// gate still holds its new implementation.
+	g := c.Network().FindGate(script[0].Gate)
+	if g == nil || g.SizeIdx != script[0].Size {
+		t.Fatalf("edit lost on Close: %v", g)
+	}
+	// And an unplaced circuit cannot open a session.
+	raw, err := rapids.Generate("alu2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := raw.BeginSession(context.Background()); err == nil {
+		t.Fatal("BeginSession accepted an unplaced circuit")
+	}
+}
+
+// TestSessionRejectsInvalidEdits: Apply is all-or-nothing — one bad
+// edit rejects the batch before the circuit is touched.
+func TestSessionRejectsInvalidEdits(t *testing.T) {
+	c := sessionCircuit(t, "alu2")
+	s, err := c.BeginSession(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	good := editScript(c, s.Clock())[0]
+	before := s.View()
+	cases := []rapids.Edit{
+		{Kind: rapids.EditResize, Gate: "no-such-gate", Size: 1},
+		{Kind: rapids.EditResize, Gate: c.Network().Inputs()[0].Name(), Size: 1},
+		{Kind: rapids.EditPinArrival, Gate: good.Gate, TimeNS: 1},
+		{Kind: rapids.EditPinRequired, Gate: c.Network().Inputs()[0].Name(), TimeNS: 1},
+		{Kind: rapids.EditResize, Gate: good.Gate, Size: -1},
+	}
+	for _, bad := range cases {
+		if _, err := s.Apply(good, bad); err == nil {
+			t.Fatalf("batch with %s accepted", bad)
+		}
+	}
+	if v := s.View(); v.Seq != before.Seq || v.Epoch != before.Epoch {
+		t.Fatal("rejected batches mutated the session")
+	}
+}
